@@ -1,0 +1,23 @@
+//! Criterion bench behind Figure 5(b): TOPM American call.
+
+use amopt_bench::{run_pricer, Impl};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_topm");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    for t in [1usize << 10, 1 << 12] {
+        for which in [Impl::FftTopm, Impl::VanillaTopm] {
+            g.bench_with_input(BenchmarkId::new(which.legend(), t), &t, |b, &t| {
+                b.iter(|| run_pricer(which, t))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench behind Table 5: thread-count scaling at fixed T.
+
+use amopt_bench::{run_pricer, Impl};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5");
+    g.warm_up_time(Duration::from_millis(300));
+    g.measurement_time(Duration::from_secs(2));
+    g.sample_size(10);
+    let t = 1usize << 13;
+    let max_p = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    for p in [1usize, 2, 4].into_iter().filter(|&p| p <= 2 * max_p) {
+        for which in [Impl::FftBopm, Impl::QlBopm] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{}_p{p}", which.legend()), t),
+                &t,
+                |b, &t| {
+                    b.iter(|| amopt_parallel::run_with_threads(p, || run_pricer(which, t)))
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! Set-associative LRU cache hierarchy simulator.
+//!
+//! Stands in for the PAPI hardware counters of the paper's Figure 7: the
+//! pricing kernels are replayed as address traces against an L1+L2 hierarchy
+//! sized like the paper's Skylake node (Table 3: L1 32 KiB/core, L2
+//! 1 MiB/core, 64-byte lines).  Misses of a deterministic trace on LRU
+//! caches are exactly what the hardware counts, minus OS noise and
+//! prefetching.
+
+/// One set-associative cache level with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct CacheLevel {
+    sets: usize,
+    ways: usize,
+    line_shift: u32,
+    /// `tags[set * ways + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// Monotone counter per line for LRU ordering.
+    stamps: Vec<u64>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheLevel {
+    /// Builds a level from total capacity, associativity, and line size
+    /// (all powers of two).
+    pub fn new(capacity_bytes: usize, ways: usize, line_bytes: usize) -> Self {
+        assert!(capacity_bytes.is_power_of_two());
+        assert!(line_bytes.is_power_of_two());
+        assert!(ways >= 1);
+        let lines = capacity_bytes / line_bytes;
+        assert!(lines % ways == 0, "capacity/line/ways mismatch");
+        let sets = lines / ways;
+        CacheLevel {
+            sets,
+            ways,
+            line_shift: line_bytes.trailing_zeros(),
+            tags: vec![u64::MAX; lines],
+            stamps: vec![0; lines],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses the line containing `addr`; returns `true` on hit.
+    /// On miss the line is filled (LRU eviction).
+    pub fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line as usize) & (self.sets - 1);
+        let base = set * self.ways;
+        self.clock += 1;
+        for w in 0..self.ways {
+            if self.tags[base + w] == line {
+                self.stamps[base + w] = self.clock;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        // Evict the least recently used way.
+        let mut victim = 0;
+        let mut oldest = u64::MAX;
+        for w in 0..self.ways {
+            if self.tags[base + w] == u64::MAX {
+                victim = w;
+                break;
+            }
+            if self.stamps[base + w] < oldest {
+                oldest = self.stamps[base + w];
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = line;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+/// Two-level hierarchy with the paper's per-core Skylake geometry.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    l1: CacheLevel,
+    l2: CacheLevel,
+    accesses: u64,
+    ops: u64,
+}
+
+impl Hierarchy {
+    /// L1 32 KiB 8-way, L2 1 MiB 16-way, 64 B lines (Table 3 of the paper).
+    pub fn skylake() -> Self {
+        Hierarchy {
+            l1: CacheLevel::new(32 * 1024, 8, 64),
+            l2: CacheLevel::new(1024 * 1024, 16, 64),
+            accesses: 0,
+            ops: 0,
+        }
+    }
+
+    /// Custom geometry.
+    pub fn new(l1: CacheLevel, l2: CacheLevel) -> Self {
+        Hierarchy { l1, l2, accesses: 0, ops: 0 }
+    }
+
+    /// One memory access (read or write — LRU state treats them alike).
+    #[inline]
+    pub fn touch(&mut self, addr: u64) {
+        self.accesses += 1;
+        if !self.l1.access(addr) {
+            self.l2.access(addr);
+        }
+    }
+
+    /// Records `n` arithmetic operations (for the energy model).
+    #[inline]
+    pub fn op(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Snapshot of the counters.
+    pub fn report(&self) -> SimReport {
+        SimReport {
+            accesses: self.accesses,
+            ops: self.ops,
+            l1_misses: self.l1.misses(),
+            l2_misses: self.l2.misses(),
+        }
+    }
+}
+
+/// Counter snapshot of one simulated kernel run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimReport {
+    /// Total memory accesses issued.
+    pub accesses: u64,
+    /// Arithmetic operations executed.
+    pub ops: u64,
+    /// L1 misses (= L2 accesses, as in the paper's Fig. 7 caption).
+    pub l1_misses: u64,
+    /// L2 misses (DRAM traffic).
+    pub l2_misses: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_scan_misses_once_per_line() {
+        let mut c = CacheLevel::new(32 * 1024, 8, 64);
+        for i in 0..4096u64 {
+            c.access(i * 8); // 8-byte strides: 8 accesses per 64 B line
+        }
+        assert_eq!(c.misses(), 4096 / 8);
+        assert_eq!(c.hits(), 4096 - 4096 / 8);
+    }
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheLevel::new(1024, 2, 64);
+        assert!(!c.access(0));
+        for _ in 0..100 {
+            assert!(c.access(32)); // same line as 0
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_set() {
+        // 2-way set: lines mapping to the same set evict in LRU order.
+        let mut c = CacheLevel::new(2 * 64 * 4, 2, 64); // 4 sets, 2 ways
+        let set_stride = 4 * 64; // same set every 4 lines
+        assert!(!c.access(0));
+        assert!(!c.access(set_stride as u64));
+        assert!(c.access(0)); // 0 now MRU
+        assert!(!c.access(2 * set_stride as u64)); // evicts `set_stride`
+        assert!(c.access(0));
+        assert!(!c.access(set_stride as u64)); // was evicted
+    }
+
+    #[test]
+    fn working_set_larger_than_l1_fits_l2() {
+        let mut h = Hierarchy::skylake();
+        // 256 KiB working set: misses L1 on every pass, hits L2 after fill.
+        let n = 256 * 1024 / 8;
+        for pass in 0..2 {
+            for i in 0..n as u64 {
+                h.touch(i * 8);
+            }
+            let r = h.report();
+            if pass == 1 {
+                // Second pass: L1 still misses (set too big), L2 all hits.
+                assert_eq!(r.l2_misses, (256 * 1024 / 64) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn small_working_set_stays_in_l1() {
+        let mut h = Hierarchy::skylake();
+        let n = 1024; // 8 KiB
+        for _ in 0..10 {
+            for i in 0..n as u64 {
+                h.touch(i * 8);
+            }
+        }
+        let r = h.report();
+        assert_eq!(r.l1_misses, 8 * 1024 / 64);
+        assert_eq!(r.l2_misses, 8 * 1024 / 64);
+        assert_eq!(r.accesses, 10 * n as u64);
+    }
+}

@@ -1,0 +1,97 @@
+//! Energy model — the RAPL substitute for the paper's Figure 6/10.
+//!
+//! RAPL package energy is dominated by instruction execution plus cache
+//! traffic, and the RAM domain by DRAM traffic.  We charge each counter a
+//! per-event energy from the published ballpark figures for 14 nm server
+//! parts (Horowitz, ISSCC'14 scaled): a double-precision op ≈ 10 pJ, an L1
+//! access ≈ 20 pJ, an L2 access ≈ 100 pJ, a DRAM line transfer ≈ 10 nJ.
+//! Absolute Joules are indicative only; the paper's headline — ≥99% energy
+//! saved at large `T`, tracking the `T² → T log² T` work reduction — is a
+//! ratio, which the model preserves by construction.
+
+use crate::cache::SimReport;
+
+/// Per-event energies in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Arithmetic operation.
+    pub pj_op: f64,
+    /// L1 access (every memory access).
+    pub pj_l1: f64,
+    /// L2 access (L1 miss).
+    pub pj_l2: f64,
+    /// DRAM line transfer (L2 miss).
+    pub pj_dram: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel { pj_op: 10.0, pj_l1: 20.0, pj_l2: 100.0, pj_dram: 10_000.0 }
+    }
+}
+
+/// Energy split mirroring the RAPL domains of the paper's Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Package domain: compute + on-chip caches (Joules).
+    pub pkg_joules: f64,
+    /// RAM domain: DRAM traffic (Joules).
+    pub ram_joules: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (Joules).
+    pub fn total(&self) -> f64 {
+        self.pkg_joules + self.ram_joules
+    }
+}
+
+impl EnergyModel {
+    /// Evaluates the model on a simulation report.
+    pub fn evaluate(&self, r: &SimReport) -> EnergyBreakdown {
+        let pkg = self.pj_op * r.ops as f64
+            + self.pj_l1 * r.accesses as f64
+            + self.pj_l2 * r.l1_misses as f64;
+        let ram = self.pj_dram * r.l2_misses as f64;
+        EnergyBreakdown { pkg_joules: pkg * 1e-12, ram_joules: ram * 1e-12 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels;
+
+    #[test]
+    fn more_work_costs_more_energy() {
+        let m = EnergyModel::default();
+        let small = m.evaluate(&kernels::trace_naive(256, 1, |i| i + 1));
+        let large = m.evaluate(&kernels::trace_naive(1024, 1, |i| i + 1));
+        assert!(large.total() > small.total() * 10.0);
+    }
+
+    #[test]
+    fn fft_saving_is_large_and_grows_with_t() {
+        // Paper Fig. 6: ~80% saved at T ≈ 4000, >99% for T > 60000.  The
+        // quadratic/quasilinear gap widens with T; check the level at 8k and
+        // the growth from 2k.
+        let m = EnergyModel::default();
+        let saving = |t: usize| {
+            let naive = m.evaluate(&kernels::trace_naive(t, 1, |i| i + 1));
+            let fft = m.evaluate(&kernels::trace_fft_pricer(t, 1));
+            1.0 - fft.total() / naive.total()
+        };
+        let s2k = saving(2048);
+        let s8k = saving(8192);
+        assert!(s8k > 0.6, "saving at 8192: {s8k:.3}");
+        assert!(s8k > s2k, "saving must grow with T: {s2k:.3} vs {s8k:.3}");
+    }
+
+    #[test]
+    fn breakdown_components_are_nonnegative_and_sum() {
+        let m = EnergyModel::default();
+        let e = m.evaluate(&kernels::trace_tiled(512, 64, 512));
+        assert!(e.pkg_joules >= 0.0 && e.ram_joules >= 0.0);
+        assert!((e.total() - (e.pkg_joules + e.ram_joules)).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,102 @@
+//! European binomial pricing in `O(T log T)`: with no early exercise the
+//! whole lattice is a *linear* stencil, so the root value is a single
+//! correlation of the payoff row with `kernel^{⊛T}` (cf. the paper's remark
+//! that dropping the `max` reduces Fig. 1 to a linear stencil).
+//!
+//! Calls are priced through put–call parity: the *put* payoff is bounded by
+//! `K`, whereas the call payoff grows like `u^T` — at `T ≳ 10⁴` that dynamic
+//! range would let the FFT's absolute error (∝ the largest input) swamp the
+//! price.  Parity is exact on the risk-neutral lattice:
+//! `C − P = S·λ^T − K·μ^T` with `λ = s0/u + s1·u = e^{−YΔt}` and
+//! `μ = s0 + s1 = e^{−RΔt}` (the eigenvalue identities of Lemma 2.2).
+
+use super::BopmModel;
+use crate::params::OptionType;
+use amopt_fft::correlate_power_valid;
+
+/// European option price via one FFT pass over the payoff row.
+pub fn price_european_fft(model: &BopmModel, opt: OptionType) -> f64 {
+    let t = model.steps();
+    let put = price_put(model);
+    match opt {
+        OptionType::Put => put,
+        OptionType::Call => {
+            // Exact lattice parity, using the kernel's own eigenvalues so the
+            // identity matches backward induction to rounding.
+            let lambda = model.s0() / model.up() + model.s1() * model.up();
+            let mu = model.s0() + model.s1();
+            let fwd = model.params().spot * pow_u(lambda, t as u64)
+                - model.params().strike * pow_u(mu, t as u64);
+            put + fwd
+        }
+    }
+}
+
+/// `base^h` via exp/ln — relative error `O(ε)` independent of `h`.
+#[inline]
+fn pow_u(base: f64, h: u64) -> f64 {
+    debug_assert!(base > 0.0);
+    (h as f64 * base.ln()).exp()
+}
+
+fn price_put(model: &BopmModel) -> f64 {
+    let t = model.steps();
+    let strike = model.params().strike;
+    let payoff: Vec<f64> = (0..=t as i64)
+        .map(|j| OptionType::Put.payoff(model.node_price(t, j), strike))
+        .collect();
+    if t == 0 {
+        return payoff[0];
+    }
+    let kernel = model.kernel();
+    let out = correlate_power_valid(&payoff, kernel.weights(), t as u64);
+    debug_assert_eq!(out.len(), 1);
+    out[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::black_scholes_price;
+    use crate::bopm::naive::{self, ExecMode};
+    use crate::params::{ExerciseStyle, OptionParams};
+
+    #[test]
+    fn matches_naive_european() {
+        for steps in [1usize, 2, 13, 252, 2000] {
+            let m = BopmModel::new(OptionParams::paper_defaults(), steps).unwrap();
+            for opt in [OptionType::Call, OptionType::Put] {
+                let want = naive::price(&m, opt, ExerciseStyle::European, ExecMode::Serial);
+                let got = price_european_fft(&m, opt);
+                assert!(
+                    (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                    "steps={steps} {opt:?}: fft {got} vs naive {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_black_scholes() {
+        let p = OptionParams::paper_defaults();
+        for opt in [OptionType::Call, OptionType::Put] {
+            let bs = black_scholes_price(&p, opt).unwrap();
+            let m = BopmModel::new(p, 20_000).unwrap();
+            let v = price_european_fft(&m, opt);
+            assert!((v - bs).abs() < 2e-3, "{opt:?}: lattice {v} vs closed form {bs}");
+        }
+    }
+
+    #[test]
+    fn put_call_parity_on_the_lattice() {
+        let p = OptionParams::paper_defaults();
+        let m = BopmModel::new(p, 4096).unwrap();
+        let call = price_european_fft(&m, OptionType::Call);
+        let put = price_european_fft(&m, OptionType::Put);
+        // Lattice parity: C − P = S·e^{−YT} − K·e^{−RT} holds exactly in the
+        // risk-neutral tree (up to FFT rounding).
+        let rhs = p.spot * (-p.dividend_yield * p.expiry).exp()
+            - p.strike * (-p.rate * p.expiry).exp();
+        assert!((call - put - rhs).abs() < 1e-8, "{} vs {}", call - put, rhs);
+    }
+}

@@ -1,0 +1,146 @@
+//! Cache-oblivious recursive binomial pricer — the "Recursive Tiling" row of
+//! Table 2 (Frigo–Strumpen space-time trapezoidal decomposition, specialised
+//! to the one-sided binomial stencil).
+//!
+//! The space-time region is a trapezoid
+//! `{(t, x) : t0 ≤ t < t1, x0 + dx0·(t−t0) ≤ x < x1 + dx1·(t−t0)}` with edge
+//! slopes `dx ∈ {0, −1}` (the stencil reads `x, x+1` at the earlier time, so
+//! a right edge of slope −1 makes a region self-contained, and a left edge
+//! of slope −1 consumes values the piece to its left wrote at intermediate
+//! times — which is exactly what the in-place buffer provides when the left
+//! piece runs first).  Wide trapezoids are cut by a slope −1 line through
+//! the bottom-row midpoint (left piece first, then right); tall ones are cut
+//! in time.  Every level halves the working set, so the recursion reaches
+//! cache-sized subproblems without knowing cache parameters — `Θ(T²)` work
+//! with `Θ(T²/(B·M))`-ish misses.
+//!
+//! The cut order is a *true dependency* for a one-sided stencil (the right
+//! piece reads the left piece's intermediate rows), so this baseline is
+//! serial; the paper's parallel `zb-bopm` corresponds to the tiled variant
+//! in [`super::tiled`].
+
+use super::BopmModel;
+use crate::params::{ExerciseStyle, OptionType};
+
+/// Recursion context.
+struct Walk<'a> {
+    s0: f64,
+    s1: f64,
+    model: &'a BopmModel,
+    opt: OptionType,
+    style: ExerciseStyle,
+    t_total: usize,
+    base_height: usize,
+}
+
+impl Walk<'_> {
+    #[inline]
+    fn exercise(&self, i: usize, j: i64) -> f64 {
+        match self.opt {
+            OptionType::Call => self.model.exercise_call(i, j),
+            OptionType::Put => self.model.exercise_put(i, j),
+        }
+    }
+
+    /// One row update in place: `buf[x] ← max(s0·buf[x] + s1·buf[x+1], ex)`
+    /// for `x ∈ [x0, x1)`, producing time `t` (grid row `T − t`).
+    #[inline]
+    fn row(&self, buf: &mut [f64], t: usize, x0: i64, x1: i64) {
+        let i = self.t_total - t;
+        for x in x0..x1 {
+            let xu = x as usize;
+            let cont = self.s0 * buf[xu] + self.s1 * buf[xu + 1];
+            buf[xu] = match self.style {
+                ExerciseStyle::European => cont,
+                ExerciseStyle::American => cont.max(self.exercise(i, x)),
+            };
+        }
+    }
+
+    /// Recursive trapezoid walk; see module docs for the region definition.
+    fn walk(&self, buf: &mut [f64], t0: usize, t1: usize, x0: i64, dx0: i64, x1: i64, dx1: i64) {
+        let h = (t1 - t0) as i64;
+        debug_assert!(h >= 1);
+        if h as usize <= self.base_height {
+            for t in t0 + 1..=t1 {
+                let dt = (t - t0) as i64;
+                self.row(buf, t, x0 + dx0 * dt, x1 + dx1 * dt);
+            }
+            return;
+        }
+        let xb0 = x0 + dx0 * h; // bottom-left
+        let xb1 = x1 + dx1 * h; // bottom-right (exclusive)
+        if xb1 - xb0 >= 2 * h + 2 {
+            // Space cut: slope −1 line hitting the bottom-row midpoint.
+            let xm_bot = (xb0 + xb1) / 2;
+            let xc = xm_bot + h; // top coordinate of the cut line
+            debug_assert!(xc < x1 && xm_bot > xb0);
+            self.walk(buf, t0, t1, x0, dx0, xc, -1);
+            self.walk(buf, t0, t1, xc, -1, x1, dx1);
+        } else {
+            // Time cut.
+            let tm = t0 + (t1 - t0) / 2;
+            let dt = (tm - t0) as i64;
+            self.walk(buf, t0, tm, x0, dx0, x1, dx1);
+            self.walk(buf, tm, t1, x0 + dx0 * dt, dx0, x1 + dx1 * dt, dx1);
+        }
+    }
+}
+
+/// Price by the cache-oblivious recursive decomposition.
+pub fn price(model: &BopmModel, opt: OptionType, style: ExerciseStyle) -> f64 {
+    let t = model.steps();
+    let payoff = |j: i64| -> f64 {
+        match opt {
+            OptionType::Call => model.exercise_call(t, j).max(0.0),
+            OptionType::Put => model.exercise_put(t, j).max(0.0),
+        }
+    };
+    let mut buf: Vec<f64> = (0..=t as i64).map(payoff).collect();
+    if t == 0 {
+        return buf[0];
+    }
+    let walk = Walk {
+        s0: model.s0(),
+        s1: model.s1(),
+        model,
+        opt,
+        style,
+        t_total: t,
+        base_height: 8,
+    };
+    walk.walk(&mut buf, 0, t, 0, 0, t as i64 + 1, -1);
+    buf[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bopm::naive::{self, ExecMode};
+    use crate::params::OptionParams;
+
+    #[test]
+    fn matches_naive_across_sizes_and_styles() {
+        for steps in [1usize, 2, 3, 8, 9, 17, 64, 333, 1024] {
+            let m = BopmModel::new(OptionParams::paper_defaults(), steps).unwrap();
+            for opt in [OptionType::Call, OptionType::Put] {
+                for style in [ExerciseStyle::European, ExerciseStyle::American] {
+                    let want = naive::price(&m, opt, style, ExecMode::Serial);
+                    let got = price(&m, opt, style);
+                    assert!(
+                        (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                        "steps={steps} {opt:?} {style:?}: oblivious {got} vs naive {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_fast_pricer() {
+        let m = BopmModel::new(OptionParams::paper_defaults(), 2048).unwrap();
+        let fast = crate::bopm::fast::price_american_call(&m, &crate::EngineConfig::default());
+        let got = price(&m, OptionType::Call, ExerciseStyle::American);
+        assert!((got - fast).abs() < 1e-9 * fast);
+    }
+}

@@ -1,0 +1,159 @@
+//! Knock-out barrier options under the BSM explicit FD scheme — one of the
+//! §6 future-work items of the paper, built on the absorbing-wall linear
+//! advance of `amopt-stencil` (the aperiodic case of reference \[1\]).
+//!
+//! A **down-and-out put** is killed the moment the asset touches the
+//! barrier `B < S`: on the grid, every column at or below
+//! `k_B = ⌈(ln(B/K) − s_base)/Δs⌉ − 1 …` (the last column with price ≤ B)
+//! is an absorbing zero wall.  The payoff is European (knock-outs with
+//! American exercise are not considered here), so the evolution is purely
+//! linear and the FFT wall advance prices the contract in
+//! `O((T) log² T)` instead of the `Θ(T²)` sweep.
+
+use super::BsmModel;
+use crate::error::{PricingError, Result};
+use amopt_stencil::{advance, advance_left_wall, Backend, Segment};
+
+/// Last grid column whose asset price is `≤ barrier` (the wall column).
+fn wall_column(model: &BsmModel, barrier: f64) -> i64 {
+    let strike = model.params().strike;
+    // price(k) = K·e^{s(k)} ≤ B  ⇔  s(k) ≤ ln(B/K)
+    let target = (barrier / strike).ln();
+    let mut k = ((target - model.s_at(0)) / model.d_s()).floor() as i64;
+    while model.s_at(k + 1) <= target {
+        k += 1;
+    }
+    while model.s_at(k) > target {
+        k -= 1;
+    }
+    k
+}
+
+/// Prices a **European down-and-out put** with the FFT wall advance.
+pub fn price_down_and_out_put_fft(
+    model: &BsmModel,
+    barrier: f64,
+    backend: Backend,
+) -> Result<f64> {
+    let strike = model.params().strike;
+    if !(barrier > 0.0) || barrier >= model.params().spot {
+        return Err(PricingError::InvalidParams {
+            field: "barrier",
+            reason: format!(
+                "down-and-out barrier must satisfy 0 < B < spot, got B = {barrier}, S = {}",
+                model.params().spot
+            ),
+        });
+    }
+    let t = model.steps() as i64;
+    let wall = wall_column(model, barrier);
+    if wall >= 0 {
+        // The wall is at or above the apex column: knocked out immediately.
+        return Ok(0.0);
+    }
+    let payoff: Vec<f64> = ((wall + 1).max(-t)..=t).map(|k| model.payoff(k)).collect();
+    let seg = Segment::new((wall + 1).max(-t), payoff);
+    let out = if wall < -t {
+        // Barrier outside the apex cone: plain vanilla European.
+        advance(&seg, &model.kernel(), t as u64, backend)
+    } else {
+        advance_left_wall(&seg, &model.kernel(), t as u64, backend)
+    };
+    debug_assert!(out.contains(0));
+    Ok(strike * out.get(0))
+}
+
+/// Reference pricer: dense cone sweep with the barrier zeroed each row.
+pub fn price_down_and_out_put_naive(model: &BsmModel, barrier: f64) -> Result<f64> {
+    let strike = model.params().strike;
+    if !(barrier > 0.0) || barrier >= model.params().spot {
+        return Err(PricingError::InvalidParams {
+            field: "barrier",
+            reason: "down-and-out barrier must satisfy 0 < B < spot".into(),
+        });
+    }
+    let t = model.steps() as i64;
+    let wall = wall_column(model, barrier);
+    if wall >= 0 {
+        return Ok(0.0);
+    }
+    let (wb, wc, wa) = model.weights();
+    let knocked = |k: i64| k <= wall;
+    let mut cur: Vec<f64> = (-t..=t)
+        .map(|k| if knocked(k) { 0.0 } else { model.payoff(k) })
+        .collect();
+    for n in 1..=t {
+        let half = t - n;
+        let mut next = Vec::with_capacity((2 * half + 1) as usize);
+        for k in -half..=half {
+            let idx = (k + half + 1) as usize;
+            let v = if knocked(k) {
+                0.0
+            } else {
+                wb * cur[idx - 1] + wc * cur[idx] + wa * cur[idx + 1]
+            };
+            next.push(v);
+        }
+        cur = next;
+    }
+    Ok(strike * cur[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::OptionParams;
+
+    fn params() -> OptionParams {
+        OptionParams { dividend_yield: 0.0, rate: 0.03, ..OptionParams::paper_defaults() }
+    }
+
+    #[test]
+    fn fft_matches_naive_across_barriers() {
+        let m = BsmModel::new(params(), 600).unwrap();
+        for barrier in [40.0, 80.0, 100.0, 120.0] {
+            let want = price_down_and_out_put_naive(&m, barrier).unwrap();
+            let got = price_down_and_out_put_fft(&m, barrier, Backend::Fft).unwrap();
+            assert!(
+                (got - want).abs() < 1e-9 * want.max(1.0),
+                "B={barrier}: fft {got} vs naive {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn knockout_value_increases_as_barrier_falls() {
+        // A lower barrier is harder to hit, so the option is worth more,
+        // approaching the vanilla European put as B → 0.
+        let m = BsmModel::new(params(), 800).unwrap();
+        let vanilla = crate::bsm::fast::price_european_put_fft(&m);
+        let mut prev = 0.0;
+        for barrier in [120.0, 100.0, 70.0, 30.0, 5.0] {
+            let v = price_down_and_out_put_fft(&m, barrier, Backend::Fft).unwrap();
+            assert!(v >= prev - 1e-9, "B={barrier}: {v} < {prev}");
+            assert!(v <= vanilla + 1e-9, "B={barrier}: {v} > vanilla {vanilla}");
+            prev = v;
+        }
+        // Far-away barrier ≈ vanilla.
+        let far = price_down_and_out_put_fft(&m, 1.0, Backend::Fft).unwrap();
+        assert!((far - vanilla).abs() < 1e-6 * vanilla.max(1.0));
+    }
+
+    #[test]
+    fn barrier_above_spot_is_rejected_and_at_spot_knocks_out() {
+        let m = BsmModel::new(params(), 100).unwrap();
+        assert!(price_down_and_out_put_fft(&m, 200.0, Backend::Fft).is_err());
+        assert!(price_down_and_out_put_fft(&m, -1.0, Backend::Fft).is_err());
+        // Barrier just below spot: wall at/near apex ⇒ near-zero value.
+        let v = price_down_and_out_put_fft(&m, m.params().spot * 0.999, Backend::Fft).unwrap();
+        assert!(v < 0.5, "barely-below-spot barrier should be nearly worthless, got {v}");
+    }
+
+    #[test]
+    fn deep_barrier_never_exceeds_intrinsic_logic() {
+        let m = BsmModel::new(params(), 400).unwrap();
+        let v = price_down_and_out_put_fft(&m, 60.0, Backend::Fft).unwrap();
+        // Knock-out put is worth less than the strike and non-negative.
+        assert!(v >= 0.0 && v < m.params().strike);
+    }
+}

@@ -1,0 +1,215 @@
+//! The paper's fast BSM pricer: American put in `O(T log² T)` work and
+//! `O(T)` span via the centered nonlinear-stencil engine (§4.3).
+
+use super::BsmModel;
+use crate::engine::centered::{advance_green_left, GreenLeftRow};
+use crate::engine::EngineConfig;
+use amopt_stencil::{advance, Segment};
+
+/// Builds the expiry row in compressed green-left form.
+///
+/// Red cells at expiry are the out-of-the-money columns (`s_k > 0`), whose
+/// payoff is exactly zero.
+fn expiry_row(model: &BsmModel) -> GreenLeftRow {
+    let t = model.steps() as i64;
+    let f = model.expiry_boundary().clamp(-t - 1, t);
+    let reds = vec![0.0; (t - f).max(0) as usize];
+    GreenLeftRow { t: 0, boundary: f, hi: t, reds: Segment::new(f + 1, reds) }
+}
+
+/// American put price via the FFT trapezoid decomposition
+/// (`fft-bsm` in the paper's plots).
+pub fn price_american_put(model: &BsmModel, cfg: &EngineConfig) -> f64 {
+    let strike = model.params().strike;
+    let t = model.steps() as i64;
+    let f0 = model.expiry_boundary();
+    if f0 >= t {
+        // Green covers the whole cone now and forever (the green/cone gap
+        // never shrinks): immediate exercise at the apex.
+        return strike * model.exercise(0);
+    }
+    if f0 < -t {
+        // No green cell in the apex's dependency cone: the obstacle never
+        // binds and the scheme is purely linear — one FFT pass (this is the
+        // European put on this grid).
+        let payoff: Vec<f64> = (-t..=t).map(|k| model.payoff(k)).collect();
+        let out = advance(&Segment::new(-t, payoff), &model.kernel(), t as u64, cfg.backend);
+        debug_assert_eq!(out.start, 0);
+        debug_assert_eq!(out.len(), 1);
+        return strike * out.values[0];
+    }
+    let row = expiry_row(model);
+    let green = |_t: u64, k: i64| model.exercise(k);
+    let out = advance_green_left(&model.kernel(), &green, &row, t as u64, cfg);
+    debug_assert_eq!(out.hi, 0);
+    strike * out.value_at(&green, 0)
+}
+
+/// European put under the same discretisation, `O(T log T)` (single FFT).
+pub fn price_european_put_fft(model: &BsmModel) -> f64 {
+    let t = model.steps() as i64;
+    let payoff: Vec<f64> = (-t..=t).map(|k| model.payoff(k)).collect();
+    if t == 0 {
+        return model.params().strike * payoff[0];
+    }
+    let out = advance(
+        &Segment::new(-t, payoff),
+        &model.kernel(),
+        t as u64,
+        amopt_stencil::Backend::Fft,
+    );
+    debug_assert_eq!(out.len(), 1);
+    model.params().strike * out.values[0]
+}
+
+/// American put price plus green-boundary samples `(n, k_n)` at `rows`
+/// roughly equally spaced time steps (the early-exercise curve of §4.2,
+/// in grid columns; `s`-space value is `ln(S/K) + k·Δs`).
+pub fn price_with_boundary_samples(
+    model: &BsmModel,
+    cfg: &EngineConfig,
+    rows: usize,
+) -> (f64, Vec<(usize, i64)>) {
+    let strike = model.params().strike;
+    let t = model.steps() as u64;
+    let f0 = model.expiry_boundary();
+    let mut samples = vec![(0usize, f0)];
+    if f0 >= t as i64 || f0 < -(t as i64) {
+        return (price_american_put(model, cfg), samples);
+    }
+    let green = |_t: u64, k: i64| model.exercise(k);
+    let kernel = model.kernel();
+    let mut cur = expiry_row(model);
+    let chunk = (t / rows.max(1) as u64).max(1);
+    while cur.t < t {
+        let h = chunk.min(t - cur.t);
+        cur = advance_green_left(&kernel, &green, &cur, h, cfg);
+        samples.push((cur.t as usize, cur.boundary));
+    }
+    (strike * cur.value_at(&green, 0), samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bsm::naive::{self, ExecMode};
+    use crate::params::{OptionParams, OptionType};
+
+    fn params() -> OptionParams {
+        OptionParams { dividend_yield: 0.0, ..OptionParams::paper_defaults() }
+    }
+
+    fn assert_matches_naive(p: OptionParams, steps: usize, tol: f64) {
+        let m = BsmModel::new(p, steps).unwrap();
+        let want = naive::price_american_put(&m, ExecMode::Serial);
+        let got = price_american_put(&m, &EngineConfig::default());
+        assert!(
+            (got - want).abs() <= tol * want.abs().max(1.0),
+            "steps={steps}: fft {got} vs naive {want}"
+        );
+    }
+
+    #[test]
+    fn matches_naive_paper_params() {
+        for steps in [1usize, 2, 3, 7, 8, 9, 50, 252, 1000, 3000] {
+            assert_matches_naive(params(), steps, 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_moneyness() {
+        for spot in [60.0, 110.0, 129.0, 131.0, 200.0, 500.0] {
+            assert_matches_naive(OptionParams { spot, ..params() }, 500, 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_vol_and_rates() {
+        for vol in [0.08, 0.2, 0.5] {
+            for rate in [0.0005, 0.01, 0.06] {
+                let p = OptionParams { volatility: vol, rate, ..params() };
+                assert_matches_naive(p, 400, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn european_fft_matches_naive_european() {
+        for steps in [1usize, 64, 1000] {
+            let m = BsmModel::new(params(), steps).unwrap();
+            let want = naive::price_european_put(&m, ExecMode::Serial);
+            let got = price_european_put_fft(&m);
+            assert!((got - want).abs() < 1e-9 * want.max(1.0), "steps={steps}");
+        }
+    }
+
+    #[test]
+    fn converges_to_known_american_put_value() {
+        // Cross-model: FD American put vs binomial-lattice American put.
+        let p = params();
+        let steps = 4000;
+        let m = BsmModel::new(p, steps).unwrap();
+        let fd = price_american_put(&m, &EngineConfig::default());
+        let lattice = crate::bopm::BopmModel::new(p, steps).unwrap();
+        let bin = crate::bopm::naive::price(
+            &lattice,
+            OptionType::Put,
+            crate::params::ExerciseStyle::American,
+            crate::bopm::naive::ExecMode::Serial,
+        );
+        assert!((fd - bin).abs() < 5e-3 * bin, "fd {fd} vs binomial {bin}");
+    }
+
+    #[test]
+    fn american_exceeds_european_and_intrinsic() {
+        let m = BsmModel::new(params(), 2048).unwrap();
+        let am = price_american_put(&m, &EngineConfig::default());
+        let eu = price_european_put_fft(&m);
+        let intrinsic = (m.params().strike - m.params().spot).max(0.0);
+        assert!(am >= eu - 1e-9);
+        assert!(am >= intrinsic - 1e-9);
+    }
+
+    #[test]
+    fn deep_itm_immediate_exercise() {
+        let p = OptionParams { spot: 1.0, strike: 130.0, ..params() };
+        assert_matches_naive(p, 200, 1e-9);
+    }
+
+    #[test]
+    fn deep_otm_linear_path() {
+        let p = OptionParams { spot: 10_000.0, strike: 1.0, ..params() };
+        let m = BsmModel::new(p, 300).unwrap();
+        assert!(m.expiry_boundary() < -300);
+        assert_matches_naive(p, 300, 1e-9);
+    }
+
+    #[test]
+    fn boundary_samples_match_dense_boundary() {
+        let m = BsmModel::new(params(), 512).unwrap();
+        let (_, dense) = naive::apex_value_with_boundary(&m);
+        let (price, samples) = price_with_boundary_samples(&m, &EngineConfig::default(), 8);
+        let want = naive::price_american_put(&m, ExecMode::Serial);
+        assert!((price - want).abs() < 1e-9 * want.max(1.0));
+        let t = m.steps() as i64;
+        for (n, k) in samples {
+            // Comparable only while the dense sweep's shrinking cone still
+            // contains the boundary.
+            let half = t - n as i64;
+            if n == 0 || dense[n] == i64::MIN || k.abs() >= half {
+                continue;
+            }
+            assert_eq!(k, dense[n], "row {n}");
+        }
+    }
+
+    #[test]
+    fn exercise_boundary_is_monotone_decreasing_in_s() {
+        // Thm 4.2: the early-exercise boundary decreases with time-to-expiry.
+        let m = BsmModel::new(params(), 2048).unwrap();
+        let (_, samples) = price_with_boundary_samples(&m, &EngineConfig::default(), 32);
+        for w in samples.windows(2) {
+            assert!(w[1].1 <= w[0].1, "boundary rose: {:?} -> {:?}", w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! Centered nonlinear stencil engine — the BSM explicit-FD geometry of §4.3.
+//!
+//! Differences from [`super::right_cone`]:
+//!
+//! * the kernel is a symmetric 3-point stencil (anchor −1), so the valid
+//!   cone shrinks by one column on *both* sides per step;
+//! * the green (early-exercise) zone sits on the **left** and its boundary
+//!   `f_t` (last green column) moves left at most one column per step
+//!   (Thm 4.3): `f_t − 1 ≤ f_{t+1} ≤ f_t`;
+//! * rows are stored in **raw** value space: the put value is bounded
+//!   (`∈ [0, 1]` dimensionless), so there is no dynamic-range hazard, while
+//!   the obstacle `1 − e^{s}` diverges on the right — harmless because the
+//!   right side is red and never materialises the obstacle.
+//!
+//! ### Certified-red suffix
+//! After `h` steps from a row with boundary `f`, output cell `c ≥ f + h` is
+//! red with an all-red dependency cone: the cone of `(t+h, c)` at depth `m`
+//! reaches left to `c − (h − m)`, and the boundary at depth `m` is at most
+//! `f`, so `c − (h−m) > f` for all `m ≥ 1` iff `c ≥ f + h`.  Those cells
+//! advance with one FFT correlation over `[f, hi]` (column `f` itself is
+//! green — closed form); the boundary window `(f, f+2h₁]` of half height
+//! recurses (Fig. 4(a)), green cells left of the window are pure closed
+//! form.  Work `O(h log² h)`, span `O(h)` (Theorem 4.4).
+
+use super::EngineConfig;
+use amopt_parallel::join;
+use amopt_stencil::{advance, Segment, StencilKernel};
+
+/// A row in compressed green-left form: cells `≤ boundary` are green
+/// (obstacle closed form), cells `(boundary, hi]` are red and stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreenLeftRow {
+    /// Steps elapsed from the known initial row (expiry).
+    pub t: u64,
+    /// Last green column `f`; may lie below the cone (no green in view).
+    pub boundary: i64,
+    /// Last valid column of the row (the cone's right edge).
+    pub hi: i64,
+    /// Stored red values over `[boundary + 1, hi]`; empty iff `boundary ≥ hi`.
+    pub reds: Segment,
+}
+
+impl GreenLeftRow {
+    /// Number of stored red cells.
+    #[inline]
+    pub fn red_count(&self) -> i64 {
+        (self.hi - self.boundary).max(0)
+    }
+
+    /// True when every cone cell is green.
+    #[inline]
+    pub fn is_all_green(&self) -> bool {
+        self.boundary >= self.hi
+    }
+
+    /// Internal consistency between segment extent, boundary and `hi`.
+    pub fn assert_consistent(&self) {
+        debug_assert_eq!(self.reds.start, self.boundary + 1, "red segment must start after f");
+        debug_assert_eq!(
+            self.reds.len() as i64,
+            self.red_count(),
+            "red segment length disagrees with [f+1, hi]"
+        );
+    }
+
+    /// Row value at column `c` (red from storage, green via `green`).
+    pub fn value_at<G: Fn(u64, i64) -> f64>(&self, green: &G, c: i64) -> f64 {
+        if c <= self.boundary {
+            green(self.t, c)
+        } else {
+            self.reds.get(c)
+        }
+    }
+}
+
+/// One naive step: candidates `[f, hi−1]`, boundary decided at column `f`
+/// (the only ambiguous cell per Thm 4.3's unit drift).
+fn step_once<G>(kernel: &StencilKernel, green: &G, row: &GreenLeftRow) -> GreenLeftRow
+where
+    G: Fn(u64, i64) -> f64 + Sync,
+{
+    let f = row.boundary;
+    let hi = row.hi;
+    let t_next = row.t + 1;
+    if row.is_all_green() {
+        return GreenLeftRow {
+            t: t_next,
+            boundary: f - 1,
+            hi: hi - 1,
+            reds: Segment::new(f, vec![]),
+        };
+    }
+    let w = kernel.weights();
+    debug_assert_eq!(kernel.anchor(), -1);
+    let val = |c: i64| row.value_at(green, c);
+    let lin = |c: i64| w[0] * val(c - 1) + w[1] * val(c) + w[2] * val(c + 1);
+
+    // Boundary: cell f stays green iff its obstacle beats the linear update.
+    let lin_f = lin(f);
+    let new_boundary = if green(t_next, f) >= lin_f { f } else { f - 1 };
+    let mut values = Vec::with_capacity((hi - 1 - new_boundary).max(0) as usize);
+    if new_boundary < f {
+        values.push(lin_f.max(green(t_next, f)));
+    }
+    for c in (f + 1)..hi {
+        values.push(lin(c));
+    }
+    GreenLeftRow {
+        t: t_next,
+        boundary: new_boundary,
+        hi: hi - 1,
+        reds: Segment::new(new_boundary + 1, values),
+    }
+}
+
+/// Advances a [`GreenLeftRow`] by `h` steps of the obstacle scheme
+/// `v_{t+1}[c] = max(Σ kernel·v_t, green(t+1, c))`.
+///
+/// Work `O(h log² h)`, span `O(h)` (Theorem 4.4).
+///
+/// # Panics
+/// If the kernel is not a 3-point stencil anchored at −1.
+pub fn advance_green_left<G>(
+    kernel: &StencilKernel,
+    green: &G,
+    row: &GreenLeftRow,
+    h: u64,
+    cfg: &EngineConfig,
+) -> GreenLeftRow
+where
+    G: Fn(u64, i64) -> f64 + Sync,
+{
+    assert_eq!(kernel.anchor(), -1, "centered engine requires anchor -1");
+    assert_eq!(kernel.span(), 2, "centered engine requires a 3-point kernel");
+    row.assert_consistent();
+
+    let mut cur = row.clone();
+    let mut remaining = h;
+    while remaining > 0 {
+        if cur.is_all_green() {
+            // The gap f − hi never shrinks (f drifts ≤ 1 left per step while
+            // hi shrinks exactly 1), so the cone stays green; report the
+            // conservative lower bound for the final boundary.
+            let r = remaining as i64;
+            return GreenLeftRow {
+                t: cur.t + remaining,
+                boundary: cur.boundary - r,
+                hi: cur.hi - r,
+                reds: Segment::new(cur.boundary - r + 1, vec![]),
+            };
+        }
+        let f = cur.boundary;
+        let hi = cur.hi;
+
+        if remaining <= cfg.base_cutoff {
+            for _ in 0..remaining {
+                cur = step_once(kernel, green, &cur);
+            }
+            return cur;
+        }
+
+        // Half-height limited by the red context to the right of f.
+        let h1 = (remaining / 2).min(((hi - f) / 2).max(0) as u64);
+        if h1 == 0 {
+            // Boundary hugs the cone edge: almost everything is green —
+            // advance naively a few rows.
+            let steps = remaining.min(cfg.base_cutoff.max(1));
+            for _ in 0..steps {
+                cur = step_once(kernel, green, &cur);
+            }
+            remaining -= steps;
+            continue;
+        }
+
+        // Boundary window (f, f + 2h1], height h1 — the trapezoid of
+        // Fig. 4(a); its own right context is exactly 2·h1.
+        let sub_row = GreenLeftRow {
+            t: cur.t,
+            boundary: f,
+            hi: f + 2 * h1 as i64,
+            reds: cur.reds.extract(f + 1, f + 2 * h1 as i64),
+        };
+        // Certified-red bulk (f + h1, hi − h1] advances from the *stored*
+        // reds alone — the cone of output cell c ≥ f + h1 + 1 never reaches
+        // column f, so the obstacle is not evaluated on the FFT path at all
+        // (cells ≥ f + h1 are certified; the seam cell f + h1 itself comes
+        // from the window recursion).  The bulk may be empty when the window
+        // covers everything (2h1 = hi − f).
+        let parallel = remaining >= cfg.sequential_below;
+        let bulk_len = (hi - f) - 2 * h1 as i64;
+        let bulk_task = || {
+            if bulk_len >= 1 {
+                advance(&cur.reds, kernel, h1, cfg.backend)
+            } else {
+                Segment::new(f + h1 as i64 + 1, vec![])
+            }
+        };
+        let sub_task = || advance_green_left(kernel, green, &sub_row, h1, cfg);
+        let (bulk_out, sub_out) =
+            if parallel { join(bulk_task, sub_task) } else { (bulk_task(), sub_task()) };
+
+        debug_assert_eq!(bulk_out.start, f + h1 as i64 + 1);
+        debug_assert_eq!(bulk_out.len() as i64, bulk_len.max(0));
+        debug_assert_eq!(sub_out.hi, f + h1 as i64);
+        debug_assert!(sub_out.boundary >= f - h1 as i64 && sub_out.boundary <= f);
+
+        // Stitch: sub covers (f1, f+h1], bulk covers (f+h1, hi−h1] — exactly
+        // adjacent.
+        let f1 = sub_out.boundary;
+        let mut values = sub_out.reds.values;
+        values.extend_from_slice(&bulk_out.values);
+        cur = GreenLeftRow {
+            t: cur.t + h1,
+            boundary: f1,
+            hi: hi - h1 as i64,
+            reds: Segment::new(f1 + 1, values),
+        };
+        cur.assert_consistent();
+        remaining -= h1;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense reference over the full cone, max at every cell.
+    fn dense_solve<G: Fn(u64, i64) -> f64>(
+        kernel: &StencilKernel,
+        green: &G,
+        payoff: &dyn Fn(i64) -> f64,
+        t: i64,
+    ) -> f64 {
+        let w = kernel.weights().to_vec();
+        let mut cur: Vec<f64> = (-t..=t).map(payoff).collect();
+        for n in 1..=t {
+            let half = t - n;
+            let mut next = Vec::with_capacity((2 * half + 1) as usize);
+            for k in -half..=half {
+                let idx = (k + half + 1) as usize;
+                let lin = w[0] * cur[idx - 1] + w[1] * cur[idx] + w[2] * cur[idx + 1];
+                next.push(lin.max(green(n as u64, k)));
+            }
+            cur = next;
+        }
+        cur[0]
+    }
+
+    /// A genuine BSM-put instance (guarantees Thm 4.3's drift bound).
+    fn synthetic(
+        steps: i64,
+        s_base: f64,
+    ) -> (StencilKernel, impl Fn(u64, i64) -> f64 + Sync + Clone, impl Fn(i64) -> f64 + Clone)
+    {
+        let sigma2 = 0.04_f64; // sigma = 0.2
+        let rate = 0.03_f64;
+        let omega = 2.0 * rate / sigma2;
+        let tau_max = 0.5 * sigma2;
+        let d_tau = tau_max / steps as f64;
+        let d_s = (d_tau / 0.4).sqrt();
+        let diff = d_tau / (d_s * d_s);
+        let drift = (omega - 1.0) * d_tau / (2.0 * d_s);
+        let (a, b, c) = (diff + drift, diff - drift, 1.0 - omega * d_tau - 2.0 * diff);
+        assert!(a >= 0.0 && b >= 0.0 && c >= 0.0);
+        let kernel = StencilKernel::new(vec![b, c, a], -1);
+        let green = move |_t: u64, k: i64| 1.0 - (s_base + k as f64 * d_s).exp();
+        let payoff = move |k: i64| (1.0 - (s_base + k as f64 * d_s).exp()).max(0.0);
+        (kernel, green, payoff)
+    }
+
+    fn initial_row<G: Fn(u64, i64) -> f64>(
+        green: &G,
+        payoff: &dyn Fn(i64) -> f64,
+        t: i64,
+    ) -> GreenLeftRow {
+        // Boundary: last k with exercise >= 0 (green zone at expiry).
+        let mut f = -t - 1;
+        for k in -t..=t {
+            if green(0, k) >= 0.0 {
+                f = k;
+            }
+        }
+        let reds: Vec<f64> = ((f + 1)..=t).map(payoff).collect();
+        GreenLeftRow { t: 0, boundary: f, hi: t, reds: Segment::new(f + 1, reds) }
+    }
+
+    fn check(steps: i64, s_base: f64, cfg: &EngineConfig) {
+        let (kernel, green, payoff) = synthetic(steps, s_base);
+        let want = dense_solve(&kernel, &green, &payoff, steps);
+        let row = initial_row(&green, &payoff, steps);
+        let out = advance_green_left(&kernel, &green, &row, steps as u64, cfg);
+        assert_eq!(out.t, steps as u64);
+        assert_eq!(out.hi, 0);
+        let got = out.value_at(&green, 0);
+        assert!(
+            (got - want).abs() < 1e-10 * want.abs().max(1.0),
+            "steps={steps} s_base={s_base}: fast {got} vs dense {want}"
+        );
+    }
+
+    #[test]
+    fn matches_dense_at_the_money() {
+        let cfg = EngineConfig::default();
+        for steps in [1i64, 2, 5, 8, 9, 16, 33, 100, 257, 600] {
+            check(steps, 0.01, &cfg);
+        }
+    }
+
+    #[test]
+    fn matches_dense_in_and_out_of_the_money() {
+        let cfg = EngineConfig::default();
+        for s_base in [-0.6, -0.05, 0.0, 0.05, 0.6] {
+            check(300, s_base, &cfg);
+        }
+    }
+
+    #[test]
+    fn different_base_cutoffs_agree() {
+        for cutoff in [1u64, 4, 16, 64] {
+            let cfg = EngineConfig { base_cutoff: cutoff, ..EngineConfig::default() };
+            check(200, 0.02, &cfg);
+        }
+    }
+
+    #[test]
+    fn deep_itm_goes_all_green() {
+        // s_base << 0: exercise everywhere in the cone.
+        let (kernel, green, payoff) = synthetic(64, -50.0);
+        let row = initial_row(&green, &payoff, 64);
+        assert!(row.is_all_green());
+        let out = advance_green_left(&kernel, &green, &row, 64, &EngineConfig::default());
+        assert!(out.is_all_green());
+        assert_eq!(out.value_at(&green, 0), green(64, 0));
+    }
+
+    #[test]
+    fn moderately_otm_boundary_at_cone_edge() {
+        // Boundary just inside the cone: green values remain bounded, the
+        // engine contract holds, and the result matches the dense sweep.
+        let steps = 128i64;
+        let (kernel, green, payoff) = synthetic(steps, 0.4);
+        let row = initial_row(&green, &payoff, steps);
+        assert!(row.boundary >= -steps && row.boundary < 0);
+        let want = dense_solve(&kernel, &green, &payoff, steps);
+        let out = advance_green_left(&kernel, &green, &row, steps as u64, &EngineConfig::default());
+        let got = out.value_at(&green, 0);
+        assert!((got - want).abs() < 1e-10 * want.abs().max(1.0), "{got} vs {want}");
+    }
+
+    #[test]
+    fn boundary_matches_dense_tracking() {
+        let steps = 150i64;
+        // Compare mid-way: at the apex the cone has shrunk past the true
+        // boundary and the dense tracker can no longer see it.
+        let half_steps = (steps / 2) as u64;
+        let (kernel, green, payoff) = synthetic(steps, 0.015);
+        // Dense sweep tracking the last green column each row.
+        let w = kernel.weights().to_vec();
+        let mut cur: Vec<f64> = (-steps..=steps).map(&payoff).collect();
+        let mut dense_f = i64::MIN;
+        for n in 1..=half_steps as i64 {
+            let half = steps - n;
+            let mut next = Vec::with_capacity((2 * half + 1) as usize);
+            let mut fb = i64::MIN;
+            for k in -half..=half {
+                let idx = (k + half + 1) as usize;
+                let lin = w[0] * cur[idx - 1] + w[1] * cur[idx] + w[2] * cur[idx + 1];
+                let ex = green(n as u64, k);
+                if ex >= lin {
+                    fb = fb.max(k);
+                }
+                next.push(lin.max(ex));
+            }
+            cur = next;
+            dense_f = fb;
+        }
+        let row = initial_row(&green, &payoff, steps);
+        let out =
+            advance_green_left(&kernel, &green, &row, half_steps, &EngineConfig::default());
+        assert_eq!(out.boundary, dense_f);
+    }
+}

@@ -1,0 +1,501 @@
+//! Right-cone nonlinear stencil engine (§2.3 of the paper, generalised to
+//! any kernel anchored at offset 0 — σ = 2 covers BOPM, σ = 3 covers TOPM).
+//!
+//! Grid conventions (`t` counts steps *from expiry*, increasing as pricing
+//! walks backward in market time):
+//!
+//! * cell `(t+1, c)` depends on cells `(t, c), …, (t, c+σ−1)`;
+//! * red cells (linear update wins) occupy a prefix `[a, j_t]` of the row,
+//!   green cells (obstacle wins) the rest, and the boundary obeys
+//!   `j_t − 1 ≤ j_{t+1} ≤ j_t` (drifts left at most one column per step —
+//!   Cor. 2.7 / Cor. A.6).
+//!
+//! ### Premium space
+//! The engine stores the premium `δ(t,c) = G(t,c) − green(t,c)`, which is
+//! `0` exactly on green cells and bounded by a `T`-independent constant on
+//! red cells — raw grid values grow like `u^T`, and feeding that dynamic
+//! range to an FFT lets its *absolute* error (∝ the largest input) swamp the
+//! answer.  Because the obstacle is `α·φ + β` with `φ` an eigenfunction of
+//! the stencil (see [`super::ExpObstacle`]), advancing `h` purely linear
+//! steps in premium space costs one correlation plus a closed-form affine
+//! drift:
+//!
+//! `δ(t+h, c) = (L^h δ(t,·))(c) + a_h·φ(t+h, c) + b_h`.
+//!
+//! ### Certified-red prefix
+//! After `h` steps from a row with boundary `j`, output cell `c` is
+//! guaranteed red — with its entire dependency cone red as well, so the
+//! update is purely linear — if `c ≤ j − guard(h)` where
+//! `guard(h) = max(h, 1 + (σ−1)(h−1))` (`= h` for σ = 2, `= 2h−1` for σ = 3).
+//! Proof sketch: the cone of `(t+h, c)` at depth `m` reaches right to
+//! `c + (σ−1)(h−m)`, and the boundary at depth `m` is at least `j − m`;
+//! minimising over `m ∈ [1, h]` gives the bound.
+//!
+//! The engine advances the certified prefix with one FFT correlation and
+//! recurses on a boundary window of half height — the trapezoid
+//! decomposition of Fig. 3(b) — for `O(h log² h)` work and `O(h)` span
+//! (Theorem 2.8).
+
+use super::{EngineConfig, ExpObstacle, RedRow};
+use amopt_parallel::join;
+use amopt_stencil::{advance, Segment, StencilKernel};
+
+/// Width of the certified-red guard band after `h` steps for a kernel of
+/// span `σ−1`.
+#[inline]
+pub fn guard(span: usize, h: u64) -> i64 {
+    let h = h as i64;
+    let span = span as i64;
+    h.max(1 + span * (h - 1))
+}
+
+/// Premium values over absolute columns `[lo, hi]`: stored reds up to
+/// `boundary`, exact zeros beyond.
+fn build_premium_row(reds: &Segment, boundary: i64, lo: i64, hi: i64) -> Segment {
+    debug_assert!(lo >= reds.start, "requested columns below the stored window");
+    let mut values = Vec::with_capacity((hi - lo + 1).max(0) as usize);
+    for c in lo..=hi {
+        values.push(if c <= boundary { reds.get(c) } else { 0.0 });
+    }
+    Segment::new(lo, values)
+}
+
+/// Naive base case: advances the premium window one step at a time; the
+/// boundary is the last column whose linear candidate stays non-negative.
+fn base_naive<P>(
+    kernel: &StencilKernel,
+    obstacle: &ExpObstacle<P>,
+    row: &RedRow,
+    h: u64,
+) -> RedRow
+where
+    P: Fn(u64, i64) -> f64 + Sync,
+{
+    let a = row.reds.start;
+    let weights = kernel.weights();
+    let (da, db) = obstacle.drift_coeffs(1);
+    let mut vals = row.reds.values.clone();
+    let mut boundary = row.boundary;
+    let mut t = row.t;
+    for _ in 0..h {
+        if boundary < a {
+            // All-green window stays green under the monotone drift.
+            t += 1;
+            continue;
+        }
+        let t_next = t + 1;
+        let mut next = Vec::with_capacity((boundary - a + 1) as usize);
+        let mut new_boundary = a - 1;
+        for c in a..=boundary {
+            let mut lin = 0.0;
+            for (m, &w) in weights.iter().enumerate() {
+                let cc = c + m as i64;
+                if cc <= boundary {
+                    lin += w * vals[(cc - a) as usize];
+                }
+            }
+            let cand = lin + da * (obstacle.phi)(t_next, c) + db;
+            if cand >= 0.0 {
+                new_boundary = c;
+            }
+            next.push(cand.max(0.0));
+        }
+        next.truncate((new_boundary - a + 1).max(0) as usize);
+        vals = next;
+        boundary = new_boundary;
+        t = t_next;
+    }
+    RedRow { t, reds: Segment::new(a, vals), boundary }
+}
+
+/// Applies the closed-form drift to a freshly advanced premium segment.
+fn apply_drift<P>(seg: &mut Segment, obstacle: &ExpObstacle<P>, h: u64, t_out: u64)
+where
+    P: Fn(u64, i64) -> f64 + Sync,
+{
+    let (da, db) = obstacle.drift_coeffs(h);
+    let start = seg.start;
+    for (k, v) in seg.values.iter_mut().enumerate() {
+        *v += da * (obstacle.phi)(t_out, start + k as i64) + db;
+    }
+}
+
+/// Advances a [`RedRow`] by `h` steps of the nonlinear stencil
+/// `G_{t+1}[c] = max(Σ_m kernel[m]·G_t[c+m], green(t+1, c))`, working in
+/// premium space throughout.
+///
+/// Work `O(h log² h)`, span `O(h)` (Theorem 2.8).
+///
+/// # Panics
+/// If the kernel anchor is non-zero or it has fewer than two taps.
+pub fn advance_red_row<P>(
+    kernel: &StencilKernel,
+    obstacle: &ExpObstacle<P>,
+    row: &RedRow,
+    h: u64,
+    cfg: &EngineConfig,
+) -> RedRow
+where
+    P: Fn(u64, i64) -> f64 + Sync,
+{
+    assert_eq!(kernel.anchor(), 0, "right-cone engine requires anchor 0");
+    assert!(kernel.span() >= 1, "right-cone engine requires at least two taps");
+    row.assert_consistent();
+
+    let span = kernel.span();
+    let mut cur = row.clone();
+    let mut remaining = h;
+
+    while remaining > 0 {
+        if cur.is_all_green() {
+            // Green forever after (boundary never moves right).
+            cur.t += remaining;
+            break;
+        }
+        let a = cur.reds.start;
+        let j = cur.boundary;
+        let red_count = cur.red_count();
+
+        if remaining <= cfg.base_cutoff {
+            return base_naive(kernel, obstacle, &cur, remaining);
+        }
+
+        // Largest half-height whose boundary window still fits inside the
+        // stored red prefix.
+        let h1_cap = max_height_for_guard(span, red_count);
+        let h1 = (remaining / 2).min(h1_cap);
+        if h1 == 0 {
+            // Red window too narrow to split — advance a small chunk naively.
+            let step = remaining.min(cfg.base_cutoff.max(1));
+            cur = base_naive(kernel, obstacle, &cur, step);
+            remaining -= step;
+            continue;
+        }
+
+        let g1 = guard(span, h1);
+        let win_lo = j - g1 + 1;
+        debug_assert!(win_lo > a, "window start {win_lo} must lie above segment start {a}");
+
+        // Certified-red bulk: output [a, j − g1] needs input [a, j − g1 + (σ−1)h1].
+        let bulk_hi_in = j - g1 + (span as u64 * h1) as i64;
+        let bulk_input = build_premium_row(&cur.reds, j, a, bulk_hi_in);
+        let sub_row = RedRow { t: cur.t, reds: cur.reds.extract(win_lo, j), boundary: j };
+
+        let t_out = cur.t + h1;
+        let parallel = remaining >= cfg.sequential_below;
+        let bulk_task = || {
+            let mut out = advance(&bulk_input, kernel, h1, cfg.backend);
+            apply_drift(&mut out, obstacle, h1, t_out);
+            out
+        };
+        let sub_task = || advance_red_row(kernel, obstacle, &sub_row, h1, cfg);
+        let (bulk_out, sub_out) =
+            if parallel { join(bulk_task, sub_task) } else { (bulk_task(), sub_task()) };
+
+        debug_assert_eq!(bulk_out.start, a);
+        debug_assert_eq!(bulk_out.last_col(), j - g1);
+        debug_assert_eq!(sub_out.reds.start, win_lo);
+        debug_assert!(sub_out.boundary >= win_lo - 1 && sub_out.boundary <= j);
+
+        // Stitch: [a, j−g1] from the FFT bulk, (j−g1, j_mid] from the window.
+        // An all-green window reports boundary win_lo − 1 = j − g1, exactly
+        // the bulk's last column — consistent either way.
+        let mut vals = bulk_out.values;
+        vals.extend_from_slice(&sub_out.reds.values);
+        let boundary = sub_out.boundary.max(j - g1).min(j);
+        vals.truncate((boundary - a + 1).max(0) as usize);
+        cur = RedRow { t: t_out, reds: Segment::new(a, vals), boundary };
+        cur.assert_consistent();
+        remaining -= h1;
+    }
+    cur
+}
+
+/// Largest `h` with `guard(h) < red_count` (so the boundary window
+/// `[j − guard(h) + 1, j]` fits inside the stored red prefix).
+fn max_height_for_guard(span: usize, red_count: i64) -> u64 {
+    if red_count <= 1 {
+        return 0;
+    }
+    let by_h = red_count - 1; // h < red_count
+    let by_span = (red_count - 2) / span as i64 + 1; // 1 + span(h−1) ≤ red_count−1
+    by_h.min(by_span).max(0) as u64
+}
+
+/// Drives the engine from the known expiry row to the root and returns the
+/// **grid value** (premium + obstacle) of the cell `(total_steps, root_col)`.
+pub fn solve_to_root<P>(
+    kernel: &StencilKernel,
+    obstacle: &ExpObstacle<P>,
+    init: RedRow,
+    total_steps: u64,
+    root_col: i64,
+    cfg: &EngineConfig,
+) -> f64
+where
+    P: Fn(u64, i64) -> f64 + Sync,
+{
+    let remaining = total_steps - init.t;
+    let final_row = advance_red_row(kernel, obstacle, &init, remaining, cfg);
+    debug_assert_eq!(final_row.t, total_steps);
+    let green = obstacle.green(total_steps, root_col);
+    if root_col <= final_row.boundary && final_row.reds.contains(root_col) {
+        final_row.reds.get(root_col) + green
+    } else {
+        green
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amopt_stencil::Backend;
+
+    /// Reference solver in raw grid space: dense rows, explicit max per cell.
+    fn dense_solve<P: Fn(u64, i64) -> f64 + Sync>(
+        kernel: &StencilKernel,
+        obstacle: &ExpObstacle<P>,
+        init: &[f64],
+        steps: u64,
+    ) -> Vec<f64> {
+        let mut row = init.to_vec();
+        let span = kernel.span();
+        for t in 0..steps {
+            let next_len = row.len() - span;
+            let mut next = Vec::with_capacity(next_len);
+            for c in 0..next_len {
+                let lin: f64 = kernel
+                    .weights()
+                    .iter()
+                    .enumerate()
+                    .map(|(m, &w)| w * row[c + m])
+                    .sum();
+                next.push(lin.max(obstacle.green(t + 1, c as i64)));
+            }
+            row = next;
+        }
+        row
+    }
+
+    /// A synthetic obstacle problem with provably monotone boundary drift:
+    /// constants derived exactly like a genuine BOPM (span 1) or TOPM
+    /// (span 2) American call, for which Corollaries 2.7/A.6 guarantee the
+    /// red–green structure the engine relies on.
+    fn synthetic_problem(
+        steps: u64,
+        span: usize,
+    ) -> (StencilKernel, ExpObstacle<impl Fn(u64, i64) -> f64 + Sync + Clone>, Vec<f64>, i64)
+    {
+        let r_dt = 0.0005_f64;
+        let y_dt = 0.0010_f64;
+        let m = (-r_dt).exp();
+        let (kernel, alpha_exp) = match span {
+            1 => {
+                let alpha = 0.02_f64;
+                let u = alpha.exp();
+                let p = ((r_dt - y_dt).exp() - 1.0 / u) / (u - 1.0 / u);
+                assert!(p > 0.0 && p < 1.0);
+                (StencilKernel::new(vec![m * (1.0 - p), m * p], 0), alpha)
+            }
+            2 => {
+                let alpha = 0.04_f64;
+                let su = (alpha / 2.0).exp();
+                let sd = 1.0 / su;
+                let b = ((r_dt - y_dt) / 2.0).exp();
+                let pu = ((b - sd) / (su - sd)).powi(2);
+                let pd = ((su - b) / (su - sd)).powi(2);
+                let po = 1.0 - pu - pd;
+                assert!(pu > 0.0 && pd > 0.0 && po > 0.0);
+                (StencilKernel::new(vec![m * pd, m * po, m * pu], 0), alpha)
+            }
+            _ => unreachable!(),
+        };
+        // Node price in grid coordinates: u^{qc − i} with q = 2 (span 1)
+        // or q = 1 (span 2) and i = steps − t.
+        let q = if span == 1 { 2.0 } else { 1.0 };
+        let strike = (alpha_exp * 8.0).exp();
+        let phi = move |t: u64, c: i64| -> f64 {
+            let i = (steps - t) as f64;
+            (alpha_exp * (q * c as f64 - i)).exp()
+        };
+        // Eigenvalue: φ_t(c+m) = u^{q(c+m) − i}, φ_{t+1}(c) = u^{qc − i + 1},
+        // so λ = (Σ_m w_m u^{q·m}) / u — for the BOPM instance this is
+        // s0/u + s1·u = e^{−YΔt}, the identity from Lemma 2.2's proof.
+        let u_q = (alpha_exp * q).exp();
+        let lambda: f64 = kernel
+            .weights()
+            .iter()
+            .enumerate()
+            .map(|(mm, &w)| w * u_q.powi(mm as i32))
+            .sum::<f64>()
+            / alpha_exp.exp();
+        let obstacle = ExpObstacle::new(phi, &kernel, lambda, 1.0, -strike);
+
+        // Extended expiry row: value = max(0, green(0,c)); red prefix stores
+        // the premium −green ≥ 0.
+        let j0 = ((steps as f64 + 8.0) / q).floor() as i64;
+        let width = j0.max(0) + steps as i64 * span as i64 + 1;
+        let mut boundary = -1i64;
+        let mut init = Vec::with_capacity(width as usize);
+        for c in 0..width {
+            let g = obstacle.green(0, c);
+            if g <= 0.0 {
+                boundary = c;
+            }
+            init.push(g.max(0.0));
+        }
+        assert!(boundary <= j0);
+        (kernel, obstacle, init, boundary)
+    }
+
+    fn premium_row_from_init<P: Fn(u64, i64) -> f64 + Sync>(
+        obstacle: &ExpObstacle<P>,
+        init: &[f64],
+        boundary: i64,
+    ) -> RedRow {
+        let premiums: Vec<f64> = (0..=boundary.max(-1))
+            .map(|c| init[c as usize] - obstacle.green(0, c))
+            .collect();
+        RedRow { t: 0, reds: Segment::new(0, premiums), boundary }
+    }
+
+    fn check_matches_dense(steps: u64, span: usize, cfg: &EngineConfig) {
+        let (kernel, obstacle, init, j0) = synthetic_problem(steps, span);
+        let dense = dense_solve(&kernel, &obstacle, &init, steps);
+        let row = premium_row_from_init(&obstacle, &init, j0);
+        let got = solve_to_root(&kernel, &obstacle, row, steps, 0, cfg);
+        assert!(
+            (got - dense[0]).abs() < 1e-9 * dense[0].abs().max(1.0),
+            "steps={steps} span={span}: fast {got} vs dense {}",
+            dense[0]
+        );
+    }
+
+    #[test]
+    fn eigenvalue_identity_holds() {
+        // λ must satisfy L φ_t = λ φ_{t+1} for both synthetic kernels.
+        for span in [1usize, 2] {
+            let (kernel, obstacle, _, _) = synthetic_problem(64, span);
+            for (t, c) in [(0u64, 5i64), (3, 17), (10, 40)] {
+                let lhs: f64 = kernel
+                    .weights()
+                    .iter()
+                    .enumerate()
+                    .map(|(m, &w)| w * (obstacle.phi)(t, c + m as i64))
+                    .sum();
+                let rhs = obstacle.lambda * (obstacle.phi)(t + 1, c);
+                assert!(
+                    (lhs - rhs).abs() < 1e-12 * rhs.abs().max(1e-12),
+                    "span={span} t={t} c={c}: {lhs} vs {rhs}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binomial_like_matches_dense_across_sizes() {
+        let cfg = EngineConfig::default();
+        for steps in [1u64, 2, 5, 8, 9, 16, 33, 100, 257, 1000] {
+            check_matches_dense(steps, 1, &cfg);
+        }
+    }
+
+    #[test]
+    fn trinomial_like_matches_dense_across_sizes() {
+        let cfg = EngineConfig::default();
+        for steps in [1u64, 3, 8, 21, 64, 200, 513] {
+            check_matches_dense(steps, 2, &cfg);
+        }
+    }
+
+    #[test]
+    fn different_base_cutoffs_agree() {
+        for cutoff in [1u64, 4, 8, 32, 100] {
+            let cfg = EngineConfig { base_cutoff: cutoff, ..EngineConfig::default() };
+            check_matches_dense(300, 1, &cfg);
+            check_matches_dense(150, 2, &cfg);
+        }
+    }
+
+    #[test]
+    fn direct_taps_backend_agrees() {
+        let cfg = EngineConfig { backend: Backend::DirectTaps, ..EngineConfig::default() };
+        check_matches_dense(200, 1, &cfg);
+    }
+
+    #[test]
+    fn guard_formulas() {
+        assert_eq!(guard(1, 1), 1);
+        assert_eq!(guard(1, 10), 10);
+        assert_eq!(guard(2, 1), 1);
+        assert_eq!(guard(2, 10), 19);
+    }
+
+    #[test]
+    fn max_height_respects_guard() {
+        for span in [1usize, 2] {
+            for red_count in 1i64..200 {
+                let h = max_height_for_guard(span, red_count);
+                if h > 0 {
+                    assert!(guard(span, h) < red_count, "span={span} rc={red_count} h={h}");
+                    assert!(
+                        guard(span, h + 1) >= red_count,
+                        "span={span} rc={red_count}: h={h} not maximal"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_green_short_circuits() {
+        let kernel = StencilKernel::new(vec![0.5, 0.5], 0);
+        let obstacle =
+            ExpObstacle::new(|_t: u64, c: i64| 100.0 + c as f64, &kernel, 1.0, 1.0, 0.0);
+        let row = RedRow { t: 0, reds: Segment::new(0, vec![]), boundary: -1 };
+        let v = solve_to_root(&kernel, &obstacle, row, 50, 0, &EngineConfig::default());
+        assert_eq!(v, 100.0);
+    }
+
+    #[test]
+    fn boundary_position_matches_dense_reference() {
+        let steps = 120u64;
+        let (kernel, obstacle, init, j0) = synthetic_problem(steps, 1);
+        // Dense boundary tracking, asserting the ≤1 drift the engine needs.
+        let mut row = init.clone();
+        let mut dense_boundary = j0;
+        for t in 0..steps {
+            let mut next = Vec::with_capacity(row.len() - 1);
+            let mut b = -1i64;
+            for c in 0..row.len() - 1 {
+                let lin = kernel.weights()[0] * row[c] + kernel.weights()[1] * row[c + 1];
+                let ob = obstacle.green(t + 1, c as i64);
+                if lin >= ob {
+                    b = c as i64;
+                }
+                next.push(lin.max(ob));
+            }
+            row = next;
+            assert!(b <= dense_boundary && b >= dense_boundary - 1, "drift violated at t={t}");
+            dense_boundary = b;
+        }
+        let init_row = premium_row_from_init(&obstacle, &init, j0);
+        let out = advance_red_row(&kernel, &obstacle, &init_row, steps, &EngineConfig::default());
+        assert_eq!(out.t, steps);
+        assert_eq!(out.boundary, dense_boundary);
+    }
+
+    #[test]
+    fn premiums_stay_bounded_at_large_sizes() {
+        // The whole point of premium space: values stay O(strike) even when
+        // raw grid values reach u^steps ≫ 1e12.
+        let steps = 4096u64;
+        let (kernel, obstacle, init, j0) = synthetic_problem(steps, 1);
+        let row = premium_row_from_init(&obstacle, &init, j0);
+        let out = advance_red_row(&kernel, &obstacle, &row, steps, &EngineConfig::default());
+        let bound = -obstacle.beta * 4.0; // a few strikes
+        for &v in &out.reds.values {
+            assert!(v.is_finite() && v >= -1e-9 && v < bound, "premium {v} out of range");
+        }
+    }
+}

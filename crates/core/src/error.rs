@@ -1,0 +1,64 @@
+//! Error types for the pricing library.
+
+use std::fmt;
+
+/// Errors surfaced by model construction and pricing entry points.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PricingError {
+    /// A market/contract parameter is out of its admissible domain.
+    InvalidParams {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable constraint description.
+        reason: String,
+    },
+    /// The discretisation violates a stability or arbitrage condition
+    /// (e.g. binomial `p ∉ (0,1)` or BSM explicit-scheme coefficients < 0).
+    UnstableDiscretisation {
+        /// Description of the violated condition.
+        reason: String,
+    },
+    /// A root-finder (implied volatility) failed to converge.
+    NoConvergence {
+        /// What was being solved for.
+        what: &'static str,
+        /// Iterations spent before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for PricingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PricingError::InvalidParams { field, reason } => {
+                write!(f, "invalid parameter `{field}`: {reason}")
+            }
+            PricingError::UnstableDiscretisation { reason } => {
+                write!(f, "unstable discretisation: {reason}")
+            }
+            PricingError::NoConvergence { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PricingError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, PricingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = PricingError::InvalidParams { field: "spot", reason: "must be positive".into() };
+        assert!(e.to_string().contains("spot"));
+        let e = PricingError::UnstableDiscretisation { reason: "c < 0".into() };
+        assert!(e.to_string().contains("unstable"));
+        let e = PricingError::NoConvergence { what: "implied vol", iterations: 7 };
+        assert!(e.to_string().contains("7"));
+    }
+}

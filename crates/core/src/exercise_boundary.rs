@@ -1,0 +1,136 @@
+//! Early-exercise boundary extraction — the red–green divider of §2.2/§4.2
+//! surfaced as a user-facing curve in market coordinates.
+//!
+//! The critical asset price at time step `i` is the price at the first green
+//! (exercise-optimal) column of that row.  Both extractors reuse the fast
+//! engines' boundary tracking, so sampling the curve costs no more than one
+//! pricing pass.
+
+use crate::bopm::BopmModel;
+use crate::bsm::BsmModel;
+use crate::engine::EngineConfig;
+use crate::topm::TopmModel;
+use crate::params::OptionType;
+
+/// One sample of the early-exercise frontier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundaryPoint {
+    /// Market time step `i` (0 = valuation date, `T` = expiry).
+    pub time_step: usize,
+    /// Time from valuation in years.
+    pub time_years: f64,
+    /// Critical asset price: exercising is optimal at or beyond it
+    /// (beyond = above for calls, below for puts).  `None` when no
+    /// exercise region exists at that time step within the grid.
+    pub critical_price: Option<f64>,
+}
+
+/// Early-exercise frontier of an American **call** under BOPM.
+pub fn bopm_call_boundary(
+    model: &BopmModel,
+    cfg: &EngineConfig,
+    samples: usize,
+) -> Vec<BoundaryPoint> {
+    let t = model.steps();
+    let expiry = model.params().expiry;
+    let (_, raw) = crate::bopm::fast::price_with_boundary_samples(model, cfg, samples);
+    raw.into_iter()
+        .map(|(i, j)| BoundaryPoint {
+            time_step: i,
+            time_years: expiry * i as f64 / t as f64,
+            // First green column is j+1; a boundary at/over the triangle
+            // width means the whole row continues (no exercise region).
+            critical_price: (j < i as i64).then(|| model.node_price(i, j + 1)),
+        })
+        .collect()
+}
+
+/// Early-exercise frontier of an American **put** under the BSM explicit FD
+/// scheme.
+pub fn bsm_put_boundary(
+    model: &BsmModel,
+    cfg: &EngineConfig,
+    samples: usize,
+) -> Vec<BoundaryPoint> {
+    let t = model.steps();
+    let expiry = model.params().expiry;
+    let strike = model.params().strike;
+    let (_, raw) = crate::bsm::fast::price_with_boundary_samples(model, cfg, samples);
+    raw.into_iter()
+        .map(|(n, k)| {
+            // Engine row n counts from expiry; market step i = T − n.
+            let i = t - n;
+            BoundaryPoint {
+                time_step: i,
+                time_years: expiry * i as f64 / t as f64,
+                critical_price: (k >= -(t as i64 - n as i64))
+                    .then(|| strike * model.s_at(k).exp()),
+            }
+        })
+        .collect()
+}
+
+/// Early-exercise frontier of an American **call** under TOPM, via the dense
+/// reference sweep (the trinomial fast path does not track samples; this is
+/// `Θ(T²)` and intended for validation and plotting at moderate `T`).
+pub fn topm_call_boundary_dense(model: &TopmModel) -> Vec<BoundaryPoint> {
+    let t = model.steps();
+    let expiry = model.params().expiry;
+    let (_, raw) = crate::topm::naive::price_american_with_boundary(model, OptionType::Call);
+    raw.into_iter()
+        .enumerate()
+        .map(|(i, j)| BoundaryPoint {
+            time_step: i,
+            time_years: expiry * i as f64 / t as f64,
+            critical_price: (j < 2 * i as i64).then(|| model.node_price(i, j + 1)),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::OptionParams;
+
+    #[test]
+    fn call_boundary_sits_above_strike() {
+        // Exercising a call early is only optimal in the money.
+        let m = BopmModel::new(OptionParams::paper_defaults(), 1024).unwrap();
+        let pts = bopm_call_boundary(&m, &EngineConfig::default(), 16);
+        let mut seen = 0;
+        for p in &pts {
+            if let Some(price) = p.critical_price {
+                assert!(price >= m.params().strike, "critical {price} below strike");
+                seen += 1;
+            }
+        }
+        assert!(seen > 4, "expected a visible exercise region");
+    }
+
+    #[test]
+    fn put_boundary_sits_below_strike_and_decreases_with_tau() {
+        let p = OptionParams { dividend_yield: 0.0, ..OptionParams::paper_defaults() };
+        let m = BsmModel::new(p, 2048).unwrap();
+        let pts = bsm_put_boundary(&m, &EngineConfig::default(), 32);
+        // Points come expiry-first; Thm 4.2: the critical price decreases as
+        // time-to-expiry grows, and always sits below the strike.
+        let prices: Vec<f64> = pts.iter().filter_map(|p| p.critical_price).collect();
+        assert!(prices.len() > 4);
+        for w in prices.windows(2) {
+            assert!(w[1] <= w[0] * (1.0 + 1e-9), "boundary not decreasing in tau: {w:?}");
+        }
+        for &x in &prices {
+            assert!(x <= m.params().strike * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn trinomial_boundary_critical_prices_above_strike() {
+        let p = OptionParams::paper_defaults();
+        let tri = TopmModel::new(p, 400).unwrap();
+        let pts = topm_call_boundary_dense(&tri);
+        for pt in pts.iter().filter(|p| p.critical_price.is_some()) {
+            assert!(pt.critical_price.unwrap() >= p.strike * 0.999);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Greeks (price sensitivities) for American options, computed by central
+//! finite differences over the fast pricers — cheap because each repricing
+//! is only `O(T log² T)`.
+
+use crate::bopm::{fast, BopmModel};
+use crate::bsm::{self, BsmModel};
+use crate::engine::EngineConfig;
+use crate::error::Result;
+use crate::params::OptionParams;
+
+/// First- and second-order sensitivities of an option price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Greeks {
+    /// `∂V/∂S`.
+    pub delta: f64,
+    /// `∂²V/∂S²`.
+    pub gamma: f64,
+    /// `∂V/∂t` per year (negative of the sensitivity to time-to-expiry).
+    pub theta: f64,
+    /// `∂V/∂σ` per unit volatility.
+    pub vega: f64,
+    /// `∂V/∂R` per unit rate.
+    pub rho: f64,
+}
+
+/// Relative bump sizes used by the central differences.
+///
+/// The spot bump is deliberately wide (1%): a `T`-step lattice price is
+/// *piecewise linear* in `S` (the payoff kinks sit on lattice nodes), so a
+/// bump much narrower than the node spacing `S·(u²−1) ≈ 2SVΔt^{1/2}` lands
+/// inside one linear piece and reads a gamma of exactly zero.
+const BUMP_SPOT: f64 = 1e-2;
+const BUMP_VOL: f64 = 1e-4;
+const BUMP_RATE: f64 = 1e-5;
+const BUMP_TIME: f64 = 1e-4;
+
+fn central<F: FnMut(f64) -> Result<f64>>(x: f64, h: f64, mut price: F) -> Result<(f64, f64, f64)> {
+    let up = price(x + h)?;
+    let mid = price(x)?;
+    let dn = price(x - h)?;
+    Ok(((up - dn) / (2.0 * h), (up - 2.0 * mid + dn) / (h * h), mid))
+}
+
+/// Greeks of the American **call** under BOPM (fast pricer).
+pub fn american_call_bopm(params: &OptionParams, steps: usize, cfg: &EngineConfig) -> Result<Greeks> {
+    let params = params.validated()?;
+    let reprice = |p: OptionParams| -> Result<f64> {
+        Ok(fast::price_american_call(&BopmModel::new(p, steps)?, cfg))
+    };
+    greeks_by_fd(params, reprice)
+}
+
+/// Greeks of the American **put** under the BSM explicit FD scheme.
+pub fn american_put_bsm(params: &OptionParams, steps: usize, cfg: &EngineConfig) -> Result<Greeks> {
+    let params = params.validated()?;
+    let reprice = |p: OptionParams| -> Result<f64> {
+        Ok(bsm::fast::price_american_put(&BsmModel::new(p, steps)?, cfg))
+    };
+    greeks_by_fd(params, reprice)
+}
+
+fn greeks_by_fd<F: Fn(OptionParams) -> Result<f64>>(
+    params: OptionParams,
+    reprice: F,
+) -> Result<Greeks> {
+    let hs = params.spot * BUMP_SPOT;
+    let (delta, gamma, _) =
+        central(params.spot, hs, |s| reprice(OptionParams { spot: s, ..params }))?;
+    let hv = params.volatility.max(0.05) * BUMP_VOL;
+    let up = reprice(OptionParams { volatility: params.volatility + hv, ..params })?;
+    let dn = reprice(OptionParams { volatility: params.volatility - hv, ..params })?;
+    let vega = (up - dn) / (2.0 * hv);
+    let hr = BUMP_RATE;
+    let r_up = reprice(OptionParams { rate: params.rate + hr, ..params })?;
+    let r_dn = reprice(OptionParams { rate: (params.rate - hr).max(0.0), ..params })?;
+    let rho = (r_up - r_dn) / (hr + (params.rate - (params.rate - hr).max(0.0)));
+    let ht = params.expiry * BUMP_TIME;
+    let e_up = reprice(OptionParams { expiry: params.expiry + ht, ..params })?;
+    let e_dn = reprice(OptionParams { expiry: params.expiry - ht, ..params })?;
+    // θ is the derivative with respect to calendar time = −∂V/∂(expiry).
+    let theta = -(e_up - e_dn) / (2.0 * ht);
+    Ok(Greeks { delta, gamma, theta, vega, rho })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic;
+    use crate::params::OptionType;
+
+    #[test]
+    fn zero_dividend_call_matches_black_scholes_greeks() {
+        // With Y = 0 the American call is European, so the lattice greeks
+        // must approach the closed-form ones.
+        let p = OptionParams { dividend_yield: 0.0, ..OptionParams::paper_defaults() };
+        let g = american_call_bopm(&p, 6000, &EngineConfig::default()).unwrap();
+        let delta = analytic::black_scholes_delta(&p, OptionType::Call).unwrap();
+        let vega = analytic::black_scholes_vega(&p).unwrap();
+        assert!((g.delta - delta).abs() < 5e-3, "delta {} vs {}", g.delta, delta);
+        assert!((g.vega - vega).abs() < 0.5, "vega {} vs {}", g.vega, vega);
+        assert!(g.gamma > 0.0, "gamma must be positive, got {}", g.gamma);
+        assert!(g.theta < 0.0, "long option loses value over time, got {}", g.theta);
+    }
+
+    #[test]
+    fn call_delta_in_unit_range_and_put_delta_negative() {
+        let p = OptionParams::paper_defaults();
+        let g = american_call_bopm(&p, 2000, &EngineConfig::default()).unwrap();
+        assert!(g.delta > 0.0 && g.delta < 1.0, "call delta {}", g.delta);
+
+        let put_params = OptionParams { dividend_yield: 0.0, ..p };
+        let gp = american_put_bsm(&put_params, 2000, &EngineConfig::default()).unwrap();
+        assert!(gp.delta < 0.0 && gp.delta > -1.0, "put delta {}", gp.delta);
+        assert!(gp.vega > 0.0, "put vega {}", gp.vega);
+        assert!(gp.rho < 0.0, "put rho should be negative, got {}", gp.rho);
+    }
+
+    #[test]
+    fn american_put_theta_nonpositive() {
+        let p = OptionParams { dividend_yield: 0.0, ..OptionParams::paper_defaults() };
+        let g = american_put_bsm(&p, 1500, &EngineConfig::default()).unwrap();
+        assert!(g.theta <= 1e-6, "theta {}", g.theta);
+    }
+}

@@ -1,0 +1,165 @@
+//! Implied volatility: invert a pricer for the volatility that reproduces an
+//! observed market price.
+//!
+//! European quotes use Newton's method on the Black–Scholes closed form
+//! (quadratic convergence, analytic vega) with a bisection fallback;
+//! American quotes bisect over the fast lattice pricer — each probe is
+//! `O(T log² T)`, so the whole inversion is a few dozen milliseconds even at
+//! large `T`.
+
+use crate::analytic::{black_scholes_price, black_scholes_vega};
+use crate::bopm::{fast, BopmModel};
+use crate::engine::EngineConfig;
+use crate::error::{PricingError, Result};
+use crate::params::{OptionParams, OptionType};
+
+/// Volatility search interval.
+const VOL_LO: f64 = 1e-4;
+const VOL_HI: f64 = 5.0;
+const PRICE_TOL: f64 = 1e-10;
+const MAX_ITERS: usize = 200;
+
+/// Implied volatility of a **European** option from its market price.
+pub fn european(params: &OptionParams, opt: OptionType, market_price: f64) -> Result<f64> {
+    let params = params.validated()?;
+    let price_at = |vol: f64| -> Result<f64> {
+        black_scholes_price(&OptionParams { volatility: vol, ..params }, opt)
+    };
+    // Arbitrage bounds: the price must lie between the zero-vol and
+    // huge-vol limits.
+    let lo_p = price_at(VOL_LO)?;
+    let hi_p = price_at(VOL_HI)?;
+    if market_price < lo_p - 1e-12 || market_price > hi_p + 1e-12 {
+        return Err(PricingError::InvalidParams {
+            field: "market_price",
+            reason: format!(
+                "price {market_price} outside attainable range [{lo_p:.6}, {hi_p:.6}]"
+            ),
+        });
+    }
+    // Newton from a mid-range start, guarded by a bisection bracket.
+    let (mut lo, mut hi) = (VOL_LO, VOL_HI);
+    let mut vol = 0.3;
+    for iter in 0..MAX_ITERS {
+        let p = price_at(vol)?;
+        let diff = p - market_price;
+        if diff.abs() < PRICE_TOL {
+            return Ok(vol);
+        }
+        if diff > 0.0 {
+            hi = vol;
+        } else {
+            lo = vol;
+        }
+        let vega = black_scholes_vega(&OptionParams { volatility: vol, ..params })?;
+        let newton = vol - diff / vega;
+        vol = if vega > 1e-12 && newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        if hi - lo < 1e-14 {
+            return Ok(vol);
+        }
+        let _ = iter;
+    }
+    Err(PricingError::NoConvergence { what: "European implied volatility", iterations: MAX_ITERS })
+}
+
+/// Implied volatility of an **American call** from its market price, by
+/// bisection over the fast BOPM pricer.
+pub fn american_call_bopm(
+    params: &OptionParams,
+    steps: usize,
+    market_price: f64,
+    cfg: &EngineConfig,
+) -> Result<f64> {
+    let params = params.validated()?;
+    let price_at = |vol: f64| -> Result<f64> {
+        let m = BopmModel::new(OptionParams { volatility: vol, ..params }, steps)?;
+        Ok(fast::price_american_call(&m, cfg))
+    };
+    // The lattice itself is only constructible when V·√Δt dominates
+    // |R−Y|·Δt (risk-neutral p ∈ (0,1)); walk the lower bracket up to the
+    // first valid volatility.
+    let mut lo = VOL_LO;
+    let p_lo = loop {
+        match price_at(lo) {
+            Ok(p) => break p,
+            Err(PricingError::UnstableDiscretisation { .. }) if lo < VOL_HI => lo *= 2.0,
+            Err(e) => return Err(e),
+        }
+    };
+    let mut hi = VOL_HI;
+    let p_hi = price_at(hi)?;
+    if market_price < p_lo - 1e-9 || market_price > p_hi + 1e-9 {
+        return Err(PricingError::InvalidParams {
+            field: "market_price",
+            reason: format!(
+                "price {market_price} outside attainable range [{p_lo:.6}, {p_hi:.6}]"
+            ),
+        });
+    }
+    for _ in 0..MAX_ITERS {
+        let mid = 0.5 * (lo + hi);
+        let p = price_at(mid)?;
+        if (p - market_price).abs() < PRICE_TOL || hi - lo < 1e-12 {
+            return Ok(mid);
+        }
+        if p > market_price {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Err(PricingError::NoConvergence { what: "American implied volatility", iterations: MAX_ITERS })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn european_roundtrip() {
+        let p = OptionParams::paper_defaults();
+        for opt in [OptionType::Call, OptionType::Put] {
+            for true_vol in [0.08, 0.2, 0.55] {
+                let quoted = black_scholes_price(
+                    &OptionParams { volatility: true_vol, ..p },
+                    opt,
+                )
+                .unwrap();
+                let got = european(&p, opt, quoted).unwrap();
+                assert!((got - true_vol).abs() < 1e-7, "{opt:?} σ={true_vol}: got {got}");
+            }
+        }
+    }
+
+    #[test]
+    fn american_roundtrip() {
+        let p = OptionParams::paper_defaults();
+        let cfg = EngineConfig::default();
+        for true_vol in [0.12, 0.3] {
+            let m = BopmModel::new(OptionParams { volatility: true_vol, ..p }, 800).unwrap();
+            let quoted = fast::price_american_call(&m, &cfg);
+            let got = american_call_bopm(&p, 800, quoted, &cfg).unwrap();
+            assert!((got - true_vol).abs() < 1e-6, "σ={true_vol}: got {got}");
+        }
+    }
+
+    #[test]
+    fn rejects_unattainable_prices() {
+        let p = OptionParams::paper_defaults();
+        assert!(european(&p, OptionType::Call, -1.0).is_err());
+        assert!(european(&p, OptionType::Call, p.spot * 10.0).is_err());
+        assert!(american_call_bopm(&p, 200, -5.0, &EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn monotone_in_market_price() {
+        let p = OptionParams::paper_defaults();
+        let q1 = european(&p, OptionType::Call, 5.0).unwrap();
+        let q2 = european(&p, OptionType::Call, 9.0).unwrap();
+        assert!(q2 > q1);
+    }
+}

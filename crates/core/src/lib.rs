@@ -1,0 +1,32 @@
+//! # amopt-core — American option pricing via nonlinear stencils
+//!
+//! Rust reproduction of *Fast American Option Pricing using Nonlinear
+//! Stencils* (Ahmad, Browne, Chowdhury, Das, Huang, Zhu — PPoPP 2024).
+//!
+//! Three pricing problems, each with a `Θ(T²)`-work reference family and the
+//! paper's `O(T log² T)`-work / `O(T)`-span FFT trapezoid algorithm:
+//!
+//! * [`bopm`] — American **call**, binomial lattice (§2);
+//! * [`topm`] — American **call**, trinomial lattice (§3, App. A);
+//! * [`bsm`]  — American **put**, Black–Scholes–Merton explicit finite
+//!   difference (§4).
+//!
+//! The shared machinery lives in [`engine`] (the nonlinear-stencil trapezoid
+//! decomposition) on top of `amopt-stencil`/`amopt-fft` (the linear FFT
+//! stencil substrate).  [`analytic`] provides closed-form European oracles.
+
+pub mod analytic;
+pub mod bermudan;
+pub mod bopm;
+pub mod bsm;
+pub mod engine;
+pub mod error;
+pub mod exercise_boundary;
+pub mod greeks;
+pub mod implied_vol;
+pub mod params;
+pub mod topm;
+
+pub use engine::EngineConfig;
+pub use error::{PricingError, Result};
+pub use params::{ExerciseStyle, OptionParams, OptionType};

@@ -1,0 +1,143 @@
+//! Market and contract parameters (Table 1 of the paper).
+
+use crate::error::{PricingError, Result};
+
+/// Call or put.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptionType {
+    /// Right to buy at the strike.
+    Call,
+    /// Right to sell at the strike.
+    Put,
+}
+
+impl OptionType {
+    /// Intrinsic (exercise) value at asset price `s` and strike `k`.
+    #[inline]
+    pub fn payoff(self, s: f64, k: f64) -> f64 {
+        match self {
+            OptionType::Call => (s - k).max(0.0),
+            OptionType::Put => (k - s).max(0.0),
+        }
+    }
+}
+
+/// Exercise style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExerciseStyle {
+    /// Exercisable only at expiry.
+    European,
+    /// Exercisable at any time up to expiry.
+    American,
+}
+
+/// Market/contract parameters, following Table 1 of the paper.
+///
+/// All rates are annualised with continuous compounding; `expiry` is in
+/// years.  The paper's experiments use `E = 252` trading days ≙ one year,
+/// i.e. [`OptionParams::paper_defaults`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OptionParams {
+    /// Current asset price `S`.
+    pub spot: f64,
+    /// Strike price `K`.
+    pub strike: f64,
+    /// Risk-free rate `R`.
+    pub rate: f64,
+    /// Volatility `V`.
+    pub volatility: f64,
+    /// Continuous dividend yield `Y`.
+    pub dividend_yield: f64,
+    /// Time to expiry `E`, in years.
+    pub expiry: f64,
+}
+
+impl OptionParams {
+    /// Validates every field; returns `self` for chaining.
+    pub fn validated(self) -> Result<Self> {
+        fn positive(field: &'static str, v: f64) -> Result<()> {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(PricingError::InvalidParams {
+                    field,
+                    reason: format!("must be a positive finite number, got {v}"),
+                });
+            }
+            Ok(())
+        }
+        positive("spot", self.spot)?;
+        positive("strike", self.strike)?;
+        positive("volatility", self.volatility)?;
+        positive("expiry", self.expiry)?;
+        for (field, v) in [("rate", self.rate), ("dividend_yield", self.dividend_yield)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(PricingError::InvalidParams {
+                    field,
+                    reason: format!("must be a non-negative finite number, got {v}"),
+                });
+            }
+        }
+        Ok(self)
+    }
+
+    /// The fixed parameter set used throughout §5 of the paper:
+    /// `E = 252` days (1 trading year), `K = 130`, `S = 127.62`,
+    /// `R = 0.00163`, `V = 0.2`, `Y = 0.0163`.
+    pub fn paper_defaults() -> Self {
+        OptionParams {
+            spot: 127.62,
+            strike: 130.0,
+            rate: 0.00163,
+            volatility: 0.2,
+            dividend_yield: 0.0163,
+            expiry: 1.0,
+        }
+    }
+
+    /// Per-step interval for a `steps`-step lattice.
+    #[inline]
+    pub fn dt(&self, steps: usize) -> f64 {
+        self.expiry / steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_validate() {
+        assert!(OptionParams::paper_defaults().validated().is_ok());
+    }
+
+    #[test]
+    fn rejects_nonpositive_spot() {
+        let p = OptionParams { spot: 0.0, ..OptionParams::paper_defaults() };
+        assert!(matches!(p.validated(), Err(PricingError::InvalidParams { field: "spot", .. })));
+    }
+
+    #[test]
+    fn rejects_negative_rate() {
+        let p = OptionParams { rate: -0.01, ..OptionParams::paper_defaults() };
+        assert!(p.validated().is_err());
+    }
+
+    #[test]
+    fn rejects_nan_vol() {
+        let p = OptionParams { volatility: f64::NAN, ..OptionParams::paper_defaults() };
+        assert!(p.validated().is_err());
+    }
+
+    #[test]
+    fn payoff_call_put() {
+        assert_eq!(OptionType::Call.payoff(110.0, 100.0), 10.0);
+        assert_eq!(OptionType::Call.payoff(90.0, 100.0), 0.0);
+        assert_eq!(OptionType::Put.payoff(90.0, 100.0), 10.0);
+        assert_eq!(OptionType::Put.payoff(110.0, 100.0), 0.0);
+    }
+
+    #[test]
+    fn dt_divides_expiry() {
+        let p = OptionParams::paper_defaults();
+        assert!((p.dt(252) - 1.0 / 252.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,75 @@
+//! European trinomial pricing in `O(T log T)` — one correlation of the
+//! (bounded) put payoff row with `kernel^{⊛T}`, calls via exact lattice
+//! put–call parity (see `bopm::european` for the dynamic-range rationale).
+
+use super::TopmModel;
+use crate::params::OptionType;
+use amopt_fft::correlate_power_valid;
+
+/// European option price via one FFT pass over the payoff row.
+pub fn price_european_fft(model: &TopmModel, opt: OptionType) -> f64 {
+    let put = price_put(model);
+    match opt {
+        OptionType::Put => put,
+        OptionType::Call => {
+            let t = model.steps() as u64;
+            let (s0, s1, s2) = model.weights();
+            let mu = s0 + s1 + s2;
+            let fwd = model.params().spot * pow_u(model.lambda(), t)
+                - model.params().strike * pow_u(mu, t);
+            put + fwd
+        }
+    }
+}
+
+#[inline]
+fn pow_u(base: f64, h: u64) -> f64 {
+    debug_assert!(base > 0.0);
+    (h as f64 * base.ln()).exp()
+}
+
+fn price_put(model: &TopmModel) -> f64 {
+    let t = model.steps();
+    let strike = model.params().strike;
+    let payoff: Vec<f64> = (0..=2 * t as i64)
+        .map(|j| OptionType::Put.payoff(model.node_price(t, j), strike))
+        .collect();
+    if t == 0 {
+        return payoff[0];
+    }
+    let kernel = model.kernel();
+    let out = correlate_power_valid(&payoff, kernel.weights(), t as u64);
+    debug_assert_eq!(out.len(), 1);
+    out[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ExerciseStyle, OptionParams};
+    use crate::topm::naive::{self, ExecMode};
+
+    #[test]
+    fn matches_naive_european() {
+        for steps in [1usize, 2, 37, 252, 1500] {
+            let m = TopmModel::new(OptionParams::paper_defaults(), steps).unwrap();
+            for opt in [OptionType::Call, OptionType::Put] {
+                let want = naive::price(&m, opt, ExerciseStyle::European, ExecMode::Serial);
+                let got = price_european_fft(&m, opt);
+                assert!(
+                    (got - want).abs() < 1e-9 * want.abs().max(1.0),
+                    "steps={steps} {opt:?}: fft {got} vs naive {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stays_accurate_at_large_t() {
+        let p = OptionParams::paper_defaults();
+        let bs = crate::analytic::black_scholes_price(&p, OptionType::Call).unwrap();
+        let m = TopmModel::new(p, 30_000).unwrap();
+        let v = price_european_fft(&m, OptionType::Call);
+        assert!((v - bs).abs() < 1e-3, "{v} vs {bs}");
+    }
+}

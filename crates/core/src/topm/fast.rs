@@ -1,0 +1,176 @@
+//! The paper's fast TOPM pricer: American call in `O(T log² T)` work and
+//! `O(T)` span (§3 / Appendix A.3), via the same right-cone engine as BOPM —
+//! only the kernel (three taps, cone slope 2) and the node function differ.
+//!
+//! The extended-grid / first-backward-step treatment mirrors
+//! [`crate::bopm::fast`]: row `T−1` is materialised from the payoff closed
+//! form with a bracketed boundary search, and `Y = 0` short-circuits to the
+//! European FFT pass.
+
+use super::european::price_european_fft;
+use super::TopmModel;
+use crate::engine::right_cone::solve_to_root;
+use crate::engine::{EngineConfig, ExpObstacle, RedRow};
+use crate::params::OptionType;
+use amopt_stencil::Segment;
+
+/// Obstacle spec for the American call: `green(t, c) = φ(t, c) − K` with
+/// `φ(t, c) = S·u^{c − (T−t)}` and `L φ_t = e^{−YΔt} φ_{t+1}`
+/// (exact by the trinomial first-moment identity, see the module docs of
+/// [`super`]).
+fn call_obstacle(model: &TopmModel) -> ExpObstacle<impl Fn(u64, i64) -> f64 + Sync + '_> {
+    let t_total = model.steps();
+    let phi = move |t: u64, c: i64| model.node_price(t_total - t as usize, c);
+    ExpObstacle::new(phi, &model.kernel(), model.lambda(), 1.0, -model.params().strike)
+}
+
+/// Continuation value of a row-`T−1` cell, straight from the payoff row.
+#[inline]
+fn first_step_continuation(model: &TopmModel, j: i64) -> f64 {
+    let t = model.steps();
+    let (s0, s1, s2) = model.weights();
+    s0 * model.exercise_call(t, j).max(0.0)
+        + s1 * model.exercise_call(t, j + 1).max(0.0)
+        + s2 * model.exercise_call(t, j + 2).max(0.0)
+}
+
+/// Premium of cell `(T−1, j)`; red iff `≥ 0`.
+#[inline]
+fn first_step_premium(model: &TopmModel, j: i64) -> f64 {
+    first_step_continuation(model, j) - model.exercise_call(model.steps() - 1, j)
+}
+
+#[inline]
+fn first_step_red(model: &TopmModel, j: i64) -> bool {
+    first_step_premium(model, j) >= 0.0
+}
+
+/// Builds row `T−1` (engine time `t = 1`) with a bracketed-binary-search
+/// boundary (single crossing holds at `T−1` by Lemma A.1's induction).
+fn first_step_row(model: &TopmModel) -> RedRow {
+    let start = model.leaf_call_boundary().max(0);
+    let (mut lo, mut hi);
+    if first_step_red(model, start) {
+        lo = start;
+        hi = start + 1;
+        let mut step = 1i64;
+        while first_step_red(model, hi) {
+            lo = hi;
+            hi += step;
+            step *= 2;
+        }
+    } else {
+        hi = start;
+        lo = start - 1;
+        let mut step = 1i64;
+        while lo >= 0 && !first_step_red(model, lo) {
+            hi = lo;
+            lo -= step;
+            step *= 2;
+        }
+        lo = lo.max(-1);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if first_step_red(model, mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let premiums: Vec<f64> = (0..=lo).map(|j| first_step_premium(model, j)).collect();
+    RedRow { t: 1, reds: Segment::new(0, premiums), boundary: lo }
+}
+
+/// American call price via the FFT trapezoid decomposition
+/// (`fft-topm` in the paper's plots).
+pub fn price_american_call(model: &TopmModel, cfg: &EngineConfig) -> f64 {
+    if model.params().dividend_yield == 0.0 {
+        return price_european_fft(model, OptionType::Call);
+    }
+    let t_total = model.steps() as u64;
+    let row = first_step_row(model);
+    if row.is_all_green() {
+        return model.exercise_call(0, 0);
+    }
+    let obstacle = call_obstacle(model);
+    solve_to_root(&model.kernel(), &obstacle, row, t_total, 0, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{ExerciseStyle, OptionParams};
+    use crate::topm::naive::{self, ExecMode};
+
+    fn assert_matches_naive(params: OptionParams, steps: usize, tol: f64) {
+        let m = TopmModel::new(params, steps).unwrap();
+        let want = naive::price(&m, OptionType::Call, ExerciseStyle::American, ExecMode::Serial);
+        let got = price_american_call(&m, &EngineConfig::default());
+        assert!(
+            (got - want).abs() <= tol * want.abs().max(1.0),
+            "steps={steps}: fft {got} vs naive {want}"
+        );
+    }
+
+    #[test]
+    fn matches_naive_paper_params() {
+        for steps in [1usize, 2, 3, 7, 8, 9, 50, 252, 1000, 2500] {
+            assert_matches_naive(OptionParams::paper_defaults(), steps, 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_naive_at_large_t() {
+        assert_matches_naive(OptionParams::paper_defaults(), 10_000, 1e-9);
+    }
+
+    #[test]
+    fn matches_naive_across_moneyness() {
+        let base = OptionParams::paper_defaults();
+        for spot in [60.0, 110.0, 129.5, 131.0, 250.0] {
+            assert_matches_naive(OptionParams { spot, ..base }, 400, 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_vol_and_rates() {
+        let base = OptionParams::paper_defaults();
+        for vol in [0.08, 0.2, 0.5] {
+            for (rate, div) in [(0.0, 0.0163), (0.05, 0.02), (0.001, 0.07), (0.07, 0.004)] {
+                let p = OptionParams { volatility: vol, rate, dividend_yield: div, ..base };
+                assert_matches_naive(p, 300, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_dividend_equals_european() {
+        let p = OptionParams { dividend_yield: 0.0, ..OptionParams::paper_defaults() };
+        assert_matches_naive(p, 600, 1e-9);
+    }
+
+    #[test]
+    fn deep_itm_immediate_exercise() {
+        let p = OptionParams {
+            spot: 5_000.0,
+            strike: 10.0,
+            dividend_yield: 0.2,
+            ..OptionParams::paper_defaults()
+        };
+        assert_matches_naive(p, 128, 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_binomial_model() {
+        // Both lattices approximate the same continuous model; at moderate T
+        // their American call prices should agree to discretisation error.
+        let p = OptionParams::paper_defaults();
+        let tri = TopmModel::new(p, 2000).unwrap();
+        let bin = crate::bopm::BopmModel::new(p, 2000).unwrap();
+        let v_tri = price_american_call(&tri, &EngineConfig::default());
+        let v_bin =
+            crate::bopm::fast::price_american_call(&bin, &EngineConfig::default());
+        assert!((v_tri - v_bin).abs() < 5e-3 * v_bin, "tri {v_tri} vs bin {v_bin}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Bluestein (chirp-z) algorithm: DFT of arbitrary length via one
+//! power-of-two cyclic convolution.
+//!
+//! Needed by the periodic-grid linear-stencil algorithm of Ahmad et al.
+//! (reference \[1\] of the paper), whose grids are sized by the problem, not by
+//! powers of two.  Identity used:
+//!
+//! `X_k = c_k · Σ_n (x_n c_n) · conj(c_{k−n})`, with chirp
+//! `c_m = e^{-iπ m² / N}`.
+//!
+//! The quadratic phase `m²` is reduced modulo `2N` in exact integer
+//! arithmetic before the sine/cosine evaluation, otherwise the phase loses
+//! all precision once `m² > 2⁵³`.
+
+use crate::complex::Complex64;
+use crate::radix2::{self, Direction};
+
+/// Chirp factor `e^{-iπ m²/N}` with exact modular phase reduction.
+fn chirp(m: usize, n: usize) -> Complex64 {
+    let m2 = (m as u128 * m as u128) % (2 * n as u128);
+    Complex64::cis(-std::f64::consts::PI * m2 as f64 / n as f64)
+}
+
+/// Out-of-place DFT of arbitrary length.
+pub fn dft(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n.is_power_of_two() {
+        let mut buf = x.to_vec();
+        radix2::plan(n).transform(&mut buf, dir);
+        return buf;
+    }
+    match dir {
+        Direction::Forward => bluestein_forward(x),
+        Direction::Inverse => {
+            // ifft(x) = conj(fft(conj(x))) / n
+            let conj_in: Vec<Complex64> = x.iter().map(|v| v.conj()).collect();
+            let mut out = bluestein_forward(&conj_in);
+            let scale = 1.0 / n as f64;
+            for v in out.iter_mut() {
+                *v = v.conj().scale(scale);
+            }
+            out
+        }
+    }
+}
+
+fn bluestein_forward(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    let m = radix2::next_pow2(2 * n - 1);
+    let plan = radix2::plan(m);
+
+    // a = x ⊙ chirp, zero-padded.
+    let mut a = vec![Complex64::ZERO; m];
+    for (i, &v) in x.iter().enumerate() {
+        a[i] = v * chirp(i, n);
+    }
+
+    // b = conj(chirp) arranged cyclically so that b[(k - n') mod m] = conj(c_{k-n'}).
+    let mut b = vec![Complex64::ZERO; m];
+    b[0] = chirp(0, n).conj();
+    for i in 1..n {
+        let c = chirp(i, n).conj();
+        b[i] = c;
+        b[m - i] = c;
+    }
+
+    plan.forward(&mut a);
+    plan.forward(&mut b);
+    for (av, bv) in a.iter_mut().zip(&b) {
+        *av = *av * *bv;
+    }
+    plan.inverse(&mut a);
+
+    (0..n).map(|k| chirp(k, n) * a[k]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    fn dft_naive(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+        let n = x.len();
+        let sign = if dir == Direction::Forward { -1.0 } else { 1.0 };
+        let mut out = vec![Complex64::ZERO; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                let theta = sign * 2.0 * std::f64::consts::PI * ((j * k) % n) as f64 / n as f64;
+                acc += v * Complex64::cis(theta);
+            }
+            *o = if dir == Direction::Inverse { acc.scale(1.0 / n as f64) } else { acc };
+        }
+        out
+    }
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(12345);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        (0..n).map(|_| c64(next(), next())).collect()
+    }
+
+    #[test]
+    fn matches_naive_for_awkward_sizes() {
+        for &n in &[1usize, 3, 5, 6, 7, 12, 45, 97, 100, 255] {
+            let x = rand_signal(n, n as u64);
+            let got = dft(&x, Direction::Forward);
+            let want = dft_naive(&x, Direction::Forward);
+            let err = got
+                .iter()
+                .zip(&want)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-8 * n as f64, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_arbitrary_size() {
+        for &n in &[3usize, 17, 129, 1000] {
+            let x = rand_signal(n, 77 + n as u64);
+            let spec = dft(&x, Direction::Forward);
+            let back = dft(&spec, Direction::Inverse);
+            let err = back
+                .iter()
+                .zip(&x)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max);
+            assert!(err < 1e-9, "n={n} err={err}");
+        }
+    }
+
+    #[test]
+    fn pow2_sizes_route_through_radix2() {
+        let x = rand_signal(64, 4);
+        let got = dft(&x, Direction::Forward);
+        let want = dft_naive(&x, Direction::Forward);
+        let err = got.iter().zip(&want).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn large_prime_size_stays_accurate() {
+        // Exercises the exact modular phase reduction: 9973² ≫ 2³².
+        let n = 9973;
+        let x = rand_signal(n, 9);
+        let spec = dft(&x, Direction::Forward);
+        let back = dft(&spec, Direction::Inverse);
+        let err = back.iter().zip(&x).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-8, "err={err}");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(dft(&[], Direction::Forward).is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # amopt-fft — FFT substrate for the nonlinear-stencil option pricer
+//!
+//! From-scratch double-precision FFT stack built for the reproduction of
+//! *Fast American Option Pricing using Nonlinear Stencils* (PPoPP 2024):
+//!
+//! * [`Complex64`] — minimal complex arithmetic, including the stable polar
+//!   integer power used for pointwise spectrum powering.
+//! * [`radix2`] — iterative power-of-two Cooley–Tukey transform with a
+//!   process-wide plan cache and fork-join parallel butterfly passes.
+//! * [`bluestein`] — arbitrary-length transforms via the chirp-z identity.
+//! * [`real`] — two-for-one real-input packing.
+//! * [`convolve`] — linear convolution plus the kernel-power correlation
+//!   primitives ([`correlate_power_valid`], [`correlate_power_periodic`])
+//!   that implement the linear-stencil algorithm of Ahmad et al. (SPAA 2021),
+//!   the substrate reference \[1\] of the paper.
+//!
+//! Everything is `f64`; transforms of the sizes used by the pricer
+//! (`≤ 2²¹`) keep relative error around `1e-13 · log n`.
+
+pub mod bluestein;
+pub mod complex;
+pub mod convolve;
+pub mod radix2;
+pub mod real;
+
+pub use complex::{c64, Complex64};
+pub use convolve::{
+    correlate_power_periodic, correlate_power_valid, kernel_power_taps, linear_convolve,
+    power_kernel_len,
+};
+pub use radix2::{fft, ifft, next_pow2, plan, Direction, Fft};
+pub use real::{fft_real, fft_two_real, ifft_real};

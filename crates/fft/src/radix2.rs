@@ -1,0 +1,371 @@
+//! Iterative radix-2 Cooley–Tukey FFT with cached twiddle tables and
+//! fork-join parallel butterfly passes.
+//!
+//! Sizes must be powers of two; [`crate::bluestein`] lifts the restriction for
+//! callers that need arbitrary lengths.  Plans are cached process-wide because
+//! the trapezoid decomposition of the pricing algorithms requests the same
+//! handful of sizes thousands of times.
+
+use crate::complex::Complex64;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `X_k = Σ_n x_n e^{-2πi nk/N}`.
+    Forward,
+    /// `x_n = (1/N) Σ_k X_k e^{+2πi nk/N}` (scaling included).
+    Inverse,
+}
+
+/// Problem sizes at or below this length always run serially; forking costs
+/// more than the butterflies themselves.
+const PAR_MIN_LEN: usize = 1 << 14;
+
+/// A reusable transform plan for one power-of-two size.
+#[derive(Debug)]
+pub struct Fft {
+    n: usize,
+    /// `twiddles[j] = e^{-2πi j / n}` for `j ∈ [0, n/2)`.
+    twiddles: Vec<Complex64>,
+}
+
+impl Fft {
+    /// Builds a plan for size `n`.
+    ///
+    /// # Panics
+    /// If `n` is zero or not a power of two.
+    pub fn new(n: usize) -> Self {
+        assert!(n.is_power_of_two(), "radix-2 FFT size must be a power of two, got {n}");
+        let half = n / 2;
+        let step = -2.0 * std::f64::consts::PI / n as f64;
+        let twiddles = (0..half).map(|j| Complex64::cis(step * j as f64)).collect();
+        Fft { n, twiddles }
+    }
+
+    /// Transform size this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True only for the degenerate size-0 plan, which cannot exist; present
+    /// to satisfy the `len`/`is_empty` API convention.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward DFT.
+    pub fn forward(&self, buf: &mut [Complex64]) {
+        self.transform(buf, Direction::Forward);
+    }
+
+    /// In-place inverse DFT, including the `1/n` normalisation.
+    pub fn inverse(&self, buf: &mut [Complex64]) {
+        self.transform(buf, Direction::Inverse);
+    }
+
+    /// In-place transform in the given direction.
+    pub fn transform(&self, buf: &mut [Complex64], dir: Direction) {
+        assert_eq!(buf.len(), self.n, "buffer length {} != plan size {}", buf.len(), self.n);
+        if self.n <= 1 {
+            return;
+        }
+        bit_reverse_permute(buf);
+        let inverse = dir == Direction::Inverse;
+
+        let mut len = 1; // half the butterfly block size
+        while len < self.n {
+            let block = 2 * len;
+            let stride = self.n / block;
+            let blocks = self.n / block;
+            if self.n >= PAR_MIN_LEN && blocks >= 4 {
+                // Early passes: many independent blocks — parallelise across
+                // them. Chunks produced by halving a power-of-two buffer are
+                // always multiples of `block`.
+                let grain = (self.n / (4 * amopt_parallel::current_num_threads().max(1)))
+                    .max(4 * block)
+                    .max(PAR_MIN_LEN / 4);
+                let tw = &self.twiddles;
+                amopt_parallel::for_each_chunk_mut(buf, grain, |_, chunk| {
+                    for b in chunk.chunks_exact_mut(block) {
+                        butterfly_block(b, len, tw, stride, inverse);
+                    }
+                });
+            } else if self.n >= PAR_MIN_LEN {
+                // Late passes: few long blocks — parallelise the pairwise
+                // butterflies inside each block.
+                for b in buf.chunks_exact_mut(block) {
+                    par_butterfly_block(b, len, &self.twiddles, stride, inverse);
+                }
+            } else {
+                for b in buf.chunks_exact_mut(block) {
+                    butterfly_block(b, len, &self.twiddles, stride, inverse);
+                }
+            }
+            len = block;
+        }
+
+        if inverse {
+            let scale = 1.0 / self.n as f64;
+            if self.n >= PAR_MIN_LEN {
+                amopt_parallel::for_each_chunk_mut(buf, PAR_MIN_LEN / 2, |_, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v = v.scale(scale);
+                    }
+                });
+            } else {
+                for v in buf.iter_mut() {
+                    *v = v.scale(scale);
+                }
+            }
+        }
+    }
+}
+
+/// One serial butterfly block: pairs `b[j]` with `b[j+len]`.
+#[inline]
+fn butterfly_block(b: &mut [Complex64], len: usize, tw: &[Complex64], stride: usize, inverse: bool) {
+    let (lo, hi) = b.split_at_mut(len);
+    for j in 0..len {
+        let mut w = tw[j * stride];
+        if inverse {
+            w = w.conj();
+        }
+        let t = w * hi[j];
+        hi[j] = lo[j] - t;
+        lo[j] = lo[j] + t;
+    }
+}
+
+/// Parallel butterfly for a single long block: recursively splits the
+/// `lo`/`hi` halves at matching offsets so each task owns disjoint memory.
+fn par_butterfly_block(
+    b: &mut [Complex64],
+    len: usize,
+    tw: &[Complex64],
+    stride: usize,
+    inverse: bool,
+) {
+    fn zip(
+        lo: &mut [Complex64],
+        hi: &mut [Complex64],
+        j0: usize,
+        tw: &[Complex64],
+        stride: usize,
+        inverse: bool,
+        grain: usize,
+    ) {
+        if lo.len() <= grain {
+            for j in 0..lo.len() {
+                let mut w = tw[(j0 + j) * stride];
+                if inverse {
+                    w = w.conj();
+                }
+                let t = w * hi[j];
+                hi[j] = lo[j] - t;
+                lo[j] = lo[j] + t;
+            }
+        } else {
+            let mid = lo.len() / 2;
+            let (l0, l1) = lo.split_at_mut(mid);
+            let (h0, h1) = hi.split_at_mut(mid);
+            amopt_parallel::join(
+                || zip(l0, h0, j0, tw, stride, inverse, grain),
+                || zip(l1, h1, j0 + mid, tw, stride, inverse, grain),
+            );
+        }
+    }
+    let grain = (len / (2 * amopt_parallel::current_num_threads().max(1))).max(PAR_MIN_LEN / 8);
+    let (lo, hi) = b.split_at_mut(len);
+    zip(lo, hi, 0, tw, stride, inverse, grain);
+}
+
+/// In-place bit-reversal permutation (size must be a power of two).
+fn bit_reverse_permute(buf: &mut [Complex64]) {
+    let n = buf.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            buf.swap(i, j);
+        }
+    }
+}
+
+/// Returns the cached plan for power-of-two size `n`, creating it on first use.
+pub fn plan(n: usize) -> Arc<Fft> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<Fft>>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().expect("fft plan cache poisoned");
+    map.entry(n).or_insert_with(|| Arc::new(Fft::new(n))).clone()
+}
+
+/// Convenience: forward transform through the plan cache.
+pub fn fft(buf: &mut [Complex64]) {
+    plan(buf.len()).forward(buf);
+}
+
+/// Convenience: inverse transform (normalised) through the plan cache.
+pub fn ifft(buf: &mut [Complex64]) {
+    plan(buf.len()).inverse(buf);
+}
+
+/// Smallest power of two `≥ n` (and `≥ 1`).
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    /// O(n²) reference DFT.
+    pub(crate) fn dft_naive(x: &[Complex64], dir: Direction) -> Vec<Complex64> {
+        let n = x.len();
+        let sign = match dir {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        };
+        let mut out = vec![Complex64::ZERO; n];
+        for (k, o) in out.iter_mut().enumerate() {
+            let mut acc = Complex64::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                let theta = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                acc += v * Complex64::cis(theta);
+            }
+            *o = if dir == Direction::Inverse { acc.scale(1.0 / n as f64) } else { acc };
+        }
+        out
+    }
+
+    fn rand_signal(n: usize, seed: u64) -> Vec<Complex64> {
+        // Small deterministic LCG; avoids pulling rand into the unit tests.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        (0..n).map(|_| c64(next(), next())).collect()
+    }
+
+    fn max_err(a: &[Complex64], b: &[Complex64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (*x - *y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Complex64::ZERO; 16];
+        x[0] = Complex64::ONE;
+        fft(&mut x);
+        for v in &x {
+            assert!((*v - Complex64::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let mut x = vec![Complex64::ONE; 8];
+        fft(&mut x);
+        assert!((x[0] - c64(8.0, 0.0)).abs() < 1e-12);
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_across_sizes() {
+        for &n in &[1usize, 2, 4, 8, 32, 128, 256] {
+            let x = rand_signal(n, n as u64);
+            let mut got = x.clone();
+            fft(&mut got);
+            let want = dft_naive(&x, Direction::Forward);
+            assert!(max_err(&got, &want) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        for &n in &[2usize, 64, 1024, 1 << 15] {
+            let x = rand_signal(n, 7 + n as u64);
+            let mut buf = x.clone();
+            fft(&mut buf);
+            ifft(&mut buf);
+            assert!(max_err(&buf, &x) < 1e-10, "n={n}");
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let n = 512;
+        let x = rand_signal(n, 99);
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let mut spec = x.clone();
+        fft(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 256;
+        let a = rand_signal(n, 1);
+        let b = rand_signal(n, 2);
+        let alpha = c64(0.7, -0.2);
+        let mut lhs: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| alpha * x + y).collect();
+        fft(&mut lhs);
+        let mut fa = a.clone();
+        fft(&mut fa);
+        let mut fb = b.clone();
+        fft(&mut fb);
+        let rhs: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| alpha * x + y).collect();
+        assert!(max_err(&lhs, &rhs) < 1e-9);
+    }
+
+    #[test]
+    fn large_parallel_size_matches_small_block_composition() {
+        // Cross-check a size big enough to trigger the parallel paths against
+        // the roundtrip identity and Parseval, which are backend-independent.
+        let n = 1 << 16;
+        let x = rand_signal(n, 1234);
+        let mut buf = x.clone();
+        fft(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        assert!((time_energy - freq_energy).abs() < 1e-8 * time_energy);
+        ifft(&mut buf);
+        assert!(max_err(&buf, &x) < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_pow2() {
+        Fft::new(12);
+    }
+
+    #[test]
+    fn shift_theorem() {
+        // x delayed by d ⇒ spectrum multiplied by e^{-2πi k d / n}.
+        let n = 128;
+        let x = rand_signal(n, 5);
+        let d = 13usize;
+        let shifted: Vec<Complex64> = (0..n).map(|i| x[(i + n - d) % n]).collect();
+        let mut fx = x.clone();
+        fft(&mut fx);
+        let mut fs = shifted;
+        fft(&mut fs);
+        for k in 0..n {
+            let phase = Complex64::cis(-2.0 * std::f64::consts::PI * (k * d % n) as f64 / n as f64);
+            assert!((fs[k] - fx[k] * phase).abs() < 1e-9);
+        }
+    }
+}

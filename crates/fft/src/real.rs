@@ -1,0 +1,120 @@
+//! Real-input transform helpers.
+//!
+//! The stencil engine transforms two real sequences at a time (a grid row and
+//! a stencil kernel), so the classic *two-for-one* packing halves the FFT
+//! count: pack `z = a + i·b`, transform once, and split the spectra using the
+//! conjugate-symmetry of real signals:
+//!
+//! `A_k = (Z_k + conj(Z_{n−k}))/2`,  `B_k = (Z_k − conj(Z_{n−k}))/(2i)`.
+
+use crate::complex::{c64, Complex64};
+use crate::radix2;
+
+/// Transforms two real sequences with a single complex FFT of length `n`
+/// (power of two, `n ≥ a.len()`, `n ≥ b.len()`; both are zero-padded).
+///
+/// Returns the two full-length spectra `(A, B)`.
+pub fn fft_two_real(a: &[f64], b: &[f64], n: usize) -> (Vec<Complex64>, Vec<Complex64>) {
+    assert!(n.is_power_of_two(), "two-for-one FFT needs a power-of-two size, got {n}");
+    assert!(a.len() <= n && b.len() <= n, "inputs longer than transform size");
+    let mut z = vec![Complex64::ZERO; n];
+    for (i, &v) in a.iter().enumerate() {
+        z[i].re = v;
+    }
+    for (i, &v) in b.iter().enumerate() {
+        z[i].im = v;
+    }
+    radix2::plan(n).forward(&mut z);
+
+    let mut sa = vec![Complex64::ZERO; n];
+    let mut sb = vec![Complex64::ZERO; n];
+    for k in 0..n {
+        let zk = z[k];
+        let zn = z[(n - k) % n].conj();
+        sa[k] = (zk + zn).scale(0.5);
+        // (zk - zn) / (2i) = -i/2 * (zk - zn)
+        let d = zk - zn;
+        sb[k] = c64(d.im * 0.5, -d.re * 0.5);
+    }
+    (sa, sb)
+}
+
+/// Spectrum of a single real sequence, zero-padded to power-of-two `n`.
+pub fn fft_real(a: &[f64], n: usize) -> Vec<Complex64> {
+    assert!(n.is_power_of_two(), "real FFT needs a power-of-two size, got {n}");
+    assert!(a.len() <= n);
+    let mut z = vec![Complex64::ZERO; n];
+    for (i, &v) in a.iter().enumerate() {
+        z[i].re = v;
+    }
+    radix2::plan(n).forward(&mut z);
+    z
+}
+
+/// Inverse transform returning only real parts (caller asserts the spectrum
+/// is conjugate-symmetric up to rounding, e.g. a product of real spectra).
+pub fn ifft_real(mut spec: Vec<Complex64>, out_len: usize) -> Vec<f64> {
+    let n = spec.len();
+    assert!(n.is_power_of_two());
+    assert!(out_len <= n);
+    radix2::plan(n).inverse(&mut spec);
+    spec.truncate(out_len);
+    spec.into_iter().map(|v| v.re).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_real(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        (0..n).map(|_| next()).collect()
+    }
+
+    #[test]
+    fn two_for_one_matches_separate_transforms() {
+        let n = 256;
+        let a = rand_real(200, 1);
+        let b = rand_real(256, 2);
+        let (sa, sb) = fft_two_real(&a, &b, n);
+        let ra = fft_real(&a, n);
+        let rb = fft_real(&b, n);
+        for k in 0..n {
+            assert!((sa[k] - ra[k]).abs() < 1e-9, "A mismatch at {k}");
+            assert!((sb[k] - rb[k]).abs() < 1e-9, "B mismatch at {k}");
+        }
+    }
+
+    #[test]
+    fn real_spectrum_is_conjugate_symmetric() {
+        let n = 128;
+        let a = rand_real(n, 5);
+        let s = fft_real(&a, n);
+        for k in 1..n {
+            assert!((s[k] - s[n - k].conj()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn ifft_real_roundtrip() {
+        let n = 64;
+        let a = rand_real(50, 9);
+        let spec = fft_real(&a, n);
+        let back = ifft_real(spec, 50);
+        for (x, y) in back.iter().zip(&a) {
+            assert!((x - y).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn handles_empty_inputs() {
+        let (sa, sb) = fft_two_real(&[], &[], 1);
+        assert_eq!(sa.len(), 1);
+        assert_eq!(sb.len(), 1);
+        assert!(sa[0].abs() < 1e-15 && sb[0].abs() < 1e-15);
+    }
+}

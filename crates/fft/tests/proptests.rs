@@ -1,0 +1,122 @@
+//! Property-based tests for the FFT substrate: transforms and convolutions
+//! must agree with their quadratic-time definitions on arbitrary inputs.
+
+use amopt_fft::{
+    c64, correlate_power_periodic, correlate_power_valid, fft, ifft, kernel_power_taps,
+    linear_convolve, Complex64,
+};
+use proptest::prelude::*;
+
+fn dft_naive(x: &[Complex64]) -> Vec<Complex64> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (j, &v) in x.iter().enumerate() {
+                let theta = -2.0 * std::f64::consts::PI * ((j * k) % n) as f64 / n as f64;
+                acc += v * Complex64::cis(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+fn arb_signal(max_pow: u32) -> impl Strategy<Value = Vec<Complex64>> {
+    (1u32..=max_pow).prop_flat_map(|p| {
+        prop::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1 << p)
+            .prop_map(|v| v.into_iter().map(|(re, im)| c64(re, im)).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn fft_matches_naive_dft(x in arb_signal(8)) {
+        let mut got = x.clone();
+        fft(&mut got);
+        let want = dft_naive(&x);
+        let scale: f64 = x.iter().map(|v| v.abs()).sum::<f64>().max(1.0);
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert!((*g - *w).abs() < 1e-10 * scale);
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity(x in arb_signal(12)) {
+        let mut buf = x.clone();
+        fft(&mut buf);
+        ifft(&mut buf);
+        for (g, w) in buf.iter().zip(&x) {
+            prop_assert!((*g - *w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn convolution_commutes(
+        a in prop::collection::vec(-5.0..5.0f64, 1..80),
+        b in prop::collection::vec(-5.0..5.0f64, 1..80),
+    ) {
+        let ab = linear_convolve(&a, &b);
+        let ba = linear_convolve(&b, &a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn convolution_total_mass_is_product_of_masses(
+        a in prop::collection::vec(-2.0..2.0f64, 1..60),
+        b in prop::collection::vec(-2.0..2.0f64, 1..60),
+    ) {
+        let conv = linear_convolve(&a, &b);
+        let lhs: f64 = conv.iter().sum();
+        let rhs = a.iter().sum::<f64>() * b.iter().sum::<f64>();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn power_taps_compose(kernel in prop::collection::vec(0.0..0.5f64, 2..4), h1 in 1u64..12, h2 in 1u64..12) {
+        // kernel^{⊛(h1+h2)} == kernel^{⊛h1} ⊛ kernel^{⊛h2}
+        let lhs = kernel_power_taps(&kernel, h1 + h2);
+        let rhs = linear_convolve(&kernel_power_taps(&kernel, h1), &kernel_power_taps(&kernel, h2));
+        prop_assert_eq!(lhs.len(), rhs.len());
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn valid_correlation_matches_stepped_reference(
+        x in prop::collection::vec(-3.0..3.0f64, 30..200),
+        w0 in 0.05..0.6f64,
+        w1 in 0.05..0.6f64,
+        h in 1u64..12,
+    ) {
+        let kernel = [w0, w1];
+        let got = correlate_power_valid(&x, &kernel, h);
+        let mut row = x.clone();
+        for _ in 0..h {
+            row = (0..row.len() - 1).map(|c| kernel[0] * row[c] + kernel[1] * row[c + 1]).collect();
+        }
+        prop_assert_eq!(got.len(), row.len());
+        let scale: f64 = x.iter().map(|v| v.abs()).fold(1.0, f64::max);
+        for (g, w) in got.iter().zip(&row) {
+            prop_assert!((g - w).abs() < 1e-9 * scale, "{} vs {}", g, w);
+        }
+    }
+
+    #[test]
+    fn periodic_correlation_conserves_mass(
+        x in prop::collection::vec(-3.0..3.0f64, 4..60),
+        h in 1u64..10,
+    ) {
+        // A kernel with unit mass conserves the row sum on a periodic grid.
+        let kernel = [0.25, 0.5, 0.25];
+        let got = correlate_power_periodic(&x, &kernel, h);
+        let lhs: f64 = got.iter().sum();
+        let rhs: f64 = x.iter().sum();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + rhs.abs()));
+    }
+}

@@ -1,0 +1,266 @@
+//! Fork-join parallelism facade for the option-pricing workspace.
+//!
+//! The paper's algorithms are expressed in the work-span model and executed by
+//! a work-stealing scheduler (OpenMP tasks in the original C++ code).  This
+//! crate pins that dependency behind a minimal interface so that
+//!
+//! * the numerical crates never name the backend directly,
+//! * a sequential backend (feature `rayon-backend` disabled) gives bitwise
+//!   deterministic single-thread execution for debugging, and
+//! * benchmark harnesses can run the *same* code under different core counts
+//!   (`run_with_threads`), which is how Table 5 of the paper is regenerated.
+//!
+//! The exposed operations are deliberately few: binary [`join`] (the primitive
+//! from which the span bounds of the paper are derived), a grain-controlled
+//! [`parallel_for`], chunked mutable-slice iteration [`for_each_chunk_mut`],
+//! and pool management.
+
+#[cfg(feature = "rayon-backend")]
+mod backend {
+    /// Runs both closures, potentially in parallel, returning both results.
+    #[inline]
+    pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        rayon::join(a, b)
+    }
+
+    /// Number of worker threads the current scheduler uses.
+    #[inline]
+    pub fn current_num_threads() -> usize {
+        rayon::current_num_threads()
+    }
+
+    /// Runs `f` on a dedicated pool of exactly `threads` workers.
+    pub fn run_with_threads<F, R>(threads: usize, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads.max(1))
+            .build()
+            .expect("failed to build thread pool");
+        pool.install(f)
+    }
+}
+
+#[cfg(not(feature = "rayon-backend"))]
+mod backend {
+    /// Sequential fallback: runs `a` then `b` on the calling thread.
+    #[inline]
+    pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        (a(), b())
+    }
+
+    /// Sequential backend always reports a single worker.
+    #[inline]
+    pub fn current_num_threads() -> usize {
+        1
+    }
+
+    /// Sequential backend ignores the requested thread count.
+    pub fn run_with_threads<F, R>(_threads: usize, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        f()
+    }
+}
+
+pub use backend::{current_num_threads, join, run_with_threads};
+
+/// Minimum amount of per-task work below which forking is never worthwhile.
+///
+/// Used as the default grain by [`parallel_for`] callers that have no better
+/// estimate. Chosen so a task costs at least a few microseconds of arithmetic.
+pub const DEFAULT_GRAIN: usize = 2048;
+
+/// Executes `body(i)` for every `i` in `lo..hi`, splitting recursively while a
+/// half contains at least `grain` iterations.
+///
+/// The body must be safe to run for distinct indices concurrently.  Splitting
+/// is binary, so the span is `O(log n)` forks plus one grain of work.
+pub fn parallel_for<F>(lo: usize, hi: usize, grain: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    fn go<F: Fn(usize) + Sync>(lo: usize, hi: usize, grain: usize, body: &F) {
+        if hi - lo <= grain {
+            for i in lo..hi {
+                body(i);
+            }
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            join(|| go(lo, mid, grain, body), || go(mid, hi, grain, body));
+        }
+    }
+    if lo < hi {
+        let grain = grain.max(1);
+        go(lo, hi, grain, &body);
+    }
+}
+
+/// Splits `data` into chunks of at most `grain` elements and runs
+/// `body(chunk_start_offset, chunk)` on each, in parallel.
+///
+/// This is the workhorse for row-parallel lattice sweeps: each worker owns a
+/// disjoint `&mut` window, so no synchronisation is needed inside `body`.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], grain: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    fn go<T: Send, F: Fn(usize, &mut [T]) + Sync>(
+        offset: usize,
+        data: &mut [T],
+        grain: usize,
+        body: &F,
+    ) {
+        if data.len() <= grain {
+            if !data.is_empty() {
+                body(offset, data);
+            }
+        } else {
+            let mid = data.len() / 2;
+            let (left, right) = data.split_at_mut(mid);
+            join(
+                || go(offset, left, grain, body),
+                || go(offset + mid, right, grain, body),
+            );
+        }
+    }
+    let grain = grain.max(1);
+    go(0, data, grain, &body);
+}
+
+/// Maps `f` over `0..n` in parallel, collecting results in index order.
+pub fn parallel_map<R, F>(n: usize, grain: usize, f: F) -> Vec<R>
+where
+    R: Send + Default + Clone,
+    F: Fn(usize) -> R + Sync,
+{
+    let mut out = vec![R::default(); n];
+    for_each_chunk_mut(&mut out, grain, |offset, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            *slot = f(offset + i);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn join_nests() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(16), 987);
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        let n = 10_000;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        parallel_for(0, n, 64, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_empty_range_is_noop() {
+        parallel_for(5, 5, 8, |_| panic!("must not run"));
+        parallel_for(7, 3, 8, |_| panic!("must not run"));
+    }
+
+    #[test]
+    fn for_each_chunk_mut_covers_slice_with_correct_offsets() {
+        let mut data = vec![0usize; 4097];
+        for_each_chunk_mut(&mut data, 100, |offset, chunk| {
+            for (i, v) in chunk.iter_mut().enumerate() {
+                *v = offset + i;
+            }
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, i);
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_handles_empty_slice() {
+        let mut data: Vec<u8> = vec![];
+        for_each_chunk_mut(&mut data, 16, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_map() {
+        let got = parallel_map(1000, 32, |i| i * i);
+        let want: Vec<usize> = (0..1000).map(|i| i * i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn zero_grain_is_clamped() {
+        let mut data = vec![1u32; 17];
+        for_each_chunk_mut(&mut data, 0, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v += 1;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2));
+        let count = AtomicUsize::new(0);
+        parallel_for(0, 9, 0, |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 9);
+    }
+
+    #[cfg(feature = "rayon-backend")]
+    #[test]
+    fn run_with_threads_controls_pool_width() {
+        for p in [1usize, 2, 4] {
+            let seen = run_with_threads(p, current_num_threads);
+            assert_eq!(seen, p);
+        }
+    }
+
+    #[test]
+    fn run_with_threads_returns_value() {
+        let v = run_with_threads(2, || {
+            let mut acc = 0u64;
+            parallel_for(0, 100, 10, |_| {});
+            for i in 0..100u64 {
+                acc += i;
+            }
+            acc
+        });
+        assert_eq!(v, 4950);
+    }
+}

@@ -1,0 +1,267 @@
+//! Multi-step linear stencil advancement over aperiodic and periodic grids.
+//!
+//! `advance(seg, kernel, h)` evolves a row segment `h` time steps under a
+//! *purely linear* stencil and returns exactly the cells whose dependency
+//! cone is contained in the input — the primitive the trapezoid algorithms of
+//! the paper invoke on certified all-red regions.
+//!
+//! Output geometry: one step maps input column `c + anchor + m` onto output
+//! column `c`, so after `h` steps the valid output covers absolute columns
+//! `[start − h·anchor, start − h·anchor + len − h·span)`.
+
+use crate::kernel::StencilKernel;
+use crate::segment::Segment;
+use amopt_fft::correlate_power_valid;
+
+/// Strategy for computing a multi-step advance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Spectrum powering, `O(L log L)` — the paper's algorithm.
+    #[default]
+    Fft,
+    /// Materialise `kernel^{⊛h}` and correlate directly, `O(L·h·span)`.
+    /// Used for ablation and small problems.
+    DirectTaps,
+    /// `h` explicit single steps, `O(L·h)` — the reference semantics.
+    Stepped,
+}
+
+/// Number of valid output cells when advancing `len` cells by `h` steps.
+/// Returns `None` if the cone swallows the whole segment.
+pub fn valid_output_len(len: usize, kernel: &StencilKernel, h: u64) -> Option<usize> {
+    let shrink = (kernel.span() as u64).checked_mul(h)? as usize;
+    len.checked_sub(shrink)
+}
+
+/// Absolute start column of the output segment.
+#[inline]
+pub fn output_start(start: i64, kernel: &StencilKernel, h: u64) -> i64 {
+    start - kernel.anchor() * h as i64
+}
+
+/// Advances `seg` by `h` linear steps using the requested backend.
+///
+/// # Panics
+/// If the segment is too short to produce at least one valid cell.
+pub fn advance(seg: &Segment, kernel: &StencilKernel, h: u64, backend: Backend) -> Segment {
+    let out_len = valid_output_len(seg.len(), kernel, h)
+        .filter(|&l| l > 0)
+        .unwrap_or_else(|| {
+            panic!(
+                "segment of {} cells cannot be advanced {h} steps by a span-{} kernel",
+                seg.len(),
+                kernel.span()
+            )
+        });
+    let start = output_start(seg.start, kernel, h);
+    if h == 0 {
+        return seg.clone();
+    }
+    let values = match backend {
+        Backend::Fft => {
+            // Small problems: the stepped loop beats FFT constants and keeps
+            // base cases allocation-light.
+            if seg.len() <= 64 {
+                stepped(&seg.values, kernel, h)
+            } else {
+                correlate_power_valid(&seg.values, kernel.weights(), h)
+            }
+        }
+        Backend::DirectTaps => {
+            let taps = kernel.power_taps(h);
+            (0..out_len)
+                .map(|c| taps.iter().enumerate().map(|(m, &w)| w * seg.values[c + m]).sum())
+                .collect()
+        }
+        Backend::Stepped => stepped(&seg.values, kernel, h),
+    };
+    debug_assert_eq!(values.len(), out_len);
+    Segment::new(start, values)
+}
+
+fn stepped(row: &[f64], kernel: &StencilKernel, h: u64) -> Vec<f64> {
+    let mut cur = row.to_vec();
+    for _ in 0..h {
+        cur = kernel.step(&cur);
+    }
+    cur
+}
+
+/// Evolves a periodic grid (cells wrap cyclically) by `h` steps.
+///
+/// This is the `O(N log N)` periodic-grid case of Ahmad et al. \[1\]; grid
+/// sizes need not be powers of two.
+pub fn advance_periodic(values: &[f64], kernel: &StencilKernel, h: u64, backend: Backend) -> Vec<f64> {
+    if values.is_empty() || h == 0 {
+        return values.to_vec();
+    }
+    match backend {
+        Backend::Fft => {
+            // The spectral path needs the taps aligned to the anchor: the
+            // correlation primitive assumes tap 0 sits at offset 0, so the
+            // result must be rotated by `h·anchor`.
+            let raw = amopt_fft::correlate_power_periodic(values, kernel.weights(), h);
+            rotate_by(raw, kernel.anchor() * h as i64)
+        }
+        Backend::DirectTaps => {
+            let taps = kernel.power_taps(h);
+            let n = values.len();
+            let base = kernel.anchor() * h as i64;
+            (0..n as i64)
+                .map(|c| {
+                    taps.iter()
+                        .enumerate()
+                        .map(|(m, &w)| w * values[wrap(c + base + m as i64, n)])
+                        .sum()
+                })
+                .collect()
+        }
+        Backend::Stepped => {
+            let n = values.len();
+            let mut cur = values.to_vec();
+            for _ in 0..h {
+                cur = (0..n as i64)
+                    .map(|c| {
+                        kernel
+                            .weights()
+                            .iter()
+                            .enumerate()
+                            .map(|(m, &w)| w * cur[wrap(c + kernel.anchor() + m as i64, n)])
+                            .sum()
+                    })
+                    .collect();
+            }
+            cur
+        }
+    }
+}
+
+#[inline]
+fn wrap(idx: i64, n: usize) -> usize {
+    idx.rem_euclid(n as i64) as usize
+}
+
+/// Cyclic rotation so that output index `c` reads `raw[(c + shift) mod n]`.
+fn rotate_by(raw: Vec<f64>, shift: i64) -> Vec<f64> {
+    let n = raw.len();
+    if n == 0 || shift.rem_euclid(n as i64) == 0 {
+        return raw;
+    }
+    (0..n as i64).map(|c| raw[wrap(c + shift, n)]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rand_real(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(31);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        };
+        (0..n).map(|_| next()).collect()
+    }
+
+    fn assert_close(a: &Segment, b: &Segment, tol: f64, ctx: &str) {
+        assert_eq!(a.start, b.start, "{ctx}: start mismatch");
+        assert_eq!(a.len(), b.len(), "{ctx}: length mismatch");
+        for (x, y) in a.values.iter().zip(&b.values) {
+            assert!((x - y).abs() <= tol, "{ctx}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn backends_agree_right_leaning() {
+        let kernel = StencilKernel::new(vec![0.49, 0.5], 0);
+        let seg = Segment::new(10, rand_real(300, 1));
+        for h in [1u64, 2, 17, 100] {
+            let f = advance(&seg, &kernel, h, Backend::Fft);
+            let d = advance(&seg, &kernel, h, Backend::DirectTaps);
+            let s = advance(&seg, &kernel, h, Backend::Stepped);
+            assert_close(&f, &s, 1e-9, &format!("fft vs stepped h={h}"));
+            assert_close(&d, &s, 1e-9, &format!("direct vs stepped h={h}"));
+            assert_eq!(f.start, 10);
+            assert_eq!(f.len(), 300 - h as usize);
+        }
+    }
+
+    #[test]
+    fn backends_agree_centered() {
+        let kernel = StencilKernel::new(vec![0.3, 0.35, 0.3], -1);
+        let seg = Segment::new(-50, rand_real(220, 2));
+        for h in [1u64, 8, 50] {
+            let f = advance(&seg, &kernel, h, Backend::Fft);
+            let s = advance(&seg, &kernel, h, Backend::Stepped);
+            assert_close(&f, &s, 1e-9, &format!("h={h}"));
+            // symmetric kernel with anchor −1: both ends shrink by h
+            assert_eq!(f.start, -50 + h as i64);
+            assert_eq!(f.len(), 220 - 2 * h as usize);
+        }
+    }
+
+    #[test]
+    fn trinomial_right_cone_geometry() {
+        let kernel = StencilKernel::new(vec![0.3, 0.33, 0.3], 0);
+        let seg = Segment::new(0, rand_real(101, 3));
+        let out = advance(&seg, &kernel, 7, Backend::Fft);
+        assert_eq!(out.start, 0);
+        assert_eq!(out.len(), 101 - 14);
+    }
+
+    #[test]
+    fn h_zero_is_identity() {
+        let kernel = StencilKernel::new(vec![0.5, 0.5], 0);
+        let seg = Segment::new(3, rand_real(10, 4));
+        let out = advance(&seg, &kernel, 0, Backend::Fft);
+        assert_close(&out, &seg, 0.0, "identity");
+    }
+
+    #[test]
+    fn composition_of_advances_equals_single_advance() {
+        // advance(h1) ∘ advance(h2) == advance(h1+h2) — the property the
+        // trapezoid recursion is built on.
+        let kernel = StencilKernel::new(vec![0.2, 0.5, 0.28], -1);
+        let seg = Segment::new(0, rand_real(400, 5));
+        let once = advance(&seg, &kernel, 60, Backend::Fft);
+        let mid = advance(&seg, &kernel, 25, Backend::Fft);
+        let twice = advance(&mid, &kernel, 35, Backend::Fft);
+        assert_close(&once, &twice, 1e-8, "composition");
+    }
+
+    #[test]
+    fn periodic_backends_agree() {
+        let kernel = StencilKernel::new(vec![0.25, 0.5, 0.24], -1);
+        for n in [9usize, 32, 100] {
+            let vals = rand_real(n, n as u64);
+            for h in [1u64, 3, 11] {
+                let f = advance_periodic(&vals, &kernel, h, Backend::Fft);
+                let d = advance_periodic(&vals, &kernel, h, Backend::DirectTaps);
+                let s = advance_periodic(&vals, &kernel, h, Backend::Stepped);
+                for i in 0..n {
+                    assert!((f[i] - s[i]).abs() < 1e-8, "fft vs stepped n={n} h={h} i={i}");
+                    assert!((d[i] - s[i]).abs() < 1e-8, "direct vs stepped n={n} h={h} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_conserves_mass_for_stochastic_kernels() {
+        // Row sum is multiplied by (Σw)^h on a periodic grid.
+        let kernel = StencilKernel::new(vec![0.2, 0.5, 0.3], -1);
+        let vals = rand_real(64, 9);
+        let total: f64 = vals.iter().sum();
+        let out = advance_periodic(&vals, &kernel, 20, Backend::Fft);
+        let got: f64 = out.iter().sum();
+        assert!((got - total).abs() < 1e-8);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be advanced")]
+    fn advance_rejects_cone_overflow() {
+        let kernel = StencilKernel::new(vec![0.5, 0.5], 0);
+        let seg = Segment::new(0, vec![1.0; 5]);
+        advance(&seg, &kernel, 5, Backend::Fft);
+    }
+}

@@ -1,0 +1,169 @@
+//! Linear 1-D stencil kernels.
+//!
+//! A kernel describes one time step of a linear stencil:
+//!
+//! `out[c] = Σ_m weights[m] · in[c + anchor + m]`
+//!
+//! `anchor` is the column offset of the first tap relative to the output
+//! cell.  The three pricing models of the paper use:
+//!
+//! | model | weights               | anchor | cone                |
+//! |-------|-----------------------|--------|---------------------|
+//! | BOPM  | `[m(1−p), m·p]`       | 0      | leans right         |
+//! | TOPM  | `[m·p_d, m·p_o, m·p_u]`| 0     | leans right, slope 2|
+//! | BSM   | `[b, c, a]`           | −1     | symmetric           |
+
+use amopt_fft::{kernel_power_taps, linear_convolve, power_kernel_len};
+
+/// One time step of a linear 1-D stencil.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StencilKernel {
+    weights: Vec<f64>,
+    anchor: i64,
+}
+
+impl StencilKernel {
+    /// Creates a kernel from taps and the offset of the first tap.
+    ///
+    /// # Panics
+    /// If `weights` is empty or contains non-finite values.
+    pub fn new(weights: Vec<f64>, anchor: i64) -> Self {
+        assert!(!weights.is_empty(), "stencil kernel needs at least one tap");
+        assert!(
+            weights.iter().all(|w| w.is_finite()),
+            "stencil kernel taps must be finite"
+        );
+        StencilKernel { weights, anchor }
+    }
+
+    /// Taps in column order.
+    #[inline]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Offset of the first tap relative to the output cell.
+    #[inline]
+    pub fn anchor(&self) -> i64 {
+        self.anchor
+    }
+
+    /// Number of taps minus one: how much the dependency cone widens per step.
+    #[inline]
+    pub fn span(&self) -> usize {
+        self.weights.len() - 1
+    }
+
+    /// Column offset of the last tap relative to the output cell.
+    #[inline]
+    pub fn hi_offset(&self) -> i64 {
+        self.anchor + self.span() as i64
+    }
+
+    /// `Σ|w|` — the ℓ¹ norm; `≤ 1` guarantees numerically stable powering.
+    pub fn l1_norm(&self) -> f64 {
+        self.weights.iter().map(|w| w.abs()).sum()
+    }
+
+    /// Applies a single step to `row`, returning the valid cells.
+    /// The output corresponds to input columns shifted by `anchor` (the
+    /// caller tracks absolute positions; see [`crate::segment::Segment`]).
+    pub fn step(&self, row: &[f64]) -> Vec<f64> {
+        let span = self.span();
+        assert!(row.len() > span, "row of {} cells is too short for span {span}", row.len());
+        (0..row.len() - span)
+            .map(|c| {
+                self.weights
+                    .iter()
+                    .enumerate()
+                    .map(|(m, &w)| w * row[c + m])
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Taps of the `h`-fold self-convolution `kernel^{⊛h}` via FFT powering.
+    pub fn power_taps(&self, h: u64) -> Vec<f64> {
+        kernel_power_taps(&self.weights, h)
+    }
+
+    /// Same taps computed by repeated linear convolution — `O(h²·span²)`
+    /// reference implementation for tests and the ablation backend.
+    pub fn power_taps_direct(&self, h: u64) -> Vec<f64> {
+        let mut taps = vec![1.0];
+        for _ in 0..h {
+            taps = linear_convolve(&taps, &self.weights);
+        }
+        taps
+    }
+
+    /// Tap count of `kernel^{⊛h}`.
+    #[inline]
+    pub fn power_len(&self, h: u64) -> usize {
+        power_kernel_len(self.weights.len(), h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let k = StencilKernel::new(vec![0.25, 0.5, 0.25], -1);
+        assert_eq!(k.span(), 2);
+        assert_eq!(k.anchor(), -1);
+        assert_eq!(k.hi_offset(), 1);
+        assert!((k.l1_norm() - 1.0).abs() < 1e-15);
+        assert_eq!(k.power_len(3), 7);
+    }
+
+    #[test]
+    fn step_matches_hand_computation() {
+        let k = StencilKernel::new(vec![2.0, 3.0], 0);
+        let out = k.step(&[1.0, 10.0, 100.0]);
+        assert_eq!(out, vec![32.0, 320.0]);
+    }
+
+    #[test]
+    fn power_taps_fft_vs_direct() {
+        let k = StencilKernel::new(vec![0.2, 0.45, 0.3], -1);
+        for h in [0u64, 1, 2, 5, 16, 40] {
+            let a = k.power_taps(h);
+            let b = k.power_taps_direct(h);
+            assert_eq!(a.len(), b.len(), "h={h}");
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-11, "h={h}");
+            }
+        }
+    }
+
+    #[test]
+    fn power_taps_mass_conservation() {
+        // Σ taps of kernel^{⊛h} = (Σ kernel)^h.
+        let k = StencilKernel::new(vec![0.3, 0.4, 0.28], 0);
+        let total: f64 = k.weights().iter().sum();
+        for h in [1u64, 7, 33] {
+            let sum: f64 = k.power_taps(h).iter().sum();
+            assert!((sum - total.powi(h as i32)).abs() < 1e-10, "h={h}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn rejects_empty() {
+        StencilKernel::new(vec![], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        StencilKernel::new(vec![0.5, f64::NAN], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn step_rejects_short_rows() {
+        StencilKernel::new(vec![1.0, 1.0, 1.0], 0).step(&[1.0, 2.0]);
+    }
+}

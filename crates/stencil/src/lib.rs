@@ -1,0 +1,26 @@
+//! # amopt-stencil — linear 1-D stencil engine
+//!
+//! Implements the linear-stencil substrate the paper builds on (Ahmad et al.,
+//! *Fast stencil computations using fast Fourier transforms*, SPAA 2021 —
+//! reference \[1\] of the PPoPP 2024 paper):
+//!
+//! * [`StencilKernel`] — one linear time step (taps + anchor offset);
+//! * [`Segment`] — row values anchored at an absolute column;
+//! * [`advance()`](advance::advance) — `h`-step aperiodic evolution returning the valid cone
+//!   interior, with FFT (`O(L log L)`), direct-taps, and stepped backends;
+//! * [`advance_periodic`] — `O(N log N)` periodic-grid evolution for
+//!   arbitrary `N` (Bluestein).
+//!
+//! The *nonlinear* stencils of the paper (`max(linear, obstacle)`) live in
+//! `amopt-core`; they call into this crate on regions certified to be free of
+//! the obstacle.
+
+pub mod advance;
+pub mod bounded;
+pub mod kernel;
+pub mod segment;
+
+pub use advance::{advance, advance_periodic, output_start, valid_output_len, Backend};
+pub use bounded::{advance_left_wall, stepped_wall};
+pub use kernel::StencilKernel;
+pub use segment::Segment;

@@ -1,0 +1,37 @@
+//! Early-exercise boundary explorer: extract and print the critical-price
+//! frontier for an American put (BSM finite differences) and an American
+//! call (binomial lattice) — the red–green divider of the paper, §2.2/§4.2.
+//!
+//! ```sh
+//! cargo run --release --example boundary_explorer
+//! ```
+
+use american_option_pricing::prelude::*;
+
+fn main() {
+    let cfg = EngineConfig::default();
+
+    // American put: exercise when the asset falls below the frontier.
+    let put_params = OptionParams { dividend_yield: 0.0, ..OptionParams::paper_defaults() };
+    let bsm = BsmModel::new(put_params, 8192).expect("stable grid");
+    let frontier = exercise_boundary::bsm_put_boundary(&bsm, &cfg, 16);
+    println!("American put early-exercise frontier (K = {}):", put_params.strike);
+    println!("  t [yr]   critical price");
+    for p in frontier.iter().rev() {
+        if let Some(x) = p.critical_price {
+            println!("  {:6.3}   {:10.4}", p.time_years, x);
+        }
+    }
+
+    // American call: with dividends, exercise when the asset rises above it.
+    let call_params = OptionParams::paper_defaults();
+    let bopm = BopmModel::new(call_params, 8192).expect("valid lattice");
+    let frontier = exercise_boundary::bopm_call_boundary(&bopm, &cfg, 16);
+    println!("\nAmerican call early-exercise frontier (K = {}):", call_params.strike);
+    println!("  t [yr]   critical price");
+    for p in frontier.iter().rev() {
+        if let Some(x) = p.critical_price {
+            println!("  {:6.3}   {:10.4}", p.time_years, x);
+        }
+    }
+}

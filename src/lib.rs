@@ -1,0 +1,45 @@
+//! # american-option-pricing
+//!
+//! Fast American option pricing using nonlinear stencils — a Rust
+//! reproduction of Ahmad, Browne, Chowdhury, Das, Huang & Zhu (PPoPP 2024).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`fft`] — from-scratch FFT substrate (radix-2, Bluestein, real packing,
+//!   kernel-power correlation);
+//! * [`parallel`] — fork-join facade (rayon-backed, sequential fallback);
+//! * [`stencil`] — linear 1-D stencil engine (Ahmad et al., SPAA 2021);
+//! * [`core`] — the paper's contribution: nonlinear-stencil trapezoid
+//!   engines and the BOPM/TOPM/BSM pricers with naive, tiled,
+//!   cache-oblivious, and FFT implementations, plus greeks, implied vol,
+//!   Bermudan options, and exercise-boundary extraction;
+//! * [`cachesim`] — cache-hierarchy and energy simulation (the PAPI/RAPL
+//!   substitute used to regenerate the paper's Figures 6/7/10).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use american_option_pricing::prelude::*;
+//!
+//! let params = OptionParams::paper_defaults();
+//! let model = BopmModel::new(params, 1024).unwrap();
+//! let price = bopm_fast::price_american_call(&model, &EngineConfig::default());
+//! assert!((price - 8.32).abs() < 0.05);
+//! ```
+
+pub use amopt_cachesim as cachesim;
+pub use amopt_core as core;
+pub use amopt_fft as fft;
+pub use amopt_parallel as parallel;
+pub use amopt_stencil as stencil;
+
+/// Most-used items in one import.
+pub mod prelude {
+    pub use amopt_core::bopm::{fast as bopm_fast, naive as bopm_naive, BopmModel};
+    pub use amopt_core::bsm::{fast as bsm_fast, naive as bsm_naive, BsmModel};
+    pub use amopt_core::topm::{fast as topm_fast, naive as topm_naive, TopmModel};
+    pub use amopt_core::{
+        analytic, bermudan, exercise_boundary, greeks, implied_vol, EngineConfig,
+        ExerciseStyle, OptionParams, OptionType, PricingError,
+    };
+}
