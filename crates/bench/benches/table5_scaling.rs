@@ -16,9 +16,7 @@ fn bench(c: &mut Criterion) {
             g.bench_with_input(
                 BenchmarkId::new(format!("{}_p{p}", which.legend()), t),
                 &t,
-                |b, &t| {
-                    b.iter(|| amopt_parallel::run_with_threads(p, || run_pricer(which, t)))
-                },
+                |b, &t| b.iter(|| amopt_parallel::run_with_threads(p, || run_pricer(which, t))),
             );
         }
     }

@@ -111,7 +111,7 @@ fn fig5(model: &str, max_t_fft: usize, max_t_naive: usize) {
             for i in *impls {
                 if i.is_quadratic() && t > max_t_naive {
                     print!(" — |");
-                    row.push_str(",");
+                    row.push(',');
                     continue;
                 }
                 let (secs, _) = time_pricer(*i, t, reps_for(t));
@@ -176,7 +176,11 @@ fn fig6(max_t_naive: usize) {
     let t_big = max_t_naive;
     let fft = em.evaluate(&kernels::trace_fft_pricer(t_big, 1)).total();
     let ql = em.evaluate(&kernels::trace_naive(t_big, 1, |i| i + 1)).total();
-    println!("\nenergy saved by fft-bopm at T=2^{}: {:.1}%", t_big.trailing_zeros(), 100.0 * (1.0 - fft / ql));
+    println!(
+        "\nenergy saved by fft-bopm at T=2^{}: {:.1}%",
+        t_big.trailing_zeros(),
+        100.0 * (1.0 - fft / ql)
+    );
 }
 
 /// Figure 7: simulated L1/L2 cache misses vs T.
@@ -206,21 +210,18 @@ fn fig7(max_t_naive: usize) {
         ));
         t *= 2;
     }
-    write_csv(
-        "results/fig7_cache.csv",
-        "T,fft_l1,ql_l1,zb_l1,fft_l2,ql_l2,zb_l2",
-        &csv,
-    );
+    write_csv("results/fig7_cache.csv", "T,fft_l1,ql_l1,zb_l1,fft_l2,ql_l2,zb_l2", &csv);
 }
 
 /// Table 5: runtime vs thread count at fixed T.
 fn table5(t: usize) {
-    println!("\n## Table 5: parallel run times [ms] for T = 2^{} as p varies\n", t.trailing_zeros());
+    println!(
+        "\n## Table 5: parallel run times [ms] for T = 2^{} as p varies\n",
+        t.trailing_zeros()
+    );
     let max_p = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
-    let ps: Vec<usize> = [1usize, 2, 4, 8, 16, 32, 48]
-        .into_iter()
-        .filter(|&p| p <= 2 * max_p)
-        .collect();
+    let ps: Vec<usize> =
+        [1usize, 2, 4, 8, 16, 32, 48].into_iter().filter(|&p| p <= 2 * max_p).collect();
     print!("| impl |");
     for p in &ps {
         print!(" p={p} |");

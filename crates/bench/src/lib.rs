@@ -42,10 +42,7 @@ impl Impl {
 
     /// Whether the implementation costs `Θ(T²)` work (limits feasible `T`).
     pub fn is_quadratic(self) -> bool {
-        matches!(
-            self,
-            Impl::QlBopm | Impl::ZbBopm | Impl::VanillaTopm | Impl::VanillaBsm
-        )
+        matches!(self, Impl::QlBopm | Impl::ZbBopm | Impl::VanillaTopm | Impl::VanillaBsm)
     }
 }
 

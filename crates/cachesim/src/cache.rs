@@ -30,7 +30,7 @@ impl CacheLevel {
         assert!(line_bytes.is_power_of_two());
         assert!(ways >= 1);
         let lines = capacity_bytes / line_bytes;
-        assert!(lines % ways == 0, "capacity/line/ways mismatch");
+        assert!(lines.is_multiple_of(ways), "capacity/line/ways mismatch");
         let sets = lines / ways;
         CacheLevel {
             sets,

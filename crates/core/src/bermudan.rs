@@ -106,12 +106,8 @@ mod tests {
     #[test]
     fn fft_matches_naive_reference() {
         let m = model(500);
-        let date_sets: Vec<Vec<usize>> = vec![
-            vec![500],
-            vec![250],
-            vec![100, 200, 300, 400],
-            (1..=500).step_by(7).collect(),
-        ];
+        let date_sets: Vec<Vec<usize>> =
+            vec![vec![500], vec![250], vec![100, 200, 300, 400], (1..=500).step_by(7).collect()];
         for dates in date_sets {
             let want = price_bermudan_put_naive(&m, &dates).unwrap();
             let got = price_bermudan_put_fft(&m, &dates, Backend::Fft).unwrap();
@@ -136,16 +132,9 @@ mod tests {
         let m = model(300);
         let all: Vec<usize> = (1..=300).collect();
         let bermudan = price_bermudan_put_fft(&m, &all, Backend::Fft).unwrap();
-        let american = naive::price(
-            &m,
-            OptionType::Put,
-            ExerciseStyle::American,
-            naive::ExecMode::Serial,
-        );
-        assert!(
-            (bermudan - american).abs() < 1e-9 * american,
-            "{bermudan} vs {american}"
-        );
+        let american =
+            naive::price(&m, OptionType::Put, ExerciseStyle::American, naive::ExecMode::Serial);
+        assert!((bermudan - american).abs() < 1e-9 * american, "{bermudan} vs {american}");
     }
 
     #[test]

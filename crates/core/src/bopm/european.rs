@@ -42,9 +42,8 @@ fn pow_u(base: f64, h: u64) -> f64 {
 fn price_put(model: &BopmModel) -> f64 {
     let t = model.steps();
     let strike = model.params().strike;
-    let payoff: Vec<f64> = (0..=t as i64)
-        .map(|j| OptionType::Put.payoff(model.node_price(t, j), strike))
-        .collect();
+    let payoff: Vec<f64> =
+        (0..=t as i64).map(|j| OptionType::Put.payoff(model.node_price(t, j), strike)).collect();
     if t == 0 {
         return payoff[0];
     }
@@ -95,8 +94,8 @@ mod tests {
         let put = price_european_fft(&m, OptionType::Put);
         // Lattice parity: C − P = S·e^{−YT} − K·e^{−RT} holds exactly in the
         // risk-neutral tree (up to FFT rounding).
-        let rhs = p.spot * (-p.dividend_yield * p.expiry).exp()
-            - p.strike * (-p.rate * p.expiry).exp();
+        let rhs =
+            p.spot * (-p.dividend_yield * p.expiry).exp() - p.strike * (-p.rate * p.expiry).exp();
         assert!((call - put - rhs).abs() < 1e-8, "{} vs {}", call - put, rhs);
     }
 }

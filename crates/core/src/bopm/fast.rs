@@ -227,10 +227,7 @@ mod tests {
         // The true price is astronomically small; premium space recovers it
         // as (δ + green) with δ ≈ −green ≈ K, so the achievable absolute
         // accuracy is ε·K — compare at that scale.
-        assert!(
-            (got - want).abs() < 1e-12 * p.strike,
-            "fft {got} vs naive {want}"
-        );
+        assert!((got - want).abs() < 1e-12 * p.strike, "fft {got} vs naive {want}");
     }
 
     #[test]

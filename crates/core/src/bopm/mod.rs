@@ -257,10 +257,7 @@ mod tests {
             dividend_yield: 0.0,
             ..OptionParams::paper_defaults()
         };
-        assert!(matches!(
-            BopmModel::new(p, 1),
-            Err(PricingError::UnstableDiscretisation { .. })
-        ));
+        assert!(matches!(BopmModel::new(p, 1), Err(PricingError::UnstableDiscretisation { .. })));
     }
 
     #[test]

@@ -147,11 +147,8 @@ mod tests {
         let m = BopmModel::new(p, 2).unwrap();
         let (u, s0, s1) = (m.up(), m.s0(), m.s1());
         // Leaves: prices 100u², 100, 100/u².
-        let leaf = [
-            (100.0 / (u * u) - 100.0f64).max(0.0),
-            0.0,
-            (100.0 * u * u - 100.0f64).max(0.0),
-        ];
+        let leaf =
+            [(100.0 / (u * u) - 100.0f64).max(0.0), 0.0, (100.0 * u * u - 100.0f64).max(0.0)];
         let mid = [
             (s0 * leaf[0] + s1 * leaf[1]).max(100.0 / u - 100.0),
             (s0 * leaf[1] + s1 * leaf[2]).max(100.0 * u - 100.0),

@@ -58,6 +58,7 @@ impl Walk<'_> {
     }
 
     /// Recursive trapezoid walk; see module docs for the region definition.
+    #[allow(clippy::too_many_arguments)] // trapezoid geometry: two cuts × (position, slope)
     fn walk(&self, buf: &mut [f64], t0: usize, t1: usize, x0: i64, dx0: i64, x1: i64, dx1: i64) {
         let h = (t1 - t0) as i64;
         debug_assert!(h >= 1);
@@ -100,15 +101,8 @@ pub fn price(model: &BopmModel, opt: OptionType, style: ExerciseStyle) -> f64 {
     if t == 0 {
         return buf[0];
     }
-    let walk = Walk {
-        s0: model.s0(),
-        s1: model.s1(),
-        model,
-        opt,
-        style,
-        t_total: t,
-        base_height: 8,
-    };
+    let walk =
+        Walk { s0: model.s0(), s1: model.s1(), model, opt, style, t_total: t, base_height: 8 };
     walk.walk(&mut buf, 0, t, 0, 0, t as i64 + 1, -1);
     buf[0]
 }

@@ -126,7 +126,7 @@ pub fn price_european_term_fft(
         }
         let sk = kernel_spectrum(taps, n);
         for (x, k) in spec.iter_mut().zip(&sk) {
-            *x = *x * k.conj().powu(*steps as u64);
+            *x *= k.conj().powu(*steps as u64);
         }
     }
     let out = ifft_real(spec, 1);
@@ -145,9 +145,7 @@ pub fn price_european_term_fft(
                 .exp();
             let mu: f64 = kernels
                 .iter()
-                .map(|(taps, steps)| {
-                    (taps[0] + taps[1] + taps[2]).ln() * *steps as f64
-                })
+                .map(|(taps, steps)| (taps[0] + taps[1] + taps[2]).ln() * *steps as f64)
                 .sum::<f64>()
                 .exp();
             put + params.spot * lambda - params.strike * mu
@@ -261,11 +259,9 @@ mod tests {
         ];
         let rms = ((0.10f64.powi(2) + 0.28f64.powi(2)) / 2.0).sqrt();
         let term = price_european_term_fft(&p, &segs, OptionType::Put).unwrap();
-        let flat = analytic::black_scholes_price(
-            &OptionParams { volatility: rms, ..p },
-            OptionType::Put,
-        )
-        .unwrap();
+        let flat =
+            analytic::black_scholes_price(&OptionParams { volatility: rms, ..p }, OptionType::Put)
+                .unwrap();
         assert!((term - flat).abs() < 5e-2 * flat, "term {term} vs flat-RMS {flat}");
     }
 

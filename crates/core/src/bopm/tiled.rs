@@ -30,12 +30,7 @@ impl Default for TileConfig {
 }
 
 /// American/European call or put price by cache-aware tiled induction.
-pub fn price(
-    model: &BopmModel,
-    opt: OptionType,
-    style: ExerciseStyle,
-    tile: TileConfig,
-) -> f64 {
+pub fn price(model: &BopmModel, opt: OptionType, style: ExerciseStyle, tile: TileConfig) -> f64 {
     let t = model.steps();
     let (s0, s1) = (model.s0(), model.s1());
     let band_rows = tile.band.max(1);
@@ -72,9 +67,7 @@ pub fn price(
                         let cont = s0 * scratch[x] + s1 * scratch[x + 1];
                         scratch[x] = match style {
                             ExerciseStyle::European => cont,
-                            ExerciseStyle::American => {
-                                cont.max(exercise(i, (offset + x) as i64))
-                            }
+                            ExerciseStyle::American => cont.max(exercise(i, (offset + x) as i64)),
                         };
                     }
                 }
@@ -113,23 +106,11 @@ mod tests {
     #[test]
     fn odd_tile_geometries_agree() {
         let m = BopmModel::new(OptionParams::paper_defaults(), 700).unwrap();
-        let want = naive::price(
-            &m,
-            OptionType::Call,
-            ExerciseStyle::American,
-            ExecMode::Serial,
-        );
+        let want = naive::price(&m, OptionType::Call, ExerciseStyle::American, ExecMode::Serial);
         for (band, width) in [(1, 8), (3, 5), (64, 64), (200, 4096), (1000, 10)] {
-            let got = price(
-                &m,
-                OptionType::Call,
-                ExerciseStyle::American,
-                TileConfig { band, width },
-            );
-            assert!(
-                (got - want).abs() < 1e-9 * want,
-                "band={band} width={width}: {got} vs {want}"
-            );
+            let got =
+                price(&m, OptionType::Call, ExerciseStyle::American, TileConfig { band, width });
+            assert!((got - want).abs() < 1e-9 * want, "band={band} width={width}: {got} vs {want}");
         }
     }
 }

@@ -30,13 +30,9 @@ fn wall_column(model: &BsmModel, barrier: f64) -> i64 {
 }
 
 /// Prices a **European down-and-out put** with the FFT wall advance.
-pub fn price_down_and_out_put_fft(
-    model: &BsmModel,
-    barrier: f64,
-    backend: Backend,
-) -> Result<f64> {
+pub fn price_down_and_out_put_fft(model: &BsmModel, barrier: f64, backend: Backend) -> Result<f64> {
     let strike = model.params().strike;
-    if !(barrier > 0.0) || barrier >= model.params().spot {
+    if !barrier.is_finite() || barrier <= 0.0 || barrier >= model.params().spot {
         return Err(PricingError::InvalidParams {
             field: "barrier",
             reason: format!(
@@ -66,7 +62,7 @@ pub fn price_down_and_out_put_fft(
 /// Reference pricer: dense cone sweep with the barrier zeroed each row.
 pub fn price_down_and_out_put_naive(model: &BsmModel, barrier: f64) -> Result<f64> {
     let strike = model.params().strike;
-    if !(barrier > 0.0) || barrier >= model.params().spot {
+    if !barrier.is_finite() || barrier <= 0.0 || barrier >= model.params().spot {
         return Err(PricingError::InvalidParams {
             field: "barrier",
             reason: "down-and-out barrier must satisfy 0 < B < spot".into(),
@@ -79,9 +75,8 @@ pub fn price_down_and_out_put_naive(model: &BsmModel, barrier: f64) -> Result<f6
     }
     let (wb, wc, wa) = model.weights();
     let knocked = |k: i64| k <= wall;
-    let mut cur: Vec<f64> = (-t..=t)
-        .map(|k| if knocked(k) { 0.0 } else { model.payoff(k) })
-        .collect();
+    let mut cur: Vec<f64> =
+        (-t..=t).map(|k| if knocked(k) { 0.0 } else { model.payoff(k) }).collect();
     for n in 1..=t {
         let half = t - n;
         let mut next = Vec::with_capacity((2 * half + 1) as usize);

@@ -52,12 +52,8 @@ pub fn price_european_put_fft(model: &BsmModel) -> f64 {
     if t == 0 {
         return model.params().strike * payoff[0];
     }
-    let out = advance(
-        &Segment::new(-t, payoff),
-        &model.kernel(),
-        t as u64,
-        amopt_stencil::Backend::Fft,
-    );
+    let out =
+        advance(&Segment::new(-t, payoff), &model.kernel(), t as u64, amopt_stencil::Backend::Fft);
     debug_assert_eq!(out.len(), 1);
     model.params().strike * out.values[0]
 }

@@ -271,9 +271,6 @@ mod tests {
             dividend_yield: 0.0,
             ..OptionParams::paper_defaults()
         };
-        assert!(matches!(
-            BsmModel::new(p, 1),
-            Err(PricingError::UnstableDiscretisation { .. })
-        ));
+        assert!(matches!(BsmModel::new(p, 1), Err(PricingError::UnstableDiscretisation { .. })));
     }
 }

@@ -58,8 +58,7 @@ pub fn apex_value(model: &BsmModel, style: Style, mode: ExecMode) -> f64 {
                             let pos = offset + i; // 0-based in output row
                             let k = pos as i64 - half;
                             let idx = pos + 1; // same column in input row
-                            let lin =
-                                wb * read[idx - 1] + wc * read[idx] + wa * read[idx + 1];
+                            let lin = wb * read[idx - 1] + wc * read[idx] + wa * read[idx + 1];
                             *out = match style {
                                 Style::European => lin,
                                 Style::American => lin.max(model.exercise(k)),

@@ -251,8 +251,7 @@ mod tests {
     fn synthetic(
         steps: i64,
         s_base: f64,
-    ) -> (StencilKernel, impl Fn(u64, i64) -> f64 + Sync + Clone, impl Fn(i64) -> f64 + Clone)
-    {
+    ) -> (StencilKernel, impl Fn(u64, i64) -> f64 + Sync + Clone, impl Fn(i64) -> f64 + Clone) {
         let sigma2 = 0.04_f64; // sigma = 0.2
         let rate = 0.03_f64;
         let omega = 2.0 * rate / sigma2;
@@ -376,8 +375,7 @@ mod tests {
             dense_f = fb;
         }
         let row = initial_row(&green, &payoff, steps);
-        let out =
-            advance_green_left(&kernel, &green, &row, half_steps, &EngineConfig::default());
+        let out = advance_green_left(&kernel, &green, &row, half_steps, &EngineConfig::default());
         assert_eq!(out.boundary, dense_f);
     }
 }

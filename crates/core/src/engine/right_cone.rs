@@ -62,12 +62,7 @@ fn build_premium_row(reds: &Segment, boundary: i64, lo: i64, hi: i64) -> Segment
 
 /// Naive base case: advances the premium window one step at a time; the
 /// boundary is the last column whose linear candidate stays non-negative.
-fn base_naive<P>(
-    kernel: &StencilKernel,
-    obstacle: &ExpObstacle<P>,
-    row: &RedRow,
-    h: u64,
-) -> RedRow
+fn base_naive<P>(kernel: &StencilKernel, obstacle: &ExpObstacle<P>, row: &RedRow, h: u64) -> RedRow
 where
     P: Fn(u64, i64) -> f64 + Sync,
 {
@@ -264,12 +259,8 @@ mod tests {
             let next_len = row.len() - span;
             let mut next = Vec::with_capacity(next_len);
             for c in 0..next_len {
-                let lin: f64 = kernel
-                    .weights()
-                    .iter()
-                    .enumerate()
-                    .map(|(m, &w)| w * row[c + m])
-                    .sum();
+                let lin: f64 =
+                    kernel.weights().iter().enumerate().map(|(m, &w)| w * row[c + m]).sum();
                 next.push(lin.max(obstacle.green(t + 1, c as i64)));
             }
             row = next;
@@ -281,11 +272,11 @@ mod tests {
     /// constants derived exactly like a genuine BOPM (span 1) or TOPM
     /// (span 2) American call, for which Corollaries 2.7/A.6 guarantee the
     /// red–green structure the engine relies on.
+    #[allow(clippy::type_complexity)]
     fn synthetic_problem(
         steps: u64,
         span: usize,
-    ) -> (StencilKernel, ExpObstacle<impl Fn(u64, i64) -> f64 + Sync + Clone>, Vec<f64>, i64)
-    {
+    ) -> (StencilKernel, ExpObstacle<impl Fn(u64, i64) -> f64 + Sync + Clone>, Vec<f64>, i64) {
         let r_dt = 0.0005_f64;
         let y_dt = 0.0010_f64;
         let m = (-r_dt).exp();
@@ -353,9 +344,8 @@ mod tests {
         init: &[f64],
         boundary: i64,
     ) -> RedRow {
-        let premiums: Vec<f64> = (0..=boundary.max(-1))
-            .map(|c| init[c as usize] - obstacle.green(0, c))
-            .collect();
+        let premiums: Vec<f64> =
+            (0..=boundary.max(-1)).map(|c| init[c as usize] - obstacle.green(0, c)).collect();
         RedRow { t: 0, reds: Segment::new(0, premiums), boundary }
     }
 
@@ -450,8 +440,7 @@ mod tests {
     #[test]
     fn all_green_short_circuits() {
         let kernel = StencilKernel::new(vec![0.5, 0.5], 0);
-        let obstacle =
-            ExpObstacle::new(|_t: u64, c: i64| 100.0 + c as f64, &kernel, 1.0, 1.0, 0.0);
+        let obstacle = ExpObstacle::new(|_t: u64, c: i64| 100.0 + c as f64, &kernel, 1.0, 1.0, 0.0);
         let row = RedRow { t: 0, reds: Segment::new(0, vec![]), boundary: -1 };
         let v = solve_to_root(&kernel, &obstacle, row, 50, 0, &EngineConfig::default());
         assert_eq!(v, 100.0);

@@ -9,8 +9,8 @@
 use crate::bopm::BopmModel;
 use crate::bsm::BsmModel;
 use crate::engine::EngineConfig;
-use crate::topm::TopmModel;
 use crate::params::OptionType;
+use crate::topm::TopmModel;
 
 /// One sample of the early-exercise frontier.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,8 +63,7 @@ pub fn bsm_put_boundary(
             BoundaryPoint {
                 time_step: i,
                 time_years: expiry * i as f64 / t as f64,
-                critical_price: (k >= -(t as i64 - n as i64))
-                    .then(|| strike * model.s_at(k).exp()),
+                critical_price: (k >= -(t as i64 - n as i64)).then(|| strike * model.s_at(k).exp()),
             }
         })
         .collect()

@@ -42,7 +42,11 @@ fn central<F: FnMut(f64) -> Result<f64>>(x: f64, h: f64, mut price: F) -> Result
 }
 
 /// Greeks of the American **call** under BOPM (fast pricer).
-pub fn american_call_bopm(params: &OptionParams, steps: usize, cfg: &EngineConfig) -> Result<Greeks> {
+pub fn american_call_bopm(
+    params: &OptionParams,
+    steps: usize,
+    cfg: &EngineConfig,
+) -> Result<Greeks> {
     let params = params.validated()?;
     let reprice = |p: OptionParams| -> Result<f64> {
         Ok(fast::price_american_call(&BopmModel::new(p, steps)?, cfg))

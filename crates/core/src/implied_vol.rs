@@ -32,9 +32,7 @@ pub fn european(params: &OptionParams, opt: OptionType, market_price: f64) -> Re
     if market_price < lo_p - 1e-12 || market_price > hi_p + 1e-12 {
         return Err(PricingError::InvalidParams {
             field: "market_price",
-            reason: format!(
-                "price {market_price} outside attainable range [{lo_p:.6}, {hi_p:.6}]"
-            ),
+            reason: format!("price {market_price} outside attainable range [{lo_p:.6}, {hi_p:.6}]"),
         });
     }
     // Newton from a mid-range start, guarded by a bisection bracket.
@@ -53,11 +51,7 @@ pub fn european(params: &OptionParams, opt: OptionType, market_price: f64) -> Re
         }
         let vega = black_scholes_vega(&OptionParams { volatility: vol, ..params })?;
         let newton = vol - diff / vega;
-        vol = if vega > 1e-12 && newton > lo && newton < hi {
-            newton
-        } else {
-            0.5 * (lo + hi)
-        };
+        vol = if vega > 1e-12 && newton > lo && newton < hi { newton } else { 0.5 * (lo + hi) };
         if hi - lo < 1e-14 {
             return Ok(vol);
         }
@@ -95,9 +89,7 @@ pub fn american_call_bopm(
     if market_price < p_lo - 1e-9 || market_price > p_hi + 1e-9 {
         return Err(PricingError::InvalidParams {
             field: "market_price",
-            reason: format!(
-                "price {market_price} outside attainable range [{p_lo:.6}, {p_hi:.6}]"
-            ),
+            reason: format!("price {market_price} outside attainable range [{p_lo:.6}, {p_hi:.6}]"),
         });
     }
     for _ in 0..MAX_ITERS {
@@ -124,11 +116,8 @@ mod tests {
         let p = OptionParams::paper_defaults();
         for opt in [OptionType::Call, OptionType::Put] {
             for true_vol in [0.08, 0.2, 0.55] {
-                let quoted = black_scholes_price(
-                    &OptionParams { volatility: true_vol, ..p },
-                    opt,
-                )
-                .unwrap();
+                let quoted =
+                    black_scholes_price(&OptionParams { volatility: true_vol, ..p }, opt).unwrap();
                 let got = european(&p, opt, quoted).unwrap();
                 assert!((got - true_vol).abs() < 1e-7, "{opt:?} σ={true_vol}: got {got}");
             }

@@ -169,8 +169,7 @@ mod tests {
         let tri = TopmModel::new(p, 2000).unwrap();
         let bin = crate::bopm::BopmModel::new(p, 2000).unwrap();
         let v_tri = price_american_call(&tri, &EngineConfig::default());
-        let v_bin =
-            crate::bopm::fast::price_american_call(&bin, &EngineConfig::default());
+        let v_bin = crate::bopm::fast::price_american_call(&bin, &EngineConfig::default());
         assert!((v_tri - v_bin).abs() < 5e-3 * v_bin, "tri {v_tri} vs bin {v_bin}");
     }
 }

@@ -259,11 +259,7 @@ mod tests {
     #[test]
     fn rejects_zero_steps_and_degenerate_probabilities() {
         assert!(TopmModel::new(OptionParams::paper_defaults(), 0).is_err());
-        let bad = OptionParams {
-            rate: 3.0,
-            volatility: 0.01,
-            ..OptionParams::paper_defaults()
-        };
+        let bad = OptionParams { rate: 3.0, volatility: 0.01, ..OptionParams::paper_defaults() };
         assert!(TopmModel::new(bad, 2).is_err());
     }
 }

@@ -66,9 +66,7 @@ fn price_parallel(model: &TopmModel, opt: OptionType, style: ExerciseStyle) -> f
                     let cont = s0 * read[j] + s1 * read[j + 1] + s2 * read[j + 2];
                     *out = match style {
                         ExerciseStyle::European => cont,
-                        ExerciseStyle::American => {
-                            cont.max(exercise(model, opt, i, j as i64))
-                        }
+                        ExerciseStyle::American => cont.max(exercise(model, opt, i, j as i64)),
                     };
                 }
             });
@@ -123,10 +121,8 @@ mod tests {
     fn one_step_tree_by_hand() {
         let m = model(1);
         let (s0, s1, s2) = m.weights();
-        let leaves: Vec<f64> =
-            (0..3).map(|j| m.exercise_call(1, j).max(0.0)).collect();
-        let want = (s0 * leaves[0] + s1 * leaves[1] + s2 * leaves[2])
-            .max(m.exercise_call(0, 0));
+        let leaves: Vec<f64> = (0..3).map(|j| m.exercise_call(1, j).max(0.0)).collect();
+        let want = (s0 * leaves[0] + s1 * leaves[1] + s2 * leaves[2]).max(m.exercise_call(0, 0));
         let got = price(&m, OptionType::Call, ExerciseStyle::American, ExecMode::Serial);
         assert!((got - want).abs() < 1e-12);
     }
@@ -177,9 +173,8 @@ mod tests {
         let t = 400usize;
         let tri = TopmModel::new(p, t).unwrap();
         let bin = crate::bopm::BopmModel::new(p, t).unwrap();
-        let tri_err = (price(&tri, OptionType::Call, ExerciseStyle::European, ExecMode::Serial)
-            - bs)
-            .abs();
+        let tri_err =
+            (price(&tri, OptionType::Call, ExerciseStyle::European, ExecMode::Serial) - bs).abs();
         let bin_err = (crate::bopm::naive::price(
             &bin,
             OptionType::Call,

@@ -70,7 +70,7 @@ fn bluestein_forward(x: &[Complex64]) -> Vec<Complex64> {
     plan.forward(&mut a);
     plan.forward(&mut b);
     for (av, bv) in a.iter_mut().zip(&b) {
-        *av = *av * *bv;
+        *av *= *bv;
     }
     plan.inverse(&mut a);
 
@@ -112,11 +112,7 @@ mod tests {
             let x = rand_signal(n, n as u64);
             let got = dft(&x, Direction::Forward);
             let want = dft_naive(&x, Direction::Forward);
-            let err = got
-                .iter()
-                .zip(&want)
-                .map(|(a, b)| (*a - *b).abs())
-                .fold(0.0, f64::max);
+            let err = got.iter().zip(&want).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
             assert!(err < 1e-8 * n as f64, "n={n} err={err}");
         }
     }
@@ -127,11 +123,7 @@ mod tests {
             let x = rand_signal(n, 77 + n as u64);
             let spec = dft(&x, Direction::Forward);
             let back = dft(&spec, Direction::Inverse);
-            let err = back
-                .iter()
-                .zip(&x)
-                .map(|(a, b)| (*a - *b).abs())
-                .fold(0.0, f64::max);
+            let err = back.iter().zip(&x).map(|(a, b)| (*a - *b).abs()).fold(0.0, f64::max);
             assert!(err < 1e-9, "n={n} err={err}");
         }
     }

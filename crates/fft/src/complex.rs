@@ -111,9 +111,9 @@ impl Complex64 {
         let mut acc = Self::ONE;
         while k > 0 {
             if k & 1 == 1 {
-                acc = acc * base;
+                acc *= base;
             }
-            base = base * base;
+            base *= base;
             k >>= 1;
         }
         acc
@@ -156,10 +156,7 @@ impl Mul for Complex64 {
     type Output = Complex64;
     #[inline]
     fn mul(self, rhs: Self) -> Self {
-        c64(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        c64(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -181,6 +178,7 @@ impl Mul<f64> for Complex64 {
 impl Div for Complex64 {
     type Output = Complex64;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // division as multiply-by-reciprocal
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }

@@ -12,10 +12,10 @@
 //! for every index in the *valid* output range `c ≤ x.len() − |W|` this stays
 //! below `x.len() ≤ n`, so no wrapped (aliased) term is ever read.
 
+use crate::bluestein;
 use crate::complex::Complex64;
 use crate::radix2::{next_pow2, Direction};
 use crate::real::{fft_real, fft_two_real, ifft_real};
-use crate::bluestein;
 
 /// Full linear convolution of two real sequences (`len = a + b − 1`).
 pub fn linear_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
@@ -85,11 +85,8 @@ pub fn correlate_power_valid(x: &[f64], kernel: &[f64], h: u64) -> Vec<f64> {
     // price error at T = 252.  Direct evaluation is exact to ε and costs only
     // O(σ·n) for σ-tap kernels.
     let sk = kernel_spectrum(kernel, n);
-    let spec: Vec<Complex64> = sx
-        .iter()
-        .zip(&sk)
-        .map(|(&xv, &kv)| xv * kv.conj().powu(h))
-        .collect();
+    let spec: Vec<Complex64> =
+        sx.iter().zip(&sk).map(|(&xv, &kv)| xv * kv.conj().powu(h)).collect();
     ifft_real(spec, out_len)
 }
 
@@ -133,15 +130,9 @@ pub fn correlate_power_periodic(x: &[f64], kernel: &[f64], h: u64) -> Vec<f64> {
     zk.resize(n, Complex64::ZERO);
     let sx = bluestein::dft(&zx, Direction::Forward);
     let sk = bluestein::dft(&zk, Direction::Forward);
-    let spec: Vec<Complex64> = sx
-        .iter()
-        .zip(&sk)
-        .map(|(&xv, &kv)| xv * kv.conj().powu(h))
-        .collect();
-    bluestein::dft(&spec, Direction::Inverse)
-        .into_iter()
-        .map(|v| v.re)
-        .collect()
+    let spec: Vec<Complex64> =
+        sx.iter().zip(&sk).map(|(&xv, &kv)| xv * kv.conj().powu(h)).collect();
+    bluestein::dft(&spec, Direction::Inverse).into_iter().map(|v| v.re).collect()
 }
 
 /// Explicit taps of `kernel^{⊛h}` (h-fold self-convolution), computed by
@@ -170,9 +161,7 @@ mod tests {
 
     fn naive_correlate_valid(x: &[f64], w: &[f64]) -> Vec<f64> {
         let out_len = x.len() + 1 - w.len();
-        (0..out_len)
-            .map(|c| w.iter().enumerate().map(|(m, &wm)| wm * x[c + m]).sum())
-            .collect()
+        (0..out_len).map(|c| w.iter().enumerate().map(|(m, &wm)| wm * x[c + m]).sum()).collect()
     }
 
     fn naive_step_periodic(x: &[f64], kernel: &[f64]) -> Vec<f64> {

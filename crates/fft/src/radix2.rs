@@ -127,7 +127,13 @@ impl Fft {
 
 /// One serial butterfly block: pairs `b[j]` with `b[j+len]`.
 #[inline]
-fn butterfly_block(b: &mut [Complex64], len: usize, tw: &[Complex64], stride: usize, inverse: bool) {
+fn butterfly_block(
+    b: &mut [Complex64],
+    len: usize,
+    tw: &[Complex64],
+    stride: usize,
+    inverse: bool,
+) {
     let (lo, hi) = b.split_at_mut(len);
     for j in 0..len {
         let mut w = tw[j * stride];
@@ -136,7 +142,7 @@ fn butterfly_block(b: &mut [Complex64], len: usize, tw: &[Complex64], stride: us
         }
         let t = w * hi[j];
         hi[j] = lo[j] - t;
-        lo[j] = lo[j] + t;
+        lo[j] += t;
     }
 }
 
@@ -166,7 +172,7 @@ fn par_butterfly_block(
                 }
                 let t = w * hi[j];
                 hi[j] = lo[j] - t;
-                lo[j] = lo[j] + t;
+                lo[j] += t;
             }
         } else {
             let mid = lo.len() / 2;

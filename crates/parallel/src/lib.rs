@@ -135,10 +135,7 @@ where
         } else {
             let mid = data.len() / 2;
             let (left, right) = data.split_at_mut(mid);
-            join(
-                || go(offset, left, grain, body),
-                || go(offset + mid, right, grain, body),
-            );
+            join(|| go(offset, left, grain, body), || go(offset + mid, right, grain, body));
         }
     }
     let grain = grain.max(1);
@@ -248,6 +245,21 @@ mod tests {
         for p in [1usize, 2, 4] {
             let seen = run_with_threads(p, current_num_threads);
             assert_eq!(seen, p);
+        }
+    }
+
+    #[cfg(not(feature = "rayon-backend"))]
+    #[test]
+    fn sequential_run_with_threads_is_single_threaded_and_never_panics() {
+        // The sequential fallback must accept any requested width — including
+        // 0 — run the closure on the calling thread, and report one worker.
+        for requested in [0usize, 1, 8, 1024] {
+            let caller = std::thread::current().id();
+            let (threads, tid) = run_with_threads(requested, || {
+                (current_num_threads(), std::thread::current().id())
+            });
+            assert_eq!(threads, 1);
+            assert_eq!(tid, caller);
         }
     }
 

@@ -44,15 +44,13 @@ pub fn output_start(start: i64, kernel: &StencilKernel, h: u64) -> i64 {
 /// # Panics
 /// If the segment is too short to produce at least one valid cell.
 pub fn advance(seg: &Segment, kernel: &StencilKernel, h: u64, backend: Backend) -> Segment {
-    let out_len = valid_output_len(seg.len(), kernel, h)
-        .filter(|&l| l > 0)
-        .unwrap_or_else(|| {
-            panic!(
-                "segment of {} cells cannot be advanced {h} steps by a span-{} kernel",
-                seg.len(),
-                kernel.span()
-            )
-        });
+    let out_len = valid_output_len(seg.len(), kernel, h).filter(|&l| l > 0).unwrap_or_else(|| {
+        panic!(
+            "segment of {} cells cannot be advanced {h} steps by a span-{} kernel",
+            seg.len(),
+            kernel.span()
+        )
+    });
     let start = output_start(seg.start, kernel, h);
     if h == 0 {
         return seg.clone();
@@ -91,7 +89,12 @@ fn stepped(row: &[f64], kernel: &StencilKernel, h: u64) -> Vec<f64> {
 ///
 /// This is the `O(N log N)` periodic-grid case of Ahmad et al. \[1\]; grid
 /// sizes need not be powers of two.
-pub fn advance_periodic(values: &[f64], kernel: &StencilKernel, h: u64, backend: Backend) -> Vec<f64> {
+pub fn advance_periodic(
+    values: &[f64],
+    kernel: &StencilKernel,
+    h: u64,
+    backend: Backend,
+) -> Vec<f64> {
     if values.is_empty() || h == 0 {
         return values.to_vec();
     }

@@ -28,7 +28,12 @@ use crate::segment::Segment;
 /// # Panics
 /// If the kernel is not a 3-point stencil anchored at −1 or the segment is
 /// too short for `h` steps.
-pub fn advance_left_wall(seg: &Segment, kernel: &StencilKernel, h: u64, backend: Backend) -> Segment {
+pub fn advance_left_wall(
+    seg: &Segment,
+    kernel: &StencilKernel,
+    h: u64,
+    backend: Backend,
+) -> Segment {
     assert_eq!(kernel.anchor(), -1, "wall advance requires anchor −1");
     assert_eq!(kernel.span(), 2, "wall advance requires a 3-point kernel");
     assert!(
@@ -149,7 +154,8 @@ mod tests {
         let vals = vec![1.0; 200];
         let walled = advance_left_wall(&Segment::new(0, vals.clone()), &k, 40, Backend::Fft);
         // Free-space evolution of the same row, restricted to the same cells.
-        let free = advance(&Segment::new(-60, [vec![1.0; 60], vals].concat()), &k, 40, Backend::Fft);
+        let free =
+            advance(&Segment::new(-60, [vec![1.0; 60], vals].concat()), &k, 40, Backend::Fft);
         for c in walled.start..walled.end() {
             assert!(walled.get(c) <= free.get(c) + 1e-12, "col {c}");
         }

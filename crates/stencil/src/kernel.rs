@@ -29,10 +29,7 @@ impl StencilKernel {
     /// If `weights` is empty or contains non-finite values.
     pub fn new(weights: Vec<f64>, anchor: i64) -> Self {
         assert!(!weights.is_empty(), "stencil kernel needs at least one tap");
-        assert!(
-            weights.iter().all(|w| w.is_finite()),
-            "stencil kernel taps must be finite"
-        );
+        assert!(weights.iter().all(|w| w.is_finite()), "stencil kernel taps must be finite");
         StencilKernel { weights, anchor }
     }
 
@@ -72,13 +69,7 @@ impl StencilKernel {
         let span = self.span();
         assert!(row.len() > span, "row of {} cells is too short for span {span}", row.len());
         (0..row.len() - span)
-            .map(|c| {
-                self.weights
-                    .iter()
-                    .enumerate()
-                    .map(|(m, &w)| w * row[c + m])
-                    .sum()
-            })
+            .map(|c| self.weights.iter().enumerate().map(|(m, &w)| w * row[c + m]).sum())
             .collect()
     }
 

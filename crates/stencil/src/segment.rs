@@ -72,8 +72,12 @@ impl Segment {
     /// Borrow of the value slice covering absolute columns `[lo, hi]`
     /// (inclusive on both ends).
     pub fn slice(&self, lo: i64, hi: i64) -> &[f64] {
-        assert!(lo >= self.start && hi < self.end() && lo <= hi + 1,
-            "range [{lo}, {hi}] outside segment [{}, {})", self.start, self.end());
+        assert!(
+            lo >= self.start && hi < self.end() && lo <= hi + 1,
+            "range [{lo}, {hi}] outside segment [{}, {})",
+            self.start,
+            self.end()
+        );
         &self.values[(lo - self.start) as usize..=(hi - self.start) as usize]
     }
 

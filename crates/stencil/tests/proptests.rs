@@ -5,10 +5,7 @@ use amopt_stencil::{advance, advance_periodic, Backend, Segment, StencilKernel};
 use proptest::prelude::*;
 
 fn arb_kernel() -> impl Strategy<Value = StencilKernel> {
-    (
-        prop::collection::vec(0.01..0.45f64, 2..4),
-        -2i64..=1,
-    )
+    (prop::collection::vec(0.01..0.45f64, 2..4), -2i64..=1)
         .prop_map(|(w, anchor)| StencilKernel::new(w, anchor))
 }
 

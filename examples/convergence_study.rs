@@ -18,14 +18,16 @@ fn main() {
         let t = 1usize << pow;
         let bin = BopmModel::new(params, t).unwrap();
         let tri = TopmModel::new(params, t).unwrap();
-        let e_bin =
-            (american_option_pricing::core::bopm::european::price_european_fft(&bin, OptionType::Call)
-                - target)
-                .abs();
-        let e_tri =
-            (american_option_pricing::core::topm::european::price_european_fft(&tri, OptionType::Call)
-                - target)
-                .abs();
+        let e_bin = (american_option_pricing::core::bopm::european::price_european_fft(
+            &bin,
+            OptionType::Call,
+        ) - target)
+            .abs();
+        let e_tri = (american_option_pricing::core::topm::european::price_european_fft(
+            &tri,
+            OptionType::Call,
+        ) - target)
+            .abs();
         println!("{t:7}   {e_bin:13.3e}   {e_tri:14.3e}");
     }
     println!("\nAmerican put: FD (BSM) vs binomial lattice cross-check");
@@ -41,6 +43,9 @@ fn main() {
             ExerciseStyle::American,
             bopm_naive::ExecMode::Parallel,
         );
-        println!("  T={t:6}: FD {v_fd:.6} vs lattice {v_lat:.6} (diff {:.2e})", (v_fd - v_lat).abs());
+        println!(
+            "  T={t:6}: FD {v_fd:.6} vs lattice {v_lat:.6} (diff {:.2e})",
+            (v_fd - v_lat).abs()
+        );
     }
 }

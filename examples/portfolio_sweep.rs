@@ -20,9 +20,7 @@ fn main() {
     let expiries: Vec<f64> = (1..=10).map(|i| i as f64 / 4.0).collect();
     let book: Vec<OptionParams> = strikes
         .iter()
-        .flat_map(|&k| {
-            expiries.iter().map(move |&e| OptionParams { strike: k, expiry: e, ..base })
-        })
+        .flat_map(|&k| expiries.iter().map(move |&e| OptionParams { strike: k, expiry: e, ..base }))
         .collect();
 
     let t0 = Instant::now();

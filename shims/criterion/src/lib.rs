@@ -1,0 +1,272 @@
+//! Offline shim for the `criterion` crate (see `shims/README.md`).
+//!
+//! Implements the harness surface the workspace's benches use —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! the group's `warm_up_time` / `measurement_time` / `sample_size` knobs,
+//! `bench_with_input` / `bench_function`, and [`Bencher::iter`] — reporting
+//! the median / min / max wall-clock time per iteration on stdout.  There is
+//! no statistical analysis, HTML report, or CLI filtering; every registered
+//! bench runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let group_name = String::new();
+        run_one(&group_name, name, Duration::from_millis(500), Duration::from_secs(2), 10, f);
+        self
+    }
+}
+
+/// Identifier `function_name/parameter` mirroring criterion's display form.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.id,
+            self.warm_up_time,
+            self.measurement_time,
+            self.sample_size,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_benchmark_id();
+        run_one(&self.name, &id.id, self.warm_up_time, self.measurement_time, self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Anything usable as a bench name in `bench_function`.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.to_string() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+fn run_one<F>(
+    group: &str,
+    id: &str,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { mode: Mode::WarmUp { budget: warm_up }, samples: Vec::new() };
+    f(&mut bencher);
+    bencher.mode = Mode::Measure { budget: measurement, sample_size };
+    f(&mut bencher);
+    let label = if group.is_empty() { id.to_string() } else { format!("{group}/{id}") };
+    bencher.report(&label);
+}
+
+enum Mode {
+    WarmUp { budget: Duration },
+    Measure { budget: Duration, sample_size: usize },
+}
+
+/// Timing loop driver passed to the bench closure.
+pub struct Bencher {
+    mode: Mode,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing each call in the measurement phase.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::WarmUp { budget } => {
+                let start = Instant::now();
+                while start.elapsed() < budget {
+                    black_box(routine());
+                }
+            }
+            Mode::Measure { budget, sample_size } => {
+                self.samples.clear();
+                let start = Instant::now();
+                for done in 0..sample_size {
+                    // Always record at least two samples so min/median/max
+                    // are meaningful, then respect the time budget.
+                    if done >= 2 && start.elapsed() > budget {
+                        break;
+                    }
+                    let t0 = Instant::now();
+                    black_box(routine());
+                    self.samples.push(t0.elapsed());
+                }
+            }
+        }
+    }
+
+    fn report(&mut self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        self.samples.sort();
+        let min = self.samples[0];
+        let med = self.samples[self.samples.len() / 2];
+        let max = self.samples[self.samples.len() - 1];
+        println!(
+            "{label:<40} time: [{} {} {}] ({} samples)",
+            fmt_duration(min),
+            fmt_duration(med),
+            fmt_duration(max),
+            self.samples.len(),
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Groups bench target functions, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.  CLI arguments (e.g. cargo's `--bench`) are
+/// accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.warm_up_time(Duration::from_millis(1));
+        g.measurement_time(Duration::from_millis(5));
+        g.sample_size(4);
+        let mut runs = 0u64;
+        g.bench_with_input(BenchmarkId::new("count", 3), &3u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n * 2
+            })
+        });
+        g.finish();
+        assert!(runs >= 4, "routine ran {runs} times");
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline shim for the `proptest` crate (see `shims/README.md`).
+//!
+//! Implements the property-testing surface this workspace uses with the
+//! upstream module paths and macro grammar: the [`proptest!`] macro,
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, numeric range and tuple
+//! strategies, and `prop::collection::vec`.
+//!
+//! Generation is **deterministic**: each case's RNG is seeded from the test
+//! name and the attempt index, so failures reproduce exactly across runs.
+//! There is no shrinking — a failing case reports its attempt number.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `prop::collection::vec` compatible collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Number-of-elements specification: either an exact size (`usize`) or a
+    /// half-open range (`Range<usize>`), mirroring proptest's `SizeRange`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.lo, self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test file needs from `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Declares property tests.  Supports the subset of upstream grammar used in
+/// this workspace: an optional `#![proptest_config(..)]` header followed by
+/// `#[test] fn name(pat in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases: u32 = __config.cases;
+                // Rejections (prop_assume!) don't count toward `cases`, but a
+                // runaway assumption must not loop forever.
+                let __max_attempts: u64 = u64::from(__cases) * 32 + 256;
+                let mut __successes: u32 = 0;
+                let mut __attempt: u64 = 0;
+                while __successes < __cases {
+                    __attempt += 1;
+                    assert!(
+                        __attempt <= __max_attempts,
+                        "proptest '{}' gave up: too many prop_assume! rejections \
+                         ({} accepted of {} attempts)",
+                        stringify!($name),
+                        __successes,
+                        __attempt - 1,
+                    );
+                    let mut __rng =
+                        $crate::test_runner::TestRng::for_case(stringify!($name), __attempt);
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )+
+                    let __outcome = (move || -> ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        Ok(())
+                    })();
+                    match __outcome {
+                        Ok(()) => __successes += 1,
+                        Err($crate::test_runner::TestCaseError::Reject) => {}
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                            "proptest '{}' failed at deterministic attempt {}: {}",
+                            stringify!($name),
+                            __attempt,
+                            msg,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case (with an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: {} == {} ({:?} vs {:?})",
+            stringify!($lhs),
+            stringify!($rhs),
+            __l,
+            __r,
+        );
+    }};
+}

@@ -1,0 +1,87 @@
+//! Config, RNG, and case-outcome types backing the `proptest!` macro.
+
+/// Subset of upstream `proptest::test_runner::Config` used here.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Outcome of one generated case's body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` did not hold; the case is skipped, not failed.
+    Reject,
+    /// `prop_assert!`-family assertion failed.
+    Fail(String),
+}
+
+/// Deterministic splitmix64/xorshift-style RNG.  Seeded from the test name
+/// and attempt index so every run generates the identical case sequence.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, attempt: u64) -> Self {
+        // FNV-1a over the name, mixed with the attempt index.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut rng = TestRng { state: h ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15) };
+        // Warm the state so nearby seeds decorrelate.
+        rng.next_u64();
+        rng.next_u64();
+        rng
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        // splitmix64
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`; `hi > lo` required.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(hi > lo);
+        lo + (self.next_u64() % (hi - lo) as u64) as usize
+    }
+
+    /// Uniform in `[lo, hi]` over `i128` (covers every integer type used),
+    /// with a small bias toward the endpoints to surface off-by-one bugs.
+    pub fn i128_in_inclusive(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(hi >= lo);
+        let roll = self.next_u64() % 32;
+        if roll == 0 {
+            return lo;
+        }
+        if roll == 1 {
+            return hi;
+        }
+        let span = (hi - lo + 1) as u128;
+        let wide = (u128::from(self.next_u64()) << 64) | u128::from(self.next_u64());
+        lo + (wide % span) as i128
+    }
+}

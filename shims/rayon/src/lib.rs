@@ -1,0 +1,214 @@
+//! Offline shim for the `rayon` crate (see `shims/README.md`).
+//!
+//! Implements the fork-join surface `amopt-parallel` uses — [`join`],
+//! [`current_num_threads`], and [`ThreadPoolBuilder`] / [`ThreadPool::install`]
+//! — with real parallelism: `join` runs its second closure on a scoped OS
+//! thread while the enclosing pool has spare width, and falls back to
+//! sequential execution once the budget is exhausted.  There is no work
+//! stealing; the budget is a simple atomic counter per pool, which is enough
+//! to bound concurrency to the requested thread count and to make
+//! `current_num_threads` report the installed pool's width.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Shared state of one logical thread pool: its width and how many extra
+/// (spawned) workers are currently live.
+struct PoolCtx {
+    width: usize,
+    extra: AtomicUsize,
+}
+
+impl PoolCtx {
+    fn new(width: usize) -> Arc<Self> {
+        Arc::new(PoolCtx { width: width.max(1), extra: AtomicUsize::new(0) })
+    }
+
+    /// Tries to reserve one spawn slot; the calling thread itself always
+    /// counts as one worker, so at most `width - 1` extras may be live.
+    fn try_reserve(&self) -> bool {
+        self.extra
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| {
+                (v + 1 < self.width).then_some(v + 1)
+            })
+            .is_ok()
+    }
+
+    fn release(&self) {
+        self.extra.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+fn global_pool() -> &'static Arc<PoolCtx> {
+    static GLOBAL: OnceLock<Arc<PoolCtx>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let width = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        PoolCtx::new(width)
+    })
+}
+
+thread_local! {
+    /// Pool the current thread works for; `None` means the implicit global pool.
+    static CURRENT: RefCell<Option<Arc<PoolCtx>>> = const { RefCell::new(None) };
+}
+
+fn current_ctx() -> Arc<PoolCtx> {
+    CURRENT.with(|c| c.borrow().as_ref().cloned().unwrap_or_else(|| global_pool().clone()))
+}
+
+/// Runs `f` with `ctx` installed as the current thread's pool.
+fn with_ctx<R>(ctx: Arc<PoolCtx>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<PoolCtx>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(ctx));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Number of worker threads in the pool the current thread runs under.
+pub fn current_num_threads() -> usize {
+    current_ctx().width
+}
+
+/// Runs both closures, in parallel when the current pool has spare width,
+/// returning both results.  Panics from either closure propagate.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let ctx = current_ctx();
+    if ctx.try_reserve() {
+        struct Release<'a>(&'a PoolCtx);
+        impl Drop for Release<'_> {
+            fn drop(&mut self) {
+                self.0.release();
+            }
+        }
+        let _slot = Release(&ctx);
+        let ctx_b = ctx.clone();
+        std::thread::scope(|s| {
+            let hb = s.spawn(move || with_ctx(ctx_b, b));
+            let ra = a();
+            let rb = match hb.join() {
+                Ok(rb) => rb,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            (ra, rb)
+        })
+    } else {
+        (a(), b())
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder` for the surface used here.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means one worker per available hardware thread.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let width = if self.num_threads == 0 { global_pool().width } else { self.num_threads };
+        Ok(ThreadPool { ctx: PoolCtx::new(width) })
+    }
+}
+
+/// A pool of bounded width; work only runs on it via [`ThreadPool::install`].
+pub struct ThreadPool {
+    ctx: Arc<PoolCtx>,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool as the ambient pool: `join` calls inside `f`
+    /// draw on this pool's width and `current_num_threads` reports it.
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        with_ctx(self.ctx.clone(), f)
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.ctx.width
+    }
+}
+
+/// Pool construction in this shim is infallible; the type exists so call
+/// sites written against real rayon (`.build().expect(…)`) compile unchanged.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_returns_results_and_nests() {
+        fn fib(n: u64) -> u64 {
+            if n < 2 {
+                return n;
+            }
+            let (a, b) = join(|| fib(n - 1), || fib(n - 2));
+            a + b
+        }
+        assert_eq!(fib(15), 610);
+    }
+
+    #[test]
+    fn install_scopes_pool_width() {
+        assert!(current_num_threads() >= 1);
+        for p in [1usize, 2, 5] {
+            let pool = ThreadPoolBuilder::new().num_threads(p).build().unwrap();
+            assert_eq!(pool.install(current_num_threads), p);
+        }
+        // Restored after install returns.
+        assert_eq!(current_num_threads(), global_pool().width);
+    }
+
+    #[test]
+    fn width_one_pool_never_spawns() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let caller = std::thread::current().id();
+        pool.install(|| {
+            let (a, b) = join(|| std::thread::current().id(), || std::thread::current().id());
+            assert_eq!(a, caller);
+            assert_eq!(b, caller);
+        });
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            join(|| (), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+    }
+}

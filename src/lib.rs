@@ -39,7 +39,7 @@ pub mod prelude {
     pub use amopt_core::bsm::{fast as bsm_fast, naive as bsm_naive, BsmModel};
     pub use amopt_core::topm::{fast as topm_fast, naive as topm_naive, TopmModel};
     pub use amopt_core::{
-        analytic, bermudan, exercise_boundary, greeks, implied_vol, EngineConfig,
-        ExerciseStyle, OptionParams, OptionType, PricingError,
+        analytic, bermudan, exercise_boundary, greeks, implied_vol, EngineConfig, ExerciseStyle,
+        OptionParams, OptionType, PricingError,
     };
 }

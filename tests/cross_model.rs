@@ -2,8 +2,8 @@
 //! family must agree on prices, and the models must agree with each other
 //! and with closed forms in their overlap.
 
-use american_option_pricing::prelude::*;
 use american_option_pricing::core::bopm;
+use american_option_pricing::prelude::*;
 
 fn paper() -> OptionParams {
     OptionParams::paper_defaults()
@@ -16,13 +16,27 @@ fn bopm_implementations_agree_at_multiple_sizes() {
         let m = BopmModel::new(paper(), steps).unwrap();
         let fast = bopm_fast::price_american_call(&m, &cfg);
         let serial = bopm_naive::price(
-            &m, OptionType::Call, ExerciseStyle::American, bopm_naive::ExecMode::Serial);
+            &m,
+            OptionType::Call,
+            ExerciseStyle::American,
+            bopm_naive::ExecMode::Serial,
+        );
         let parallel = bopm_naive::price(
-            &m, OptionType::Call, ExerciseStyle::American, bopm_naive::ExecMode::Parallel);
+            &m,
+            OptionType::Call,
+            ExerciseStyle::American,
+            bopm_naive::ExecMode::Parallel,
+        );
         let tiled = bopm::tiled::price(
-            &m, OptionType::Call, ExerciseStyle::American, bopm::tiled::TileConfig::default());
+            &m,
+            OptionType::Call,
+            ExerciseStyle::American,
+            bopm::tiled::TileConfig::default(),
+        );
         let oblivious = bopm::oblivious::price(&m, OptionType::Call, ExerciseStyle::American);
-        for (name, v) in [("fast", fast), ("parallel", parallel), ("tiled", tiled), ("oblivious", oblivious)] {
+        for (name, v) in
+            [("fast", fast), ("parallel", parallel), ("tiled", tiled), ("oblivious", oblivious)]
+        {
             assert!(
                 (v - serial).abs() < 1e-9 * serial,
                 "steps={steps} {name}: {v} vs serial {serial}"
@@ -39,10 +53,7 @@ fn binomial_and_trinomial_agree_on_the_continuous_limit() {
     let tri = TopmModel::new(paper(), steps).unwrap();
     let v_bin = bopm_fast::price_american_call(&bin, &cfg);
     let v_tri = topm_fast::price_american_call(&tri, &cfg);
-    assert!(
-        (v_bin - v_tri).abs() < 2e-3 * v_bin,
-        "binomial {v_bin} vs trinomial {v_tri}"
-    );
+    assert!((v_bin - v_tri).abs() < 2e-3 * v_bin, "binomial {v_bin} vs trinomial {v_tri}");
 }
 
 #[test]
@@ -54,7 +65,11 @@ fn american_put_consistent_across_bsm_fd_and_lattice() {
     let v_fd = bsm_fast::price_american_put(&fd, &cfg);
     let lat = BopmModel::new(p, steps).unwrap();
     let v_lat = bopm_naive::price(
-        &lat, OptionType::Put, ExerciseStyle::American, bopm_naive::ExecMode::Parallel);
+        &lat,
+        OptionType::Put,
+        ExerciseStyle::American,
+        bopm_naive::ExecMode::Parallel,
+    );
     assert!((v_fd - v_lat).abs() < 5e-3 * v_lat, "fd {v_fd} vs lattice {v_lat}");
 }
 
@@ -82,9 +97,8 @@ fn perpetual_put_bounds_long_dated_american_put() {
 fn price_is_monotone_in_contract_parameters() {
     let cfg = EngineConfig::default();
     let steps = 1024;
-    let price = |p: OptionParams| {
-        bopm_fast::price_american_call(&BopmModel::new(p, steps).unwrap(), &cfg)
-    };
+    let price =
+        |p: OptionParams| bopm_fast::price_american_call(&BopmModel::new(p, steps).unwrap(), &cfg);
     let base = paper();
     // Call value rises with spot and vol, falls with strike.
     assert!(price(OptionParams { spot: 140.0, ..base }) > price(base));

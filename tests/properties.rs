@@ -7,12 +7,12 @@ use proptest::prelude::*;
 
 fn arb_params() -> impl Strategy<Value = OptionParams> {
     (
-        10.0..500.0f64,    // spot
-        10.0..500.0f64,    // strike
-        0.0..0.10f64,      // rate
-        0.05..0.8f64,      // volatility
-        0.0..0.10f64,      // dividend yield
-        0.1..3.0f64,       // expiry
+        10.0..500.0f64, // spot
+        10.0..500.0f64, // strike
+        0.0..0.10f64,   // rate
+        0.05..0.8f64,   // volatility
+        0.0..0.10f64,   // dividend yield
+        0.1..3.0f64,    // expiry
     )
         .prop_map(|(spot, strike, rate, volatility, dividend_yield, expiry)| OptionParams {
             spot,
