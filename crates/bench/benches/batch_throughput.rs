@@ -1,0 +1,185 @@
+//! `batch_throughput` — options/sec of the batch pricing subsystem.
+//!
+//! Prices deterministic books of paper-default-sized American BOPM calls
+//! (`T = 252`, the paper's one-trading-year contract) at batch sizes
+//! 1 / 64 / 4096, on one thread and on every available thread, against the
+//! equivalent sequential loop over the facade.  A warm-memo scenario
+//! (64 distinct contracts cycled to 4096 requests) measures the dedup/memo
+//! path.
+//!
+//! Besides the human-readable table, the run writes a machine-readable
+//! summary to `BENCH_batch.json` (path overridable via the
+//! `BENCH_BATCH_OUT` environment variable) so CI can archive a throughput
+//! datapoint per commit and future PRs can track regressions.
+//!
+//! ```sh
+//! cargo bench -p amopt-bench --bench batch_throughput
+//! ```
+
+use amopt_bench::{duplicated_book, median_secs, paper_book, sequential_facade_loop};
+use amopt_core::batch::BatchPricer;
+use amopt_core::EngineConfig;
+use criterion::black_box;
+use std::fmt::Write as _;
+
+const STEPS: usize = 252;
+const REPS: usize = 3;
+const MAX_BATCH: usize = 4096;
+
+struct Record {
+    name: &'static str,
+    batch: usize,
+    threads: usize,
+    secs: f64,
+}
+
+impl Record {
+    fn options_per_sec(&self) -> f64 {
+        self.batch as f64 / self.secs
+    }
+}
+
+fn main() {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut records: Vec<Record> = Vec::new();
+
+    // Baseline: the pre-batch caller — a plain loop over the facade under
+    // the default thread pool (at T = 252 the inner pricer is effectively
+    // serial: every trapezoid sits below `sequential_below`).
+    let book = paper_book(MAX_BATCH, STEPS);
+    let seq_secs = median_secs(REPS, || {
+        black_box(sequential_facade_loop(&book));
+    });
+    records.push(Record { name: "seq_facade_loop", batch: MAX_BATCH, threads: 1, secs: seq_secs });
+
+    // Cold batched pricing (memo disabled): dispatch + parallel fan-out.
+    for &n in &[1usize, 64, MAX_BATCH] {
+        let book = paper_book(n, STEPS);
+        let mut thread_counts = vec![1usize];
+        if max_threads > 1 {
+            thread_counts.push(max_threads);
+        }
+        for threads in thread_counts {
+            let secs = amopt_parallel::run_with_threads(threads, || {
+                median_secs(REPS, || {
+                    let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), 0);
+                    black_box(pricer.price_batch(&book));
+                })
+            });
+            records.push(Record { name: "batch_cold", batch: n, threads, secs });
+        }
+    }
+
+    // Dedup path: a duplicate-heavy book (64 distinct contracts cycled to
+    // 4096 requests — think one strike ladder quoted across many accounts).
+    // The sequential loop prices all 4096 blindly; the batch layer prices 64
+    // and scatters.  First the baseline over the *same* book:
+    let dup = duplicated_book(64, MAX_BATCH, STEPS);
+    let seq_dup_secs = median_secs(REPS, || {
+        black_box(sequential_facade_loop(&dup));
+    });
+    records.push(Record {
+        name: "seq_loop_dup_book",
+        batch: MAX_BATCH,
+        threads: 1,
+        secs: seq_dup_secs,
+    });
+    let dedup_secs = median_secs(REPS, || {
+        // Fresh pricer each rep: dedup only, no memo carry-over between reps.
+        let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), 0);
+        black_box(pricer.price_batch(&dup));
+    });
+    records.push(Record {
+        name: "batch_dedup_cold",
+        batch: MAX_BATCH,
+        threads: max_threads,
+        secs: dedup_secs,
+    });
+
+    // Warm memo path: the same unchanged book re-quoted — pure cache service.
+    let pricer = BatchPricer::new(EngineConfig::default());
+    black_box(pricer.price_batch(&dup)); // warm the memo
+    let warm_secs = median_secs(REPS, || {
+        black_box(pricer.price_batch(&dup));
+    });
+    records.push(Record {
+        name: "batch_memo_warm",
+        batch: MAX_BATCH,
+        threads: max_threads,
+        secs: warm_secs,
+    });
+
+    println!("\nbenchmark group: batch_throughput (T = {STEPS}, reps = {REPS})");
+    println!("| scenario | batch | threads | secs | options/s |");
+    println!("|---|---|---|---|---|");
+    for r in &records {
+        println!(
+            "| {} | {} | {} | {:.4} | {:.0} |",
+            r.name,
+            r.batch,
+            r.threads,
+            r.secs,
+            r.options_per_sec()
+        );
+    }
+    let batched = records
+        .iter()
+        .find(|r| r.name == "batch_cold" && r.batch == MAX_BATCH && r.threads == max_threads)
+        .expect("cold batch record at max size");
+    let speedup = seq_secs / batched.secs;
+    let dedup_speedup = seq_dup_secs / dedup_secs;
+    println!(
+        "\nbatched ({} threads) vs sequential facade loop at {} distinct requests: {speedup:.2}x",
+        max_threads, MAX_BATCH
+    );
+    println!(
+        "batched vs sequential loop at {} requests (64 distinct, dedup): {dedup_speedup:.2}x",
+        MAX_BATCH
+    );
+    // Regressions are tracked from the archived JSON datapoints, not by
+    // failing the run: timing on shared CI runners is too noisy for hard
+    // assertions.  Warn loudly instead.
+    if speedup <= 1.0 && max_threads > 1 {
+        eprintln!(
+            "WARNING: batched pricing did not beat the sequential loop \
+             ({speedup:.2}x on {max_threads} threads) — noisy run or a real regression?"
+        );
+    }
+    if dedup_speedup <= 1.0 {
+        eprintln!(
+            "WARNING: deduplicated batch did not beat the blind sequential loop \
+             ({dedup_speedup:.2}x) — noisy run or a real regression?"
+        );
+    }
+
+    write_summary(&records, max_threads, speedup, dedup_speedup);
+}
+
+fn write_summary(records: &[Record], max_threads: usize, speedup: f64, dedup_speedup: f64) {
+    let path = std::env::var("BENCH_BATCH_OUT").unwrap_or_else(|_| "BENCH_batch.json".to_string());
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"batch_throughput\",");
+    let _ = writeln!(json, "  \"steps\": {STEPS},");
+    let _ = writeln!(json, "  \"max_threads\": {max_threads},");
+    let _ = writeln!(json, "  \"speedup_batched_vs_sequential\": {speedup:.4},");
+    let _ = writeln!(json, "  \"speedup_dedup_vs_sequential\": {dedup_speedup:.4},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"batch\": {}, \"threads\": {}, \"secs\": {:.6}, \
+             \"options_per_sec\": {:.1}}}",
+            r.name,
+            r.batch,
+            r.threads,
+            r.secs,
+            r.options_per_sec()
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

@@ -9,11 +9,16 @@
 //! paper-figures table5          # thread-count sweep at T = 2^15
 //! paper-figures speedups        # headline speedup claims of §5.1
 //! paper-figures scaling         # empirical work-scaling exponents (Table 2)
+//! paper-figures batch           # batch-subsystem throughput (beyond-paper)
 //! paper-figures all
 //! ```
 
-use amopt_bench::{time_pricer, Impl};
+use amopt_bench::{
+    median_secs, paper_book, sequential_facade_loop, time_batch_cold, time_pricer, Impl,
+};
 use amopt_cachesim::{kernels, EnergyModel};
+use amopt_core::batch::BatchPricer;
+use amopt_core::EngineConfig;
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
@@ -44,6 +49,7 @@ fn main() {
         "table5" => table5(opt("--t", 1 << 15)),
         "speedups" => speedups(max_t_naive),
         "scaling" => scaling(max_t_fft),
+        "batch" => batch(opt("--batch", 4096), opt("--steps", 252)),
         "all" => {
             fig5("all", max_t_fft, max_t_naive);
             fig6(max_t_naive);
@@ -51,6 +57,7 @@ fn main() {
             table5(1 << 15);
             speedups(max_t_naive);
             scaling(max_t_fft);
+            batch(4096, 252);
         }
         other => {
             eprintln!("unknown subcommand `{other}`; see module docs");
@@ -273,6 +280,62 @@ fn speedups(max_t_naive: usize) {
         }
     }
     write_csv("results/speedups.csv", "model,T,loop_s,fft_s,speedup", &csv);
+}
+
+/// Beyond-paper: batch-subsystem throughput (options/sec) vs batch size and
+/// thread count, against the sequential facade loop.
+fn batch(max_batch: usize, steps: usize) {
+    println!("\n## Batch pricing throughput (T = {steps}, American BOPM calls)\n");
+    println!("| scenario | batch | threads | secs | options/s |");
+    println!("|---|---|---|---|---|");
+    let max_p = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut csv = Vec::new();
+    let mut emit = |name: &str, batch: usize, threads: usize, secs: f64| {
+        let rate = batch as f64 / secs;
+        println!("| {name} | {batch} | {threads} | {secs:.4} | {rate:.0} |");
+        csv.push(format!("{name},{batch},{threads},{secs:.6},{rate:.1}"));
+    };
+
+    let book = paper_book(max_batch, steps);
+    let seq = median_secs(3, || {
+        std::hint::black_box(sequential_facade_loop(&book));
+    });
+    emit("seq_facade_loop", max_batch, 1, seq);
+
+    let mut sizes = vec![1usize, 64];
+    if !sizes.contains(&max_batch) {
+        sizes.push(max_batch);
+    }
+    let mut batched_at_max = seq;
+    for n in sizes {
+        let book = paper_book(n, steps);
+        let mut threads = vec![1usize];
+        if max_p > 1 {
+            threads.push(max_p);
+        }
+        for p in threads {
+            let secs = amopt_parallel::run_with_threads(p, || time_batch_cold(&book, 3));
+            emit("batch_cold", n, p, secs);
+            if n == max_batch && p == max_p {
+                batched_at_max = secs;
+            }
+        }
+    }
+
+    // Warm memo: reprice an unchanged book.
+    let pricer = BatchPricer::new(EngineConfig::default());
+    let small = paper_book(256, steps);
+    let _ = pricer.price_batch(&small);
+    let warm = median_secs(3, || {
+        std::hint::black_box(pricer.price_batch(&small));
+    });
+    emit("batch_memo_warm", small.len(), max_p, warm);
+
+    println!(
+        "\nbatched ({max_p} threads) vs sequential loop at {max_batch} requests: {:.2}x",
+        seq / batched_at_max
+    );
+    write_csv("results/batch_throughput.csv", "scenario,batch,threads,secs,options_per_sec", &csv);
 }
 
 /// Empirical scaling exponents: fit runtime ~ T^alpha on log-log points

@@ -1,6 +1,7 @@
 //! Shared measurement helpers for the benchmark harness that regenerates
 //! the paper's tables and figures (see `src/bin/paper_figures.rs`).
 
+use amopt_core::batch::{BatchPricer, ModelKind, PricingRequest, Style};
 use amopt_core::bopm::{self, BopmModel};
 use amopt_core::bsm::{self, BsmModel};
 use amopt_core::topm::{self, TopmModel};
@@ -112,6 +113,78 @@ pub fn time_pricer(which: Impl, steps: usize, reps: usize) -> (f64, f64) {
     (times[times.len() / 2], price)
 }
 
+/// Median-of-`reps` wall-clock seconds of `f` (used by the batch benches).
+pub fn median_secs<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut times = Vec::with_capacity(reps.max(1));
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// A deterministic synthetic book of `n` *distinct* paper-default-sized
+/// American BOPM calls: a dense strike ladder crossed with a maturity grid
+/// around [`OptionParams::paper_defaults`].  Strikes are spaced `100/n`
+/// apart, far beyond the batch layer's `1e-9` key quantisation, so no two
+/// requests deduplicate — throughput numbers measure pricing, not caching.
+pub fn paper_book(n: usize, steps: usize) -> Vec<PricingRequest> {
+    let base = OptionParams::paper_defaults();
+    (0..n)
+        .map(|i| {
+            let strike = 80.0 + 100.0 * i as f64 / n.max(1) as f64;
+            let expiry = 0.25 + 0.25 * ((i % 8) as f64);
+            let params = OptionParams { strike, expiry, ..base };
+            PricingRequest::american(ModelKind::Bopm, OptionType::Call, params, steps)
+        })
+        .collect()
+}
+
+/// The same book shape as [`paper_book`] but with only `unique` distinct
+/// contracts cycled to length `n` — exercises the dedup/memo path.
+pub fn duplicated_book(unique: usize, n: usize, steps: usize) -> Vec<PricingRequest> {
+    let distinct = paper_book(unique, steps);
+    (0..n).map(|i| distinct[i % unique.max(1)].clone()).collect()
+}
+
+/// The sequential baseline the batch subsystem is judged against: a plain
+/// loop over the facade, one model + one fast-pricer call per request, no
+/// parallelism, no dedup, no memo.  Supports the [`paper_book`] request
+/// shape (American BOPM calls) — exactly what a pre-batch caller wrote.
+///
+/// # Panics
+///
+/// Panics on any other request shape: a baseline that silently priced the
+/// wrong contract would corrupt every reported speedup.
+pub fn sequential_facade_loop(book: &[PricingRequest]) -> Vec<f64> {
+    let cfg = EngineConfig::default();
+    book.iter()
+        .map(|req| {
+            assert!(
+                req.model == ModelKind::Bopm
+                    && req.option_type == OptionType::Call
+                    && req.style == Style::American,
+                "sequential_facade_loop only supports the paper_book shape \
+                 (American BOPM calls), got {req:?}"
+            );
+            let m = BopmModel::new(req.params, req.steps).expect("valid book");
+            bopm::fast::price_american_call(&m, &cfg)
+        })
+        .collect()
+}
+
+/// Seconds to price `book` through a fresh memo-less [`BatchPricer`]
+/// (median of `reps`): pure dispatch + parallel pricing, no cache effects.
+pub fn time_batch_cold(book: &[PricingRequest], reps: usize) -> f64 {
+    let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), 0);
+    median_secs(reps, || {
+        let out = pricer.price_batch(book);
+        assert!(out.iter().all(Result::is_ok));
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,5 +209,27 @@ mod tests {
     fn timing_returns_positive_duration() {
         let (secs, price) = time_pricer(Impl::FftBopm, 128, 3);
         assert!(secs > 0.0 && price > 0.0);
+    }
+
+    #[test]
+    fn paper_book_is_distinct_and_batch_matches_sequential_loop() {
+        let book = paper_book(64, 64);
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let batch = pricer.price_batch(&book);
+        // All 64 requests are distinct: none deduplicated away.
+        assert_eq!(pricer.memo_stats().misses, 64);
+        let seq = sequential_facade_loop(&book);
+        for (b, s) in batch.iter().zip(&seq) {
+            assert_eq!(b.as_ref().unwrap().to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn duplicated_book_dedupes() {
+        let book = duplicated_book(8, 64, 64);
+        assert_eq!(book.len(), 64);
+        let pricer = BatchPricer::new(EngineConfig::default());
+        pricer.price_batch(&book);
+        assert_eq!(pricer.memo_stats().misses, 8);
     }
 }

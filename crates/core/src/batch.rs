@@ -1,0 +1,762 @@
+//! Batch pricing subsystem: one entry point for heterogeneous books of
+//! options.
+//!
+//! The paper's `O(T log² T)` pricers make a *single* repricing cheap; at
+//! portfolio scale the bottleneck moves to orchestration — callers
+//! hand-picking model modules, allocating buffers per contract, and looping
+//! sequentially.  This module owns that orchestration:
+//!
+//! * [`PricingRequest`] names any contract the workspace can price — model
+//!   ([`ModelKind`]) × call/put × exercise [`Style`] × parameters × steps —
+//!   in one plain-data value;
+//! * [`BatchPricer::price_batch`] prices a request slice in parallel over
+//!   the `amopt-parallel` fork-join pool, checking per-worker scratch out of
+//!   a [`WorkspacePool`] so the batch layer's hot loop is allocation-free
+//!   after warm-up;
+//! * identical requests inside a batch are **deduplicated** (priced once,
+//!   scattered to every duplicate), and results are **memoized** across
+//!   batches in a small LRU keyed on quantized parameters — a market tick
+//!   that leaves most of the book unchanged reprices only what moved;
+//! * every request gets its own `Result`: one invalid contract never poisons
+//!   the rest of the batch.
+//!
+//! A batch of one is *bitwise identical* to calling the underlying pricer
+//! directly — the dispatcher adds routing, never arithmetic.
+//!
+//! ```
+//! use amopt_core::batch::{BatchPricer, ModelKind, PricingRequest};
+//! use amopt_core::{EngineConfig, OptionParams, OptionType};
+//!
+//! let pricer = BatchPricer::new(EngineConfig::default());
+//! let base = OptionParams::paper_defaults();
+//! let book: Vec<PricingRequest> = (0..8)
+//!     .map(|i| OptionParams { strike: 100.0 + 5.0 * i as f64, ..base })
+//!     .map(|p| PricingRequest::american(ModelKind::Bopm, OptionType::Call, p, 512))
+//!     .collect();
+//! let prices = pricer.price_batch(&book);
+//! assert!(prices.iter().all(|p| p.is_ok()));
+//! ```
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use crate::bermudan;
+use crate::bopm::{self, BopmModel};
+use crate::bsm::{self, BsmModel};
+use crate::engine::EngineConfig;
+use crate::error::{PricingError, Result};
+use crate::params::{ExerciseStyle, OptionParams, OptionType};
+use crate::topm::{self, TopmModel};
+use amopt_parallel::WorkspacePool;
+
+/// Which discretisation family prices the contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Binomial lattice (§2 of the paper).
+    Bopm,
+    /// Trinomial lattice (§3 / App. A).
+    Topm,
+    /// Black–Scholes–Merton explicit finite difference (§4); put only,
+    /// dividend-free.
+    Bsm,
+}
+
+/// Exercise rights of a batch request.
+///
+/// Extends the facade's two-valued [`ExerciseStyle`] with the Bermudan
+/// schedule, which needs its exercise dates alongside.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Style {
+    /// Exercisable only at expiry.
+    European,
+    /// Exercisable at any time up to expiry.
+    American,
+    /// Exercisable only at the given lattice steps (market steps in
+    /// `(0, T]`; duplicates and ordering are normalised away).
+    Bermudan(Vec<usize>),
+}
+
+impl Style {
+    fn name(&self) -> &'static str {
+        match self {
+            Style::European => "European",
+            Style::American => "American",
+            Style::Bermudan(_) => "Bermudan",
+        }
+    }
+}
+
+/// One contract to price: the full model × type × style × parameters cross
+/// product in a plain-data value.
+///
+/// Combinations without a pricer in this crate (Bermudan other than the BOPM
+/// put, any call under the BSM grid) come back as
+/// [`PricingError::Unsupported`] — per request, so they never poison a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PricingRequest {
+    /// Discretisation family.
+    pub model: ModelKind,
+    /// Call or put.
+    pub option_type: OptionType,
+    /// Exercise rights.
+    pub style: Style,
+    /// Market/contract parameters.
+    pub params: OptionParams,
+    /// Lattice/grid time steps `T`.
+    pub steps: usize,
+}
+
+impl PricingRequest {
+    /// An American-exercise request.
+    pub fn american(
+        model: ModelKind,
+        option_type: OptionType,
+        params: OptionParams,
+        steps: usize,
+    ) -> Self {
+        PricingRequest { model, option_type, style: Style::American, params, steps }
+    }
+
+    /// A European-exercise request.
+    pub fn european(
+        model: ModelKind,
+        option_type: OptionType,
+        params: OptionParams,
+        steps: usize,
+    ) -> Self {
+        PricingRequest { model, option_type, style: Style::European, params, steps }
+    }
+
+    /// A Bermudan put under the binomial lattice (the one Bermudan pricer in
+    /// the workspace), exercisable at `exercise_steps`.
+    pub fn bermudan_put(params: OptionParams, steps: usize, exercise_steps: Vec<usize>) -> Self {
+        PricingRequest {
+            model: ModelKind::Bopm,
+            option_type: OptionType::Put,
+            style: Style::Bermudan(exercise_steps),
+            params,
+            steps,
+        }
+    }
+}
+
+/// Absolute quantisation grid for memo keys: parameters equal to within
+/// `1e-9` share a cache entry.  At that spacing the price difference is far
+/// below every pricer's own discretisation error, while honest parameter
+/// changes (a strike ladder, a vol bump) always land on distinct keys.
+const QUANT: f64 = 1e9;
+
+/// A quantized parameter: grid cells for the magnitudes the grid can
+/// represent exactly, raw bit identity for everything else.  The two
+/// variants never compare equal, so a saturating cast can't silently
+/// collide a huge spot with a moderate one (or NaN with a tiny rate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Quantized {
+    Grid(i64),
+    Bits(u64),
+}
+
+fn quantize(x: f64) -> Quantized {
+    let scaled = x * QUANT;
+    // i64 holds ±9.2e18, so any |scaled| comfortably inside that range
+    // round-trips through the cast without saturating.
+    if scaled.is_finite() && scaled.abs() < 9.0e18 {
+        Quantized::Grid(scaled.round() as i64)
+    } else {
+        // Off-grid magnitudes (≳ 9e9), infinities, NaN: exact bit identity —
+        // no noise folding out there, but no cross-request collisions either.
+        Quantized::Bits(x.to_bits())
+    }
+}
+
+/// Normalised identity of a request: model/type/style tag, steps, quantized
+/// parameters, and the sorted-deduped Bermudan schedule.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    model: ModelKind,
+    option_type: OptionType,
+    style_tag: u8,
+    steps: usize,
+    quantized: [Quantized; 6],
+    /// Sorted, deduplicated exercise schedule; empty unless Bermudan.
+    dates: Box<[usize]>,
+}
+
+fn make_key(req: &PricingRequest) -> MemoKey {
+    let (style_tag, dates) = match &req.style {
+        Style::European => (0, Box::default()),
+        Style::American => (1, Box::default()),
+        Style::Bermudan(steps) => {
+            let mut d = steps.clone();
+            d.sort_unstable();
+            d.dedup();
+            (2, d.into_boxed_slice())
+        }
+    };
+    let p = &req.params;
+    MemoKey {
+        model: req.model,
+        option_type: req.option_type,
+        style_tag,
+        steps: req.steps,
+        quantized: [
+            quantize(p.spot),
+            quantize(p.strike),
+            quantize(p.rate),
+            quantize(p.volatility),
+            quantize(p.dividend_yield),
+            quantize(p.expiry),
+        ],
+        dates,
+    }
+}
+
+/// Bounded price memo with least-recently-used eviction.
+///
+/// Intended for small capacities (hundreds of entries): eviction scans the
+/// map for the stalest stamp, `O(capacity)`, which is noise next to a single
+/// lattice pricing.
+#[derive(Debug)]
+struct LruMemo {
+    map: HashMap<MemoKey, (u64, f64)>,
+    capacity: usize,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl LruMemo {
+    fn new(capacity: usize) -> Self {
+        LruMemo { map: HashMap::new(), capacity, clock: 0, hits: 0, misses: 0, evictions: 0 }
+    }
+
+    fn get(&mut self, key: &MemoKey) -> Option<f64> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.clock += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.0 = self.clock;
+                self.hits += 1;
+                Some(entry.1)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: MemoKey, price: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            let stalest =
+                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone());
+            if let Some(stalest) = stalest {
+                self.map.remove(&stalest);
+                self.evictions += 1;
+            }
+        }
+        self.clock += 1;
+        self.map.insert(key, (self.clock, price));
+    }
+}
+
+/// Point-in-time memo counters, from [`BatchPricer::memo_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Probes answered from the memo.
+    pub hits: u64,
+    /// Probes that required a fresh pricing.
+    pub misses: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Configured capacity (0 = memo disabled).
+    pub capacity: usize,
+}
+
+/// Per-worker scratch checked out for the duration of one request.  The
+/// lattice buffer feeds the loop-nest routes (BOPM/TOPM American puts), so
+/// steady-state batches allocate nothing in the batch layer itself.
+#[derive(Debug, Default)]
+struct Workspace {
+    lattice: Vec<f64>,
+}
+
+/// Default memo capacity: big enough for a few books of distinct contracts,
+/// small enough that the `O(capacity)` eviction scan stays invisible.
+pub const DEFAULT_MEMO_CAPACITY: usize = 512;
+
+/// Batched pricing engine: dedup → memo probe → parallel price → scatter.
+///
+/// Cheap to keep alive and share (`&BatchPricer` is `Sync`); the memo and
+/// workspace pool amortise across successive [`price_batch`] calls, which is
+/// where the subsystem earns its keep on repeated market ticks.
+///
+/// [`price_batch`]: BatchPricer::price_batch
+#[derive(Debug)]
+pub struct BatchPricer {
+    cfg: EngineConfig,
+    grain: usize,
+    memo: Mutex<LruMemo>,
+    workspaces: WorkspacePool<Workspace>,
+}
+
+impl BatchPricer {
+    /// A pricer with the default memo capacity.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Self::with_memo_capacity(cfg, DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// A pricer whose memo holds at most `capacity` prices (`0` disables
+    /// memoization entirely; in-batch deduplication still applies).
+    pub fn with_memo_capacity(cfg: EngineConfig, capacity: usize) -> Self {
+        BatchPricer {
+            cfg,
+            grain: 1,
+            memo: Mutex::new(LruMemo::new(capacity)),
+            workspaces: WorkspacePool::new(),
+        }
+    }
+
+    /// Sets the fork-join grain: number of unique requests per leaf task.
+    /// The default of 1 is right for lattice-sized work items; raise it only
+    /// for huge batches of very small contracts.
+    pub fn with_grain(mut self, grain: usize) -> Self {
+        self.grain = grain.max(1);
+        self
+    }
+
+    /// The engine configuration every routed pricer runs under.
+    pub fn engine_config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    fn memo(&self) -> std::sync::MutexGuard<'_, LruMemo> {
+        self.memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Current memo counters.
+    pub fn memo_stats(&self) -> MemoStats {
+        let memo = self.memo();
+        MemoStats {
+            hits: memo.hits,
+            misses: memo.misses,
+            evictions: memo.evictions,
+            entries: memo.map.len(),
+            capacity: memo.capacity,
+        }
+    }
+
+    /// Drops every memoized price (counters are kept).
+    pub fn clear_memo(&self) {
+        self.memo().map.clear();
+    }
+
+    /// Prices a single request through the full batch machinery (dedup is
+    /// trivial; the memo still applies).
+    pub fn price_one(&self, request: &PricingRequest) -> Result<f64> {
+        self.price_batch(std::slice::from_ref(request))
+            .pop()
+            .expect("one request in, one result out")
+    }
+
+    /// Prices every request, in parallel across *unique* requests, returning
+    /// one `Result` per input slot (order-preserving).
+    ///
+    /// Requests that normalise to the same [`MemoKey`] are priced once and
+    /// the result is scattered to every duplicate; memoized prices from
+    /// earlier batches short-circuit pricing entirely.  Errors (invalid
+    /// parameters, unstable discretisations, unsupported combinations) are
+    /// confined to their own slots and never cached.
+    pub fn price_batch(&self, requests: &[PricingRequest]) -> Vec<Result<f64>> {
+        // Phase 1 (serial): normalise and deduplicate.  `jobs` keeps the
+        // first-occurrence request index alongside the normalised key.
+        let mut unique: HashMap<MemoKey, usize> = HashMap::new();
+        let mut jobs: Vec<(usize, MemoKey)> = Vec::new();
+        let mut assignment = Vec::with_capacity(requests.len());
+        for (i, req) in requests.iter().enumerate() {
+            let key = make_key(req);
+            let slot = match unique.entry(key) {
+                Entry::Occupied(e) => *e.get(),
+                Entry::Vacant(v) => {
+                    let slot = jobs.len();
+                    jobs.push((i, v.key().clone()));
+                    v.insert(slot);
+                    slot
+                }
+            };
+            assignment.push(slot);
+        }
+        // Phase 2 (serial): one memo probe per unique request under a single
+        // lock acquisition.
+        let mut slot_results: Vec<Option<Result<f64>>> = {
+            let mut memo = self.memo();
+            jobs.iter().map(|(_, key)| memo.get(key).map(Ok)).collect()
+        };
+        // Phase 3 (parallel): price what the memo did not know.  Workers
+        // check scratch out of the workspace pool, so this loop allocates
+        // only inside the routed pricers themselves.
+        let todo: Vec<usize> = (0..jobs.len()).filter(|&s| slot_results[s].is_none()).collect();
+        let computed = amopt_parallel::parallel_map(todo.len(), self.grain, |k| {
+            let (req_idx, key) = &jobs[todo[k]];
+            let res = self
+                .workspaces
+                .with(Workspace::default, |ws| self.route(&requests[*req_idx], &key.dates, ws));
+            Some(res)
+        });
+        // Phase 4 (serial): publish fresh prices to the memo and the slots.
+        {
+            let mut memo = self.memo();
+            for (slot, res) in todo.into_iter().zip(computed) {
+                let res = res.expect("parallel_map fills every slot");
+                if let Ok(price) = res {
+                    memo.insert(jobs[slot].1.clone(), price);
+                }
+                slot_results[slot] = Some(res);
+            }
+        }
+        // Phase 5: scatter unique results back to request order.
+        assignment
+            .into_iter()
+            .map(|slot| slot_results[slot].clone().expect("every slot resolved"))
+            .collect()
+    }
+
+    /// Routes one request to its canonical pricer.  `dates` is the
+    /// normalised Bermudan schedule from the request's key (unused
+    /// otherwise).  Adds no arithmetic of its own: a batch of one is bitwise
+    /// identical to the direct call.
+    fn route(&self, req: &PricingRequest, dates: &[usize], ws: &mut Workspace) -> Result<f64> {
+        let unsupported = || {
+            Err(PricingError::Unsupported {
+                what: format!(
+                    "{:?} {:?} with {} exercise has no pricer in this workspace",
+                    req.model,
+                    req.option_type,
+                    req.style.name()
+                ),
+            })
+        };
+        match req.model {
+            ModelKind::Bopm => {
+                let model = BopmModel::new(req.params, req.steps)?;
+                match (&req.style, req.option_type) {
+                    (Style::American, OptionType::Call) => {
+                        Ok(bopm::fast::price_american_call(&model, &self.cfg))
+                    }
+                    // No fast nonlinear-stencil engine covers the left-cone
+                    // put lattice yet (ROADMAP open item); the serial loop
+                    // nest is the canonical pricer, Θ(T²) but scratch-reusing.
+                    (Style::American, OptionType::Put) => Ok(bopm::naive::price_with_scratch(
+                        &model,
+                        OptionType::Put,
+                        ExerciseStyle::American,
+                        &mut ws.lattice,
+                    )),
+                    (Style::European, opt) => Ok(bopm::european::price_european_fft(&model, opt)),
+                    (Style::Bermudan(_), OptionType::Put) => {
+                        bermudan::price_bermudan_put_fft(&model, dates, self.cfg.backend)
+                    }
+                    (Style::Bermudan(_), OptionType::Call) => unsupported(),
+                }
+            }
+            ModelKind::Topm => {
+                let model = TopmModel::new(req.params, req.steps)?;
+                match (&req.style, req.option_type) {
+                    (Style::American, OptionType::Call) => {
+                        Ok(topm::fast::price_american_call(&model, &self.cfg))
+                    }
+                    (Style::American, OptionType::Put) => Ok(topm::naive::price_with_scratch(
+                        &model,
+                        OptionType::Put,
+                        ExerciseStyle::American,
+                        &mut ws.lattice,
+                    )),
+                    (Style::European, opt) => Ok(topm::european::price_european_fft(&model, opt)),
+                    (Style::Bermudan(_), _) => unsupported(),
+                }
+            }
+            ModelKind::Bsm => match (&req.style, req.option_type) {
+                (Style::American, OptionType::Put) => {
+                    let model = BsmModel::new(req.params, req.steps)?;
+                    Ok(bsm::fast::price_american_put(&model, &self.cfg))
+                }
+                (Style::European, OptionType::Put) => {
+                    let model = BsmModel::new(req.params, req.steps)?;
+                    Ok(bsm::fast::price_european_put_fft(&model))
+                }
+                (_, OptionType::Call) | (Style::Bermudan(_), _) => unsupported(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amopt_stencil::Backend;
+
+    fn pricer() -> BatchPricer {
+        BatchPricer::new(EngineConfig::default())
+    }
+
+    fn p() -> OptionParams {
+        OptionParams::paper_defaults()
+    }
+
+    #[test]
+    fn every_supported_route_matches_its_direct_pricer_bitwise() {
+        let cfg = EngineConfig::default();
+        let steps = 200;
+        let zero_div = OptionParams { dividend_yield: 0.0, ..p() };
+        let cases: Vec<(PricingRequest, f64)> = vec![
+            (PricingRequest::american(ModelKind::Bopm, OptionType::Call, p(), steps), {
+                let m = BopmModel::new(p(), steps).unwrap();
+                bopm::fast::price_american_call(&m, &cfg)
+            }),
+            (PricingRequest::american(ModelKind::Bopm, OptionType::Put, p(), steps), {
+                let m = BopmModel::new(p(), steps).unwrap();
+                bopm::naive::price(
+                    &m,
+                    OptionType::Put,
+                    ExerciseStyle::American,
+                    bopm::naive::ExecMode::Serial,
+                )
+            }),
+            (PricingRequest::european(ModelKind::Bopm, OptionType::Call, p(), steps), {
+                let m = BopmModel::new(p(), steps).unwrap();
+                bopm::european::price_european_fft(&m, OptionType::Call)
+            }),
+            (PricingRequest::european(ModelKind::Bopm, OptionType::Put, p(), steps), {
+                let m = BopmModel::new(p(), steps).unwrap();
+                bopm::european::price_european_fft(&m, OptionType::Put)
+            }),
+            (PricingRequest::bermudan_put(p(), steps, vec![50, 100, 200]), {
+                let m = BopmModel::new(p(), steps).unwrap();
+                bermudan::price_bermudan_put_fft(&m, &[50, 100, 200], Backend::Fft).unwrap()
+            }),
+            (PricingRequest::american(ModelKind::Topm, OptionType::Call, p(), steps), {
+                let m = TopmModel::new(p(), steps).unwrap();
+                topm::fast::price_american_call(&m, &cfg)
+            }),
+            (PricingRequest::american(ModelKind::Topm, OptionType::Put, p(), steps), {
+                let m = TopmModel::new(p(), steps).unwrap();
+                topm::naive::price(
+                    &m,
+                    OptionType::Put,
+                    ExerciseStyle::American,
+                    topm::naive::ExecMode::Serial,
+                )
+            }),
+            (PricingRequest::european(ModelKind::Topm, OptionType::Call, p(), steps), {
+                let m = TopmModel::new(p(), steps).unwrap();
+                topm::european::price_european_fft(&m, OptionType::Call)
+            }),
+            (PricingRequest::american(ModelKind::Bsm, OptionType::Put, zero_div, steps), {
+                let m = BsmModel::new(zero_div, steps).unwrap();
+                bsm::fast::price_american_put(&m, &cfg)
+            }),
+            (PricingRequest::european(ModelKind::Bsm, OptionType::Put, zero_div, steps), {
+                let m = BsmModel::new(zero_div, steps).unwrap();
+                bsm::fast::price_european_put_fft(&m)
+            }),
+        ];
+        let pricer = pricer();
+        let (book, want): (Vec<_>, Vec<_>) = cases.into_iter().unzip();
+        let got = pricer.price_batch(&book);
+        for ((req, got), want) in book.iter().zip(&got).zip(&want) {
+            let got = got.as_ref().unwrap_or_else(|e| panic!("{req:?}: {e}"));
+            assert_eq!(got.to_bits(), want.to_bits(), "{req:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn unsupported_combinations_error_cleanly() {
+        let pricer = pricer();
+        let book = vec![
+            PricingRequest {
+                model: ModelKind::Bopm,
+                option_type: OptionType::Call,
+                style: Style::Bermudan(vec![10]),
+                params: p(),
+                steps: 64,
+            },
+            PricingRequest {
+                model: ModelKind::Topm,
+                option_type: OptionType::Put,
+                style: Style::Bermudan(vec![10]),
+                params: p(),
+                steps: 64,
+            },
+            PricingRequest::american(ModelKind::Bsm, OptionType::Call, p(), 64),
+            PricingRequest::european(ModelKind::Bsm, OptionType::Call, p(), 64),
+        ];
+        for res in pricer.price_batch(&book) {
+            assert!(matches!(res, Err(PricingError::Unsupported { .. })), "{res:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_request_does_not_poison_the_batch() {
+        let pricer = pricer();
+        let good = PricingRequest::american(ModelKind::Bopm, OptionType::Call, p(), 128);
+        let bad_params = PricingRequest::american(
+            ModelKind::Bopm,
+            OptionType::Call,
+            OptionParams { spot: -1.0, ..p() },
+            128,
+        );
+        let bad_dates = PricingRequest::bermudan_put(p(), 128, vec![0]);
+        let out = pricer.price_batch(&[good.clone(), bad_params, bad_dates, good.clone()]);
+        assert!(matches!(out[1], Err(PricingError::InvalidParams { field: "spot", .. })));
+        assert!(matches!(out[2], Err(PricingError::InvalidParams { .. })));
+        let direct = {
+            let m = BopmModel::new(p(), 128).unwrap();
+            bopm::fast::price_american_call(&m, &EngineConfig::default())
+        };
+        for idx in [0, 3] {
+            assert_eq!(out[idx].as_ref().unwrap().to_bits(), direct.to_bits());
+        }
+        // Errors are never memoized.
+        assert_eq!(pricer.memo_stats().entries, 1);
+    }
+
+    #[test]
+    fn duplicates_are_priced_once_and_memo_serves_repeat_batches() {
+        let pricer = pricer();
+        let req = PricingRequest::american(ModelKind::Bopm, OptionType::Call, p(), 256);
+        let book = vec![req.clone(); 17];
+        let first = pricer.price_batch(&book);
+        assert!(first
+            .iter()
+            .all(|r| r.as_ref().unwrap().to_bits() == first[0].as_ref().unwrap().to_bits()));
+        let stats = pricer.memo_stats();
+        // 17 duplicates collapse to a single probe (miss) and a single entry.
+        assert_eq!((stats.misses, stats.hits, stats.entries), (1, 0, 1));
+        let second = pricer.price_batch(&book);
+        assert_eq!(second[0].as_ref().unwrap().to_bits(), first[0].as_ref().unwrap().to_bits());
+        let stats = pricer.memo_stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+    }
+
+    #[test]
+    fn quantization_normalises_float_noise_and_bermudan_schedules() {
+        let pricer = pricer();
+        let a = PricingRequest::bermudan_put(p(), 128, vec![64, 128, 64]);
+        let noisy = OptionParams { spot: p().spot + 1e-12, ..p() };
+        let b = PricingRequest::bermudan_put(noisy, 128, vec![128, 64]);
+        let out = pricer.price_batch(&[a, b]);
+        // One unique job: same normalised schedule, params within the grid.
+        assert_eq!(pricer.memo_stats().misses, 1);
+        assert_eq!(out[0].as_ref().unwrap().to_bits(), out[1].as_ref().unwrap().to_bits());
+    }
+
+    #[test]
+    fn off_grid_magnitudes_never_collide() {
+        // Both spots are valid but quantize past the grid's i64 range; they
+        // must keep distinct keys (bit identity), not saturate onto one.
+        let pricer = pricer();
+        let big = |spot| {
+            PricingRequest::american(
+                ModelKind::Bopm,
+                OptionType::Call,
+                OptionParams { spot, ..p() },
+                64,
+            )
+        };
+        let out = pricer.price_batch(&[big(1e10), big(2e10)]);
+        assert_eq!(pricer.memo_stats().misses, 2, "distinct spots must not deduplicate");
+        let (a, b) = (out[0].as_ref().unwrap(), out[1].as_ref().unwrap());
+        assert!((b - a).abs() > 1e9, "deep-ITM prices must differ by ~spot: {a} vs {b}");
+        // NaN params key on bit identity too — and never reach the memo.
+        let nan = PricingRequest::american(
+            ModelKind::Bopm,
+            OptionType::Call,
+            OptionParams { rate: f64::NAN, ..p() },
+            64,
+        );
+        let tiny = PricingRequest::american(
+            ModelKind::Bopm,
+            OptionType::Call,
+            OptionParams { rate: 2e-10, ..p() },
+            64,
+        );
+        let out = pricer.price_batch(&[nan, tiny]);
+        assert!(matches!(out[0], Err(PricingError::InvalidParams { field: "rate", .. })));
+        assert!(out[1].is_ok(), "valid tiny-rate request must not inherit the NaN error");
+    }
+
+    #[test]
+    fn lru_evicts_the_stalest_entry() {
+        let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), 2);
+        let req = |steps| PricingRequest::american(ModelKind::Bopm, OptionType::Call, p(), steps);
+        pricer.price_batch(&[req(100)]);
+        pricer.price_batch(&[req(101)]);
+        pricer.price_batch(&[req(100)]); // refresh 100 → 101 is now stalest
+        pricer.price_batch(&[req(102)]); // evicts 101
+        let stats = pricer.memo_stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 1));
+        pricer.price_batch(&[req(100)]);
+        assert_eq!(pricer.memo_stats().hits, 2);
+        pricer.price_batch(&[req(101)]); // miss: it was evicted
+        assert_eq!(pricer.memo_stats().misses, 4);
+    }
+
+    #[test]
+    fn memo_capacity_zero_disables_caching() {
+        let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), 0);
+        let req = PricingRequest::american(ModelKind::Bopm, OptionType::Call, p(), 64);
+        pricer.price_batch(std::slice::from_ref(&req));
+        pricer.price_batch(std::slice::from_ref(&req));
+        let stats = pricer.memo_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn price_one_matches_price_batch() {
+        let pricer = pricer();
+        let req = PricingRequest::european(ModelKind::Topm, OptionType::Put, p(), 150);
+        let one = pricer.price_one(&req).unwrap();
+        let batch = pricer.clear_and_price(&req);
+        assert_eq!(one.to_bits(), batch.to_bits());
+    }
+
+    impl BatchPricer {
+        /// Test helper: price after clearing the memo, so the comparison is
+        /// against a fresh computation rather than a cache hit.
+        fn clear_and_price(&self, req: &PricingRequest) -> f64 {
+            self.clear_memo();
+            self.price_batch(std::slice::from_ref(req))[0].clone().unwrap()
+        }
+    }
+
+    #[test]
+    fn heterogeneous_batch_prices_everything_in_one_call() {
+        let pricer = pricer();
+        let zero_div = OptionParams { dividend_yield: 0.0, ..p() };
+        let book = vec![
+            PricingRequest::american(ModelKind::Bopm, OptionType::Call, p(), 300),
+            PricingRequest::american(ModelKind::Topm, OptionType::Call, p(), 200),
+            PricingRequest::american(ModelKind::Bsm, OptionType::Put, zero_div, 400),
+            PricingRequest::european(ModelKind::Bopm, OptionType::Put, p(), 300),
+            PricingRequest::bermudan_put(p(), 300, vec![100, 200, 300]),
+        ];
+        let out = pricer.price_batch(&book);
+        for (req, res) in book.iter().zip(&out) {
+            let v = res.as_ref().unwrap_or_else(|e| panic!("{req:?}: {e}"));
+            assert!(*v > 0.0 && v.is_finite(), "{req:?}: {v}");
+        }
+        // American ≥ European for the same BOPM put contract.
+        let eu = out[3].as_ref().unwrap();
+        let bermudan = out[4].as_ref().unwrap();
+        assert!(bermudan >= eu, "Bermudan {bermudan} < European {eu}");
+    }
+}

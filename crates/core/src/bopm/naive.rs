@@ -35,15 +35,39 @@ fn exercise(model: &BopmModel, opt: OptionType, i: usize, j: i64) -> f64 {
     }
 }
 
-fn leaf_values(model: &BopmModel, opt: OptionType) -> Vec<f64> {
+/// Fills `out` with the expiry-row payoffs — the single source of truth for
+/// the serial, scratch-reusing, and parallel sweeps.
+fn fill_leaf_values(model: &BopmModel, opt: OptionType, out: &mut Vec<f64>) {
     let t = model.steps();
-    (0..=t as i64).map(|j| exercise(model, opt, t, j).max(0.0)).collect()
+    out.clear();
+    out.extend((0..=t as i64).map(|j| exercise(model, opt, t, j).max(0.0)));
+}
+
+fn leaf_values(model: &BopmModel, opt: OptionType) -> Vec<f64> {
+    let mut out = Vec::new();
+    fill_leaf_values(model, opt, &mut out);
+    out
 }
 
 fn price_serial(model: &BopmModel, opt: OptionType, style: ExerciseStyle) -> f64 {
+    price_with_scratch(model, opt, style, &mut Vec::new())
+}
+
+/// [`price`] with [`ExecMode::Serial`], reusing a caller-provided lattice
+/// buffer so repeated pricings (e.g. a batch hot loop or finite-difference
+/// bumps) allocate nothing once the buffer has grown to `T + 1` slots.
+///
+/// Bitwise identical to `price(model, opt, style, ExecMode::Serial)`.
+pub fn price_with_scratch(
+    model: &BopmModel,
+    opt: OptionType,
+    style: ExerciseStyle,
+    scratch: &mut Vec<f64>,
+) -> f64 {
     let t = model.steps();
     let (s0, s1) = (model.s0(), model.s1());
-    let mut g = leaf_values(model, opt);
+    fill_leaf_values(model, opt, scratch);
+    let g = &mut scratch[..];
     for i in (0..t).rev() {
         // In-place ascending sweep: g[j] is consumed before it is overwritten.
         match style {
@@ -228,6 +252,19 @@ mod tests {
         let (v, _) = price_american_with_boundary(&m, OptionType::Call);
         let want = price(&m, OptionType::Call, ExerciseStyle::American, ExecMode::Serial);
         assert!((v - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_stable() {
+        let mut scratch = Vec::new();
+        for steps in [7usize, 252, 100] {
+            let m = model(steps);
+            for opt in [OptionType::Call, OptionType::Put] {
+                let want = price(&m, opt, ExerciseStyle::American, ExecMode::Serial);
+                let got = price_with_scratch(&m, opt, ExerciseStyle::American, &mut scratch);
+                assert_eq!(got.to_bits(), want.to_bits(), "steps={steps} {opt:?}");
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub enum PricingError {
         /// Iterations spent before giving up.
         iterations: usize,
     },
+    /// The requested (model, option type, exercise style) combination has no
+    /// pricer in this crate (e.g. a Bermudan call, or any call under the BSM
+    /// put grid).
+    Unsupported {
+        /// Human-readable description of the unsupported combination.
+        what: String,
+    },
 }
 
 impl fmt::Display for PricingError {
@@ -38,6 +45,9 @@ impl fmt::Display for PricingError {
             }
             PricingError::NoConvergence { what, iterations } => {
                 write!(f, "{what} did not converge after {iterations} iterations")
+            }
+            PricingError::Unsupported { what } => {
+                write!(f, "unsupported pricing request: {what}")
             }
         }
     }
@@ -60,5 +70,7 @@ mod tests {
         assert!(e.to_string().contains("unstable"));
         let e = PricingError::NoConvergence { what: "implied vol", iterations: 7 };
         assert!(e.to_string().contains("7"));
+        let e = PricingError::Unsupported { what: "Bermudan call".into() };
+        assert!(e.to_string().contains("unsupported"));
     }
 }

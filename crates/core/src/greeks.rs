@@ -20,6 +20,12 @@ pub struct Greeks {
     /// `∂V/∂σ` per unit volatility.
     pub vega: f64,
     /// `∂V/∂R` per unit rate.
+    ///
+    /// Computed by a central difference except when `rate` is below the rate
+    /// bump (`1e-5`): rates cannot go negative, so the down bump would leave
+    /// the admissible domain and rho falls back to an explicit **one-sided
+    /// forward difference** — first-order truncation error instead of
+    /// second-order, the price of staying inside the domain.
     pub rho: f64,
 }
 
@@ -76,8 +82,16 @@ fn greeks_by_fd<F: Fn(OptionParams) -> Result<f64>>(
     let vega = (up - dn) / (2.0 * hv);
     let hr = BUMP_RATE;
     let r_up = reprice(OptionParams { rate: params.rate + hr, ..params })?;
-    let r_dn = reprice(OptionParams { rate: (params.rate - hr).max(0.0), ..params })?;
-    let rho = (r_up - r_dn) / (hr + (params.rate - (params.rate - hr).max(0.0)));
+    let rho = if params.rate >= hr {
+        let r_dn = reprice(OptionParams { rate: params.rate - hr, ..params })?;
+        (r_up - r_dn) / (2.0 * hr)
+    } else {
+        // The symmetric down bump would need a negative rate, which the
+        // domain forbids: fall back to the one-sided forward difference
+        // documented on `Greeks::rho` instead of silently clamping.
+        let r_at = reprice(params)?;
+        (r_up - r_at) / hr
+    };
     let ht = params.expiry * BUMP_TIME;
     let e_up = reprice(OptionParams { expiry: params.expiry + ht, ..params })?;
     let e_dn = reprice(OptionParams { expiry: params.expiry - ht, ..params })?;
@@ -117,6 +131,41 @@ mod tests {
         assert!(gp.delta < 0.0 && gp.delta > -1.0, "put delta {}", gp.delta);
         assert!(gp.vega > 0.0, "put vega {}", gp.vega);
         assert!(gp.rho < 0.0, "put rho should be negative, got {}", gp.rho);
+    }
+
+    #[test]
+    fn rho_at_zero_rate_is_the_explicit_one_sided_difference() {
+        // At R = 0 the down bump would leave the admissible domain; rho must
+        // be the documented forward difference, not a half-width central
+        // difference built from a silently clamped rate.
+        let p = OptionParams { rate: 0.0, dividend_yield: 0.0, ..OptionParams::paper_defaults() };
+        let cfg = EngineConfig::default();
+        let g = american_put_bsm(&p, 800, &cfg).unwrap();
+        assert!(g.rho.is_finite());
+        let price = |rate: f64| {
+            let m = BsmModel::new(OptionParams { rate, ..p }, 800).unwrap();
+            bsm::fast::price_american_put(&m, &cfg)
+        };
+        let want = (price(BUMP_RATE) - price(0.0)) / BUMP_RATE;
+        assert!((g.rho - want).abs() < 1e-12, "rho {} vs forward diff {}", g.rho, want);
+        assert!(g.rho < 0.0, "put rho must be negative, got {}", g.rho);
+
+        // The BOPM call at R = 0 takes the same fallback and stays positive.
+        let gc = american_call_bopm(&p, 1000, &cfg).unwrap();
+        assert!(gc.rho.is_finite() && gc.rho > 0.0, "call rho {}", gc.rho);
+    }
+
+    #[test]
+    fn rho_above_the_bump_is_a_central_difference() {
+        let p = OptionParams { dividend_yield: 0.0, ..OptionParams::paper_defaults() };
+        let cfg = EngineConfig::default();
+        let g = american_put_bsm(&p, 800, &cfg).unwrap();
+        let price = |rate: f64| {
+            let m = BsmModel::new(OptionParams { rate, ..p }, 800).unwrap();
+            bsm::fast::price_american_put(&m, &cfg)
+        };
+        let want = (price(p.rate + BUMP_RATE) - price(p.rate - BUMP_RATE)) / (2.0 * BUMP_RATE);
+        assert!((g.rho - want).abs() < 1e-12, "rho {} vs central diff {}", g.rho, want);
     }
 
     #[test]

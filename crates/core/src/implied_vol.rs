@@ -38,7 +38,7 @@ pub fn european(params: &OptionParams, opt: OptionType, market_price: f64) -> Re
     // Newton from a mid-range start, guarded by a bisection bracket.
     let (mut lo, mut hi) = (VOL_LO, VOL_HI);
     let mut vol = 0.3;
-    for iter in 0..MAX_ITERS {
+    for iterations in 0..MAX_ITERS {
         let p = price_at(vol)?;
         let diff = p - market_price;
         if diff.abs() < PRICE_TOL {
@@ -53,9 +53,18 @@ pub fn european(params: &OptionParams, opt: OptionType, market_price: f64) -> Re
         let newton = vol - diff / vega;
         vol = if vega > 1e-12 && newton > lo && newton < hi { newton } else { 0.5 * (lo + hi) };
         if hi - lo < 1e-14 {
-            return Ok(vol);
+            // Exhausted bracket: only accept the candidate if it actually
+            // reproduces the quote (same guard as the American inversion —
+            // a flat, near-zero-vega region must not yield an arbitrary vol).
+            if (price_at(vol)? - market_price).abs() < PRICE_TOL {
+                return Ok(vol);
+            }
+            return Err(PricingError::NoConvergence {
+                what: "European implied volatility (bracket collapsed with residual above \
+                       tolerance: near-zero vega)",
+                iterations,
+            });
         }
-        let _ = iter;
     }
     Err(PricingError::NoConvergence { what: "European implied volatility", iterations: MAX_ITERS })
 }
@@ -75,28 +84,56 @@ pub fn american_call_bopm(
     };
     // The lattice itself is only constructible when V·√Δt dominates
     // |R−Y|·Δt (risk-neutral p ∈ (0,1)); walk the lower bracket up to the
-    // first valid volatility.
+    // first valid volatility.  The walk is clamped to VOL_HI: doubling could
+    // otherwise overshoot the upper end and leave an inverted bracket, or
+    // surface a raw `UnstableDiscretisation` from a probe the caller never
+    // asked for.
     let mut lo = VOL_LO;
     let p_lo = loop {
         match price_at(lo) {
             Ok(p) => break p,
-            Err(PricingError::UnstableDiscretisation { .. }) if lo < VOL_HI => lo *= 2.0,
+            Err(PricingError::UnstableDiscretisation { reason }) => {
+                if lo >= VOL_HI {
+                    // Even the top of the search interval is unstable: no
+                    // bracket exists at these parameters and step count.
+                    return Err(PricingError::InvalidParams {
+                        field: "steps",
+                        reason: format!(
+                            "no stable lattice discretisation for any volatility in \
+                             [{VOL_LO}, {VOL_HI}] at steps = {steps}: {reason}"
+                        ),
+                    });
+                }
+                lo = (lo * 2.0).min(VOL_HI);
+            }
             Err(e) => return Err(e),
         }
     };
     let mut hi = VOL_HI;
-    let p_hi = price_at(hi)?;
+    let p_hi = if lo >= VOL_HI { p_lo } else { price_at(hi)? };
     if market_price < p_lo - 1e-9 || market_price > p_hi + 1e-9 {
         return Err(PricingError::InvalidParams {
             field: "market_price",
             reason: format!("price {market_price} outside attainable range [{p_lo:.6}, {p_hi:.6}]"),
         });
     }
-    for _ in 0..MAX_ITERS {
+    for iterations in 0..MAX_ITERS {
         let mid = 0.5 * (lo + hi);
         let p = price_at(mid)?;
-        if (p - market_price).abs() < PRICE_TOL || hi - lo < 1e-12 {
+        if (p - market_price).abs() < PRICE_TOL {
             return Ok(mid);
+        }
+        if hi - lo < 1e-12 {
+            // The bracket is exhausted but the residual is still above
+            // tolerance: the quote sits where the price barely responds to
+            // volatility (near-zero vega), so no volatility reproduces it —
+            // answering `Ok(mid)` here would hand back an arbitrary point of
+            // a flat region.
+            return Err(PricingError::NoConvergence {
+                what: "American implied volatility (bracket collapsed with residual above \
+                       tolerance: near-zero vega)",
+                iterations,
+            });
         }
         if p > market_price {
             hi = mid;
@@ -142,6 +179,72 @@ mod tests {
         assert!(european(&p, OptionType::Call, -1.0).is_err());
         assert!(european(&p, OptionType::Call, p.spot * 10.0).is_err());
         assert!(american_call_bopm(&p, 200, -5.0, &EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn european_flat_vega_exact_quote_still_inverts() {
+        // Deep ITM at tiny expiry the price is volatility-independent to
+        // double precision; an exactly attainable quote must still come back
+        // `Ok` (residual 0), only off-curve quotes are rejected.
+        let p = OptionParams {
+            spot: 200.0,
+            strike: 100.0,
+            expiry: 1e-4,
+            ..OptionParams::paper_defaults()
+        };
+        let quoted = black_scholes_price(&p, OptionType::Call).unwrap();
+        assert!(european(&p, OptionType::Call, quoted).is_ok());
+    }
+
+    #[test]
+    fn near_zero_vega_quote_is_no_convergence_not_arbitrary_vol() {
+        // Deep in the money with a heavy dividend the American call is
+        // exercised immediately: its price is exactly S − K for *every*
+        // stable volatility (zero vega).  A quote offset from S − K by less
+        // than the attainable-range slack used to collapse the bracket and
+        // come back as `Ok(arbitrary vol)`; it must be `NoConvergence`.
+        let p = OptionParams {
+            spot: 10_000.0,
+            strike: 1.0,
+            dividend_yield: 0.3,
+            ..OptionParams::paper_defaults()
+        };
+        let cfg = EngineConfig::default();
+        let intrinsic = p.spot - p.strike;
+        let got = american_call_bopm(&p, 64, intrinsic + 5e-10, &cfg);
+        assert!(
+            matches!(got, Err(PricingError::NoConvergence { .. })),
+            "expected NoConvergence, got {got:?}"
+        );
+        // The exactly-attainable quote still inverts fine (residual 0).
+        assert!(american_call_bopm(&p, 64, intrinsic, &cfg).is_ok());
+    }
+
+    #[test]
+    fn no_stable_bracket_is_a_clear_invalid_params_error() {
+        // R = 6 with one step: even V = VOL_HI = 5 gives e^{(R−Y)Δt} > u, so
+        // p ∉ (0,1) everywhere in the bracket.  The old walk doubled past
+        // VOL_HI (probing V ≈ 6.55 outside the search interval) and then
+        // surfaced a raw UnstableDiscretisation from `price_at(hi)`.
+        let p = OptionParams { rate: 6.0, dividend_yield: 0.0, ..OptionParams::paper_defaults() };
+        let got = american_call_bopm(&p, 1, 10.0, &EngineConfig::default());
+        assert!(
+            matches!(got, Err(PricingError::InvalidParams { field: "steps", .. })),
+            "expected InvalidParams, got {got:?}"
+        );
+    }
+
+    #[test]
+    fn bracket_walk_recovers_when_only_low_vols_are_unstable() {
+        // Y = 0.3 makes volatilities below ≈ 0.0375 unstable at 64 steps;
+        // the walk must clamp inside [VOL_LO, VOL_HI] and still invert.
+        let p = OptionParams { dividend_yield: 0.3, ..OptionParams::paper_defaults() };
+        let cfg = EngineConfig::default();
+        let true_vol = 0.8;
+        let m = BopmModel::new(OptionParams { volatility: true_vol, ..p }, 64).unwrap();
+        let quoted = fast::price_american_call(&m, &cfg);
+        let got = american_call_bopm(&p, 64, quoted, &cfg).unwrap();
+        assert!((got - true_vol).abs() < 1e-6, "got {got}");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! stencil substrate).  [`analytic`] provides closed-form European oracles.
 
 pub mod analytic;
+pub mod batch;
 pub mod bermudan;
 pub mod bopm;
 pub mod bsm;
@@ -27,6 +28,7 @@ pub mod implied_vol;
 pub mod params;
 pub mod topm;
 
+pub use batch::{BatchPricer, PricingRequest};
 pub use engine::EngineConfig;
 pub use error::{PricingError, Result};
 pub use params::{ExerciseStyle, OptionParams, OptionType};

@@ -3,7 +3,7 @@
 use crate::error::{PricingError, Result};
 
 /// Call or put.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OptionType {
     /// Right to buy at the strike.
     Call,

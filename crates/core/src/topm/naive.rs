@@ -23,9 +23,18 @@ fn exercise(model: &TopmModel, opt: OptionType, i: usize, j: i64) -> f64 {
     }
 }
 
-fn leaf_values(model: &TopmModel, opt: OptionType) -> Vec<f64> {
+/// Fills `out` with the expiry-row payoffs — the single source of truth for
+/// the serial, scratch-reusing, and parallel sweeps.
+fn fill_leaf_values(model: &TopmModel, opt: OptionType, out: &mut Vec<f64>) {
     let t = model.steps();
-    (0..=2 * t as i64).map(|j| exercise(model, opt, t, j).max(0.0)).collect()
+    out.clear();
+    out.extend((0..=2 * t as i64).map(|j| exercise(model, opt, t, j).max(0.0)));
+}
+
+fn leaf_values(model: &TopmModel, opt: OptionType) -> Vec<f64> {
+    let mut out = Vec::new();
+    fill_leaf_values(model, opt, &mut out);
+    out
 }
 
 /// Prices any (type, style) combination by backward induction.
@@ -37,9 +46,22 @@ pub fn price(model: &TopmModel, opt: OptionType, style: ExerciseStyle, mode: Exe
 }
 
 fn price_serial(model: &TopmModel, opt: OptionType, style: ExerciseStyle) -> f64 {
+    price_with_scratch(model, opt, style, &mut Vec::new())
+}
+
+/// [`price`] with [`ExecMode::Serial`], reusing a caller-provided lattice
+/// buffer so repeated pricings allocate nothing once the buffer has grown to
+/// `2T + 1` slots.  Bitwise identical to the serial [`price`].
+pub fn price_with_scratch(
+    model: &TopmModel,
+    opt: OptionType,
+    style: ExerciseStyle,
+    scratch: &mut Vec<f64>,
+) -> f64 {
     let t = model.steps();
     let (s0, s1, s2) = model.weights();
-    let mut g = leaf_values(model, opt);
+    fill_leaf_values(model, opt, scratch);
+    let g = &mut scratch[..];
     for i in (0..t).rev() {
         for j in 0..=2 * i {
             let cont = s0 * g[j] + s1 * g[j + 1] + s2 * g[j + 2];
@@ -183,6 +205,18 @@ mod tests {
         ) - bs)
             .abs();
         assert!(tri_err <= bin_err * 1.2, "tri {tri_err} vs bin {bin_err}");
+    }
+
+    #[test]
+    fn scratch_reuse_is_bitwise_stable() {
+        let mut scratch = Vec::new();
+        for steps in [5usize, 200, 64] {
+            let m = model(steps);
+            let want = price(&m, OptionType::Call, ExerciseStyle::American, ExecMode::Serial);
+            let got =
+                price_with_scratch(&m, OptionType::Call, ExerciseStyle::American, &mut scratch);
+            assert_eq!(got.to_bits(), want.to_bits(), "steps={steps}");
+        }
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Portfolio repricing: the paper's motivating scenario — markets move,
 //! thousands of contracts must reprice *now*.  Prices a synthetic book of
-//! American options across strikes and maturities, in parallel across
-//! contracts, each contract using the fast pricer.
+//! American options across strikes and maturities through the batch pricing
+//! subsystem (`amopt_core::batch`): one call fans the book out over the
+//! fork-join pool, deduplicates repeats, and memoizes results so the second
+//! tick only pays for what actually changed.
 //!
 //! ```sh
 //! cargo run --release --example portfolio_sweep
@@ -13,22 +15,26 @@ use std::time::Instant;
 fn main() {
     let base = OptionParams::paper_defaults();
     let steps = 4096;
-    let cfg = EngineConfig::default();
+    let pricer = BatchPricer::new(EngineConfig::default());
 
     // A strike ladder x maturity grid: 120 contracts.
     let strikes: Vec<f64> = (0..12).map(|i| 90.0 + 10.0 * i as f64).collect();
     let expiries: Vec<f64> = (1..=10).map(|i| i as f64 / 4.0).collect();
-    let book: Vec<OptionParams> = strikes
+    let book: Vec<PricingRequest> = strikes
         .iter()
-        .flat_map(|&k| expiries.iter().map(move |&e| OptionParams { strike: k, expiry: e, ..base }))
+        .flat_map(|&k| {
+            expiries.iter().map(move |&e| {
+                let params = OptionParams { strike: k, expiry: e, ..base };
+                PricingRequest::american(ModelKind::Bopm, OptionType::Call, params, steps)
+            })
+        })
         .collect();
 
     let t0 = Instant::now();
-    let prices = amopt_parallel::parallel_map(book.len(), 1, |i| {
-        let m = BopmModel::new(book[i], steps).expect("valid lattice");
-        bopm_fast::price_american_call(&m, &cfg)
-    });
+    let results = pricer.price_batch(&book);
     let elapsed = t0.elapsed();
+    let prices: Vec<f64> =
+        results.into_iter().collect::<Result<_, _>>().expect("every contract in the book prices");
 
     println!(
         "re-priced {} American calls at T={steps} in {elapsed:.2?} ({:.1} contracts/s)",
@@ -47,4 +53,16 @@ fn main() {
     for (e, p) in expiries.iter().zip(&prices[..expiries.len()]) {
         println!("  expiry {e:4.2}y -> {p:8.4}");
     }
+
+    // The next market tick: the book is unchanged, so the memo answers it.
+    let t1 = Instant::now();
+    let again = pricer.price_batch(&book);
+    let memo_elapsed = t1.elapsed();
+    assert!(again.iter().zip(&prices).all(|(a, b)| a.as_ref().unwrap() == b));
+    let stats = pricer.memo_stats();
+    println!(
+        "unchanged tick served from memo in {memo_elapsed:.2?} \
+         ({} hits / {} misses, {} entries)",
+        stats.hits, stats.misses, stats.entries
+    );
 }

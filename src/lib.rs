@@ -12,7 +12,9 @@
 //! * [`core`] — the paper's contribution: nonlinear-stencil trapezoid
 //!   engines and the BOPM/TOPM/BSM pricers with naive, tiled,
 //!   cache-oblivious, and FFT implementations, plus greeks, implied vol,
-//!   Bermudan options, and exercise-boundary extraction;
+//!   Bermudan options, exercise-boundary extraction, and the batch pricing
+//!   subsystem (`core::batch`: dedup + memo + parallel fan-out over
+//!   heterogeneous books);
 //! * [`cachesim`] — cache-hierarchy and energy simulation (the PAPI/RAPL
 //!   substitute used to regenerate the paper's Figures 6/7/10).
 //!
@@ -35,6 +37,7 @@ pub use amopt_stencil as stencil;
 
 /// Most-used items in one import.
 pub mod prelude {
+    pub use amopt_core::batch::{self, BatchPricer, ModelKind, PricingRequest};
     pub use amopt_core::bopm::{fast as bopm_fast, naive as bopm_naive, BopmModel};
     pub use amopt_core::bsm::{fast as bsm_fast, naive as bsm_naive, BsmModel};
     pub use amopt_core::topm::{fast as topm_fast, naive as topm_naive, TopmModel};
