@@ -1,0 +1,221 @@
+//! `surface_throughput` — quotes/sec of batch-native implied-vol surface
+//! inversion vs the serial per-quote bisection loop.
+//!
+//! Inverts a duplicate-free K×T grid of American BOPM call quotes
+//! (`T = 252` lattice steps) three ways:
+//!
+//! * `serial_quote_loop` — one `implied_vol::american_call_bopm` bisection
+//!   per quote, the pre-surface caller's code;
+//! * `surface_cold` — `batch::surface::implied_vol_surface` through a fresh
+//!   pricer: lockstep rounds, parallel probes, Illinois root iteration;
+//! * `surface_requote` — the same surface re-quoted through the now-warm
+//!   pricer: every probe is a memo hit (the paper's "market ticked, nothing
+//!   moved" scenario);
+//!
+//! plus a duplicate-heavy variant (`surface_dup_quotes`: each contract
+//! quoted twice, think bid/ask) where cross-quote dedup pays.
+//!
+//! Besides the human-readable table, the run writes a machine-readable
+//! summary to `BENCH_surface.json` (path overridable via the
+//! `BENCH_SURFACE_OUT` environment variable) so CI can archive a datapoint
+//! per commit; the schema is documented in `crates/bench/README.md`.
+//!
+//! ```sh
+//! cargo bench -p amopt-bench --bench surface_throughput
+//! ```
+
+use amopt_bench::{median_secs, serial_surface_loop, surface_grid};
+use amopt_core::batch::surface::implied_vol_surface;
+use amopt_core::batch::BatchPricer;
+use amopt_core::EngineConfig;
+use criterion::black_box;
+use std::fmt::Write as _;
+
+const STEPS: usize = 252;
+const REPS: usize = 3;
+const STRIKES: usize = 8;
+const EXPIRIES: usize = 4;
+/// Roomy memo: a K×T surface's full probe history must stay resident for
+/// the re-quote scenario to be pure cache service.
+const MEMO_CAPACITY: usize = 8192;
+
+struct Record {
+    name: &'static str,
+    quotes: usize,
+    threads: usize,
+    secs: f64,
+}
+
+impl Record {
+    fn quotes_per_sec(&self) -> f64 {
+        self.quotes as f64 / self.secs
+    }
+}
+
+fn main() {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let quotes = surface_grid(STRIKES, EXPIRIES, STEPS);
+    let n = quotes.len();
+    let mut records: Vec<Record> = Vec::new();
+
+    // Correctness gate before timing anything: both paths must invert every
+    // quote and agree — a fast wrong surface would make the speedup numbers
+    // meaningless.
+    let serial_vols = serial_surface_loop(&quotes);
+    {
+        let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), MEMO_CAPACITY);
+        let batch_vols = implied_vol_surface(&pricer, &quotes);
+        for (i, (b, s)) in batch_vols.iter().zip(&serial_vols).enumerate() {
+            let (b, s) = (
+                b.as_ref().expect("surface inverts every grid quote"),
+                s.as_ref().expect("serial inverts every grid quote"),
+            );
+            assert!((b - s).abs() < 1e-6, "quote {i}: surface {b} vs serial {s}");
+        }
+    }
+
+    // Baseline: the pre-surface caller — a serial per-quote bisection loop.
+    let serial_secs = median_secs(REPS, || {
+        black_box(serial_surface_loop(&quotes));
+    });
+    records.push(Record { name: "serial_quote_loop", quotes: n, threads: 1, secs: serial_secs });
+
+    // Batch-native cold inversion: fresh pricer per rep, so the memo never
+    // carries over between reps and the number measures inversion itself.
+    let cold_secs = median_secs(REPS, || {
+        let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), MEMO_CAPACITY);
+        black_box(implied_vol_surface(&pricer, &quotes));
+    });
+    records.push(Record { name: "surface_cold", quotes: n, threads: max_threads, secs: cold_secs });
+
+    // Warm re-quote: the same surface through the now-warm pricer — every
+    // probe of the deterministic driver repeats bitwise, so this is pure
+    // memo service.
+    let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), MEMO_CAPACITY);
+    black_box(implied_vol_surface(&pricer, &quotes));
+    let stats_after_cold = pricer.memo_stats();
+    let warm_secs = median_secs(REPS, || {
+        black_box(implied_vol_surface(&pricer, &quotes));
+    });
+    records.push(Record {
+        name: "surface_requote",
+        quotes: n,
+        threads: max_threads,
+        secs: warm_secs,
+    });
+    // Every *successful* probe must be served from the memo on re-quote: no
+    // new entries appear.  (Raw misses still tick up a little — the
+    // bracketing walk's unstable-low-vol probes error out and errors are
+    // never cached, so each pass re-discovers them cheaply at
+    // model-construction time.)
+    assert_eq!(
+        pricer.memo_stats().entries,
+        stats_after_cold.entries,
+        "re-quoting an unchanged surface must not price anything fresh"
+    );
+
+    // Duplicate-heavy surface: every contract quoted twice (bid/ask).  The
+    // serial loop inverts all 2n blindly; the driver's duplicate quotes
+    // share their entire probe sequence.
+    let dup: Vec<_> = quotes.iter().flat_map(|q| [q.clone(), q.clone()]).collect();
+    let serial_dup_secs = median_secs(REPS, || {
+        black_box(serial_surface_loop(&dup));
+    });
+    records.push(Record {
+        name: "serial_loop_dup_quotes",
+        quotes: dup.len(),
+        threads: 1,
+        secs: serial_dup_secs,
+    });
+    let dup_secs = median_secs(REPS, || {
+        let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), MEMO_CAPACITY);
+        black_box(implied_vol_surface(&pricer, &dup));
+    });
+    records.push(Record {
+        name: "surface_dup_quotes",
+        quotes: dup.len(),
+        threads: max_threads,
+        secs: dup_secs,
+    });
+
+    println!(
+        "\nbenchmark group: surface_throughput ({STRIKES}x{EXPIRIES} grid, T = {STEPS}, \
+         reps = {REPS})"
+    );
+    println!("| scenario | quotes | threads | secs | quotes/s |");
+    println!("|---|---|---|---|---|");
+    for r in &records {
+        println!(
+            "| {} | {} | {} | {:.4} | {:.1} |",
+            r.name,
+            r.quotes,
+            r.threads,
+            r.secs,
+            r.quotes_per_sec()
+        );
+    }
+    let speedup = serial_secs / cold_secs;
+    let warm_speedup = serial_secs / warm_secs;
+    let dup_speedup = serial_dup_secs / dup_secs;
+    println!(
+        "\nbatch-native surface vs serial per-quote loop ({n} duplicate-free quotes): \
+         {speedup:.2}x"
+    );
+    println!("warm re-quote vs serial loop: {warm_speedup:.2}x");
+    println!("duplicate quotes (bid/ask x{}): {dup_speedup:.2}x", dup.len());
+    // Regressions are tracked from the archived JSON datapoints, not by
+    // failing the run: timing on shared CI runners is too noisy for hard
+    // assertions.  Warn loudly instead.
+    if speedup < 1.5 {
+        eprintln!(
+            "WARNING: batch-native surface inversion below the 1.5x bar against the serial \
+             loop ({speedup:.2}x) — noisy run or a real regression?"
+        );
+    }
+    if warm_secs > cold_secs {
+        eprintln!(
+            "WARNING: warm re-quote slower than cold inversion \
+             ({warm_secs:.4}s vs {cold_secs:.4}s) — memo regression?"
+        );
+    }
+
+    write_summary(&records, max_threads, speedup, warm_speedup, dup_speedup);
+}
+
+fn write_summary(
+    records: &[Record],
+    max_threads: usize,
+    speedup: f64,
+    warm_speedup: f64,
+    dup_speedup: f64,
+) {
+    let path =
+        std::env::var("BENCH_SURFACE_OUT").unwrap_or_else(|_| "BENCH_surface.json".to_string());
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"surface_throughput\",");
+    let _ = writeln!(json, "  \"steps\": {STEPS},");
+    let _ = writeln!(json, "  \"grid\": [{STRIKES}, {EXPIRIES}],");
+    let _ = writeln!(json, "  \"max_threads\": {max_threads},");
+    let _ = writeln!(json, "  \"speedup_surface_vs_serial\": {speedup:.4},");
+    let _ = writeln!(json, "  \"speedup_requote_vs_serial\": {warm_speedup:.4},");
+    let _ = writeln!(json, "  \"speedup_dup_quotes_vs_serial\": {dup_speedup:.4},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"quotes\": {}, \"threads\": {}, \"secs\": {:.6}, \
+             \"quotes_per_sec\": {:.1}}}",
+            r.name,
+            r.quotes,
+            r.threads,
+            r.secs,
+            r.quotes_per_sec()
+        );
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

@@ -10,13 +10,16 @@
 //! paper-figures speedups        # headline speedup claims of §5.1
 //! paper-figures scaling         # empirical work-scaling exponents (Table 2)
 //! paper-figures batch           # batch-subsystem throughput (beyond-paper)
+//! paper-figures surface         # implied-vol surface inversion (beyond-paper)
 //! paper-figures all
 //! ```
 
 use amopt_bench::{
-    median_secs, paper_book, sequential_facade_loop, time_batch_cold, time_pricer, Impl,
+    median_secs, paper_book, sequential_facade_loop, serial_surface_loop, surface_grid,
+    time_batch_cold, time_pricer, Impl,
 };
 use amopt_cachesim::{kernels, EnergyModel};
+use amopt_core::batch::surface::implied_vol_surface;
 use amopt_core::batch::BatchPricer;
 use amopt_core::EngineConfig;
 use std::fmt::Write as _;
@@ -50,6 +53,7 @@ fn main() {
         "speedups" => speedups(max_t_naive),
         "scaling" => scaling(max_t_fft),
         "batch" => batch(opt("--batch", 4096), opt("--steps", 252)),
+        "surface" => surface(opt("--strikes", 8), opt("--expiries", 4), opt("--steps", 252)),
         "all" => {
             fig5("all", max_t_fft, max_t_naive);
             fig6(max_t_naive);
@@ -58,6 +62,7 @@ fn main() {
             speedups(max_t_naive);
             scaling(max_t_fft);
             batch(4096, 252);
+            surface(8, 4, 252);
         }
         other => {
             eprintln!("unknown subcommand `{other}`; see module docs");
@@ -336,6 +341,45 @@ fn batch(max_batch: usize, steps: usize) {
         seq / batched_at_max
     );
     write_csv("results/batch_throughput.csv", "scenario,batch,threads,secs,options_per_sec", &csv);
+}
+
+/// Beyond-paper: implied-vol surface inversion throughput (quotes/sec) —
+/// batch-native lockstep driver vs the serial per-quote bisection loop.
+fn surface(strikes: usize, expiries: usize, steps: usize) {
+    println!(
+        "\n## Implied-vol surface inversion ({strikes}x{expiries} grid, T = {steps}, \
+         American BOPM calls)\n"
+    );
+    println!("| scenario | quotes | secs | quotes/s |");
+    println!("|---|---|---|---|");
+    let mut csv = Vec::new();
+    let mut emit = |name: &str, quotes: usize, secs: f64| {
+        let rate = quotes as f64 / secs;
+        println!("| {name} | {quotes} | {secs:.4} | {rate:.1} |");
+        csv.push(format!("{name},{quotes},{secs:.6},{rate:.1}"));
+    };
+    let quotes = surface_grid(strikes, expiries, steps);
+    let serial = median_secs(3, || {
+        std::hint::black_box(serial_surface_loop(&quotes));
+    });
+    emit("serial_quote_loop", quotes.len(), serial);
+    let cold = median_secs(3, || {
+        let pricer = amopt_core::BatchPricer::with_memo_capacity(EngineConfig::default(), 8192);
+        std::hint::black_box(implied_vol_surface(&pricer, &quotes));
+    });
+    emit("surface_cold", quotes.len(), cold);
+    let pricer = amopt_core::BatchPricer::with_memo_capacity(EngineConfig::default(), 8192);
+    let _ = implied_vol_surface(&pricer, &quotes);
+    let warm = median_secs(3, || {
+        std::hint::black_box(implied_vol_surface(&pricer, &quotes));
+    });
+    emit("surface_requote", quotes.len(), warm);
+    println!(
+        "\nbatch-native surface vs serial loop: {:.2}x cold, {:.2}x re-quote",
+        serial / cold,
+        serial / warm
+    );
+    write_csv("results/surface_throughput.csv", "scenario,quotes,secs,quotes_per_sec", &csv);
 }
 
 /// Empirical scaling exponents: fit runtime ~ T^alpha on log-log points

@@ -1,11 +1,12 @@
 //! Shared measurement helpers for the benchmark harness that regenerates
 //! the paper's tables and figures (see `src/bin/paper_figures.rs`).
 
+use amopt_core::batch::surface::VolQuote;
 use amopt_core::batch::{BatchPricer, ModelKind, PricingRequest, Style};
 use amopt_core::bopm::{self, BopmModel};
 use amopt_core::bsm::{self, BsmModel};
 use amopt_core::topm::{self, TopmModel};
-use amopt_core::{EngineConfig, ExerciseStyle, OptionParams, OptionType};
+use amopt_core::{implied_vol, EngineConfig, ExerciseStyle, OptionParams, OptionType, Result};
 use std::time::Instant;
 
 /// Implementations compared in Figure 5 / Table 5.
@@ -181,8 +182,49 @@ pub fn time_batch_cold(book: &[PricingRequest], reps: usize) -> f64 {
     let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), 0);
     median_secs(reps, || {
         let out = pricer.price_batch(book);
-        assert!(out.iter().all(Result::is_ok));
+        assert!(out.iter().all(std::result::Result::is_ok));
     })
+}
+
+/// A deterministic, duplicate-free K-strike × T-maturity grid of American
+/// BOPM call quotes, each market price generated by pricing the contract
+/// under a smooth volatility smile (so every quote is exactly attainable
+/// and every inversion converges).
+///
+/// Strikes are spaced 5 apart and maturities 0.25y apart — far beyond the
+/// batch layer's key quantisation — so no two quotes (and no two quotes'
+/// probe sequences) deduplicate: surface throughput numbers measure
+/// inversion, not caching.
+pub fn surface_grid(strikes: usize, expiries: usize, steps: usize) -> Vec<VolQuote> {
+    let base = OptionParams::paper_defaults();
+    let cfg = EngineConfig::default();
+    let mut quotes = Vec::with_capacity(strikes * expiries);
+    for i in 0..strikes {
+        for j in 0..expiries {
+            let strike = 105.0 + 5.0 * i as f64;
+            let expiry = 0.5 + 0.25 * j as f64;
+            let smile = 0.16 + 0.06 * (strike / base.spot).ln().abs() + 0.015 * j as f64;
+            let params = OptionParams { strike, expiry, ..base };
+            let priced = OptionParams { volatility: smile, ..params };
+            let market = bopm::fast::price_american_call(
+                &BopmModel::new(priced, steps).expect("grid params are valid"),
+                &cfg,
+            );
+            quotes.push(VolQuote::new(params, steps, market));
+        }
+    }
+    quotes
+}
+
+/// The serial baseline the surface driver is judged against: one
+/// [`implied_vol::american_call_bopm`] bisection per quote, in a plain loop
+/// — exactly what a pre-surface caller wrote.
+pub fn serial_surface_loop(quotes: &[VolQuote]) -> Vec<Result<f64>> {
+    let cfg = EngineConfig::default();
+    quotes
+        .iter()
+        .map(|q| implied_vol::american_call_bopm(&q.params, q.steps, q.market_price, &cfg))
+        .collect()
 }
 
 #[cfg(test)]
@@ -231,5 +273,19 @@ mod tests {
         let pricer = BatchPricer::new(EngineConfig::default());
         pricer.price_batch(&book);
         assert_eq!(pricer.memo_stats().misses, 8);
+    }
+
+    #[test]
+    fn surface_grid_quotes_are_distinct_and_invert_both_ways() {
+        use amopt_core::batch::surface::implied_vol_surface;
+        let quotes = surface_grid(3, 2, 64);
+        assert_eq!(quotes.len(), 6);
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let batch = implied_vol_surface(&pricer, &quotes);
+        let serial = serial_surface_loop(&quotes);
+        for (b, s) in batch.iter().zip(&serial) {
+            let (b, s) = (b.as_ref().unwrap(), s.as_ref().unwrap());
+            assert!((b - s).abs() < 1e-6, "surface {b} vs serial {s}");
+        }
     }
 }

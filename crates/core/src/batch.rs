@@ -15,13 +15,21 @@
 //!   after warm-up;
 //! * identical requests inside a batch are **deduplicated** (priced once,
 //!   scattered to every duplicate), and results are **memoized** across
-//!   batches in a small LRU keyed on quantized parameters — a market tick
-//!   that leaves most of the book unchanged reprices only what moved;
+//!   batches in an LRU keyed on quantized parameters — a market tick that
+//!   leaves most of the book unchanged reprices only what moved;
+//! * the memo is **sharded** by key hash ([`DEFAULT_MEMO_SHARDS`] shards,
+//!   one lock each): probes take only their shard's lock and the probe
+//!   phase itself runs in parallel across shards, so the cache scales past
+//!   one core instead of serialising every batch behind a single mutex;
 //! * every request gets its own `Result`: one invalid contract never poisons
 //!   the rest of the batch.
 //!
 //! A batch of one is *bitwise identical* to calling the underlying pricer
 //! directly — the dispatcher adds routing, never arithmetic.
+//!
+//! Derived quantities route through the same machinery: [`greeks`] expresses
+//! finite-difference bump ladders as batch requests, and [`surface`] inverts
+//! whole implied-volatility surfaces with one batch per bracketing round.
 //!
 //! ```
 //! use amopt_core::batch::{BatchPricer, ModelKind, PricingRequest};
@@ -37,8 +45,12 @@
 //! assert!(prices.iter().all(|p| p.is_ok()));
 //! ```
 
+pub mod greeks;
+pub mod surface;
+
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
 
 use crate::bermudan;
@@ -147,6 +159,18 @@ impl PricingRequest {
 /// changes (a strike ladder, a vol bump) always land on distinct keys.
 const QUANT: f64 = 1e9;
 
+/// Finer grid for the **volatility** field (cells of `1e-13`).
+///
+/// Volatility is the one dimension a root-finder sweeps: the implied-vol
+/// surface driver ([`surface`]) accepts a probe only when its price residual
+/// drops below `1e-10`, which at typical vegas requires resolving vols a few
+/// `1e-12` apart.  Under the coarse `1e-9` grid those probes alias onto one
+/// memo cell, so the cache would keep answering with a neighbouring probe's
+/// price and the inversion could never converge.  `1e-13` keeps distinct
+/// probes distinct while still folding float-representation noise (relative
+/// `1e-16` on vols ≤ 5) onto one key.
+const QUANT_VOL: f64 = 1e13;
+
 /// A quantized parameter: grid cells for the magnitudes the grid can
 /// represent exactly, raw bit identity for everything else.  The two
 /// variants never compare equal, so a saturating cast can't silently
@@ -157,17 +181,21 @@ enum Quantized {
     Bits(u64),
 }
 
-fn quantize(x: f64) -> Quantized {
-    let scaled = x * QUANT;
+fn quantize_on(x: f64, grid: f64) -> Quantized {
+    let scaled = x * grid;
     // i64 holds ±9.2e18, so any |scaled| comfortably inside that range
     // round-trips through the cast without saturating.
     if scaled.is_finite() && scaled.abs() < 9.0e18 {
         Quantized::Grid(scaled.round() as i64)
     } else {
-        // Off-grid magnitudes (≳ 9e9), infinities, NaN: exact bit identity —
-        // no noise folding out there, but no cross-request collisions either.
+        // Off-grid magnitudes, infinities, NaN: exact bit identity — no
+        // noise folding out there, but no cross-request collisions either.
         Quantized::Bits(x.to_bits())
     }
+}
+
+fn quantize(x: f64) -> Quantized {
+    quantize_on(x, QUANT)
 }
 
 /// Normalised identity of a request: model/type/style tag, steps, quantized
@@ -204,7 +232,7 @@ fn make_key(req: &PricingRequest) -> MemoKey {
             quantize(p.spot),
             quantize(p.strike),
             quantize(p.rate),
-            quantize(p.volatility),
+            quantize_on(p.volatility, QUANT_VOL),
             quantize(p.dividend_yield),
             quantize(p.expiry),
         ],
@@ -267,7 +295,50 @@ impl LruMemo {
     }
 }
 
-/// Point-in-time memo counters, from [`BatchPricer::memo_stats`].
+/// Price memo sharded by key hash: each shard is an independent
+/// [`LruMemo`] behind its own lock, so concurrent probes for keys in
+/// different shards never contend and the eviction scan is bounded by the
+/// *per-shard* capacity.
+///
+/// Shard selection hashes the full [`MemoKey`] with the standard library's
+/// default (SipHash) hasher under fixed keys, so a key's shard is
+/// deterministic for the lifetime of the process — a prerequisite for the
+/// one-lock-per-shard-per-batch probe phase.
+#[derive(Debug)]
+struct ShardedMemo {
+    shards: Box<[Mutex<LruMemo>]>,
+    /// `false` when total capacity is 0: the probe and publish phases are
+    /// skipped wholesale (no key hashing, no shard fan-out) — memo-less
+    /// pricers like the serial greeks facades stay pure dispatch.
+    enabled: bool,
+}
+
+impl ShardedMemo {
+    /// `capacity` is the total across shards; each shard gets
+    /// `capacity.div_ceil(shards)` entries, so the effective total rounds up
+    /// to a shard multiple (`0` stays `0`: memo disabled).
+    fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        ShardedMemo {
+            shards: (0..shards).map(|_| Mutex::new(LruMemo::new(per_shard))).collect(),
+            enabled: capacity > 0,
+        }
+    }
+
+    fn shard_of(&self, key: &MemoKey) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn lock(&self, shard: usize) -> std::sync::MutexGuard<'_, LruMemo> {
+        self.shards[shard].lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// Point-in-time memo counters, from [`BatchPricer::memo_stats`],
+/// aggregated over every shard.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemoStats {
     /// Probes answered from the memo.
@@ -278,8 +349,10 @@ pub struct MemoStats {
     pub evictions: u64,
     /// Entries currently resident.
     pub entries: usize,
-    /// Configured capacity (0 = memo disabled).
+    /// Effective total capacity, summed over shards (0 = memo disabled).
     pub capacity: usize,
+    /// Number of independent memo shards.
+    pub shards: usize,
 }
 
 /// Per-worker scratch checked out for the duration of one request.  The
@@ -291,8 +364,18 @@ struct Workspace {
 }
 
 /// Default memo capacity: big enough for a few books of distinct contracts,
-/// small enough that the `O(capacity)` eviction scan stays invisible.
+/// small enough that the per-shard `O(capacity / shards)` eviction scan
+/// stays invisible.
 pub const DEFAULT_MEMO_CAPACITY: usize = 512;
+
+/// Default shard count for the memo.
+///
+/// Eight shards keep lock contention negligible up to a few tens of worker
+/// threads (probes for distinct keys collide on a lock with probability
+/// `1/8`) while the per-batch probe fan-out (one task per shard) stays
+/// cheap enough to be harmless on a single core.  Override with
+/// [`BatchPricer::with_memo_config`].
+pub const DEFAULT_MEMO_SHARDS: usize = 8;
 
 /// Batched pricing engine: dedup → memo probe → parallel price → scatter.
 ///
@@ -305,23 +388,44 @@ pub const DEFAULT_MEMO_CAPACITY: usize = 512;
 pub struct BatchPricer {
     cfg: EngineConfig,
     grain: usize,
-    memo: Mutex<LruMemo>,
+    memo: ShardedMemo,
     workspaces: WorkspacePool<Workspace>,
 }
 
 impl BatchPricer {
-    /// A pricer with the default memo capacity.
+    /// A pricer with the default memo capacity and shard count.
     pub fn new(cfg: EngineConfig) -> Self {
         Self::with_memo_capacity(cfg, DEFAULT_MEMO_CAPACITY)
     }
 
-    /// A pricer whose memo holds at most `capacity` prices (`0` disables
-    /// memoization entirely; in-batch deduplication still applies).
+    /// A pricer whose memo holds roughly `capacity` prices across
+    /// [`DEFAULT_MEMO_SHARDS`] shards (`0` disables memoization entirely;
+    /// in-batch deduplication still applies).
+    ///
+    /// Capacity is split evenly across shards, rounding the per-shard share
+    /// up, so the effective total is `shards * ceil(capacity / shards)`.
+    /// Callers that need exact-capacity (or single-shard, globally-ordered
+    /// LRU) semantics should use [`with_memo_config`] with `shards = 1`.
+    ///
+    /// [`with_memo_config`]: BatchPricer::with_memo_config
     pub fn with_memo_capacity(cfg: EngineConfig, capacity: usize) -> Self {
+        Self::with_memo_config(cfg, capacity, DEFAULT_MEMO_SHARDS)
+    }
+
+    /// A pricer with explicit memo `capacity` (total, split across shards)
+    /// and `shards` (clamped to at least 1).
+    ///
+    /// More shards reduce lock contention between concurrent probes but
+    /// fragment the LRU: eviction order is maintained *per shard*, so a
+    /// sharded memo may evict an entry that a single globally-ordered LRU of
+    /// the same total capacity would have kept.  Prices are unaffected —
+    /// eviction only ever causes recomputation, and every pricer is
+    /// deterministic — so results are bitwise identical for any shard count.
+    pub fn with_memo_config(cfg: EngineConfig, capacity: usize, shards: usize) -> Self {
         BatchPricer {
             cfg,
             grain: 1,
-            memo: Mutex::new(LruMemo::new(capacity)),
+            memo: ShardedMemo::new(capacity, shards),
             workspaces: WorkspacePool::new(),
         }
     }
@@ -339,25 +443,25 @@ impl BatchPricer {
         &self.cfg
     }
 
-    fn memo(&self) -> std::sync::MutexGuard<'_, LruMemo> {
-        self.memo.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// Current memo counters.
+    /// Current memo counters, aggregated over every shard.
     pub fn memo_stats(&self) -> MemoStats {
-        let memo = self.memo();
-        MemoStats {
-            hits: memo.hits,
-            misses: memo.misses,
-            evictions: memo.evictions,
-            entries: memo.map.len(),
-            capacity: memo.capacity,
+        let mut stats = MemoStats { shards: self.memo.shards.len(), ..MemoStats::default() };
+        for shard in 0..self.memo.shards.len() {
+            let memo = self.memo.lock(shard);
+            stats.hits += memo.hits;
+            stats.misses += memo.misses;
+            stats.evictions += memo.evictions;
+            stats.entries += memo.map.len();
+            stats.capacity += memo.capacity;
         }
+        stats
     }
 
     /// Drops every memoized price (counters are kept).
     pub fn clear_memo(&self) {
-        self.memo().map.clear();
+        for shard in 0..self.memo.shards.len() {
+            self.memo.lock(shard).map.clear();
+        }
     }
 
     /// Prices a single request through the full batch machinery (dedup is
@@ -371,7 +475,7 @@ impl BatchPricer {
     /// Prices every request, in parallel across *unique* requests, returning
     /// one `Result` per input slot (order-preserving).
     ///
-    /// Requests that normalise to the same [`MemoKey`] are priced once and
+    /// Requests that normalise to the same memo key are priced once and
     /// the result is scattered to every duplicate; memoized prices from
     /// earlier batches short-circuit pricing entirely.  Errors (invalid
     /// parameters, unstable discretisations, unsupported combinations) are
@@ -395,12 +499,42 @@ impl BatchPricer {
             };
             assignment.push(slot);
         }
-        // Phase 2 (serial): one memo probe per unique request under a single
-        // lock acquisition.
-        let mut slot_results: Vec<Option<Result<f64>>> = {
-            let mut memo = self.memo();
-            jobs.iter().map(|(_, key)| memo.get(key).map(Ok)).collect()
+        // Phase 2 (parallel): memo probe, sharded by key hash.  Jobs are
+        // grouped by shard so each worker takes exactly one shard lock for
+        // its whole group — shards never contend with each other, and the
+        // groups themselves probe concurrently.  A disabled memo (capacity
+        // 0, e.g. the serial greeks facades) skips the hashing and shard
+        // fan-out entirely: every probe would be a guaranteed miss.
+        let shard_of_job: Vec<usize> = if self.memo.enabled {
+            jobs.iter().map(|(_, key)| self.memo.shard_of(key)).collect()
+        } else {
+            Vec::new()
         };
+        let mut slot_results: Vec<Option<Result<f64>>> = vec![None; jobs.len()];
+        if self.memo.enabled && jobs.len() <= self.memo.shards.len() {
+            // Small batches (greeks ladders, a surface round's convergence
+            // tail) probe serially: a lock per job costs less than grouping
+            // into shards and forking over mostly-empty buckets.
+            for (slot, (_, key)) in jobs.iter().enumerate() {
+                slot_results[slot] = self.memo.lock(shard_of_job[slot]).get(key).map(Ok);
+            }
+        } else if self.memo.enabled {
+            let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); self.memo.shards.len()];
+            for (slot, &shard) in shard_of_job.iter().enumerate() {
+                by_shard[shard].push(slot);
+            }
+            let probed: Vec<Vec<(usize, Option<f64>)>> =
+                amopt_parallel::parallel_map_slice(&by_shard, 1, |shard, slots| {
+                    if slots.is_empty() {
+                        return Vec::new();
+                    }
+                    let mut memo = self.memo.lock(shard);
+                    slots.iter().map(|&slot| (slot, memo.get(&jobs[slot].1))).collect()
+                });
+            for (slot, hit) in probed.into_iter().flatten() {
+                slot_results[slot] = hit.map(Ok);
+            }
+        }
         // Phase 3 (parallel): price what the memo did not know.  Workers
         // check scratch out of the workspace pool, so this loop allocates
         // only inside the routed pricers themselves.
@@ -412,15 +546,31 @@ impl BatchPricer {
                 .with(Workspace::default, |ws| self.route(&requests[*req_idx], &key.dates, ws));
             Some(res)
         });
-        // Phase 4 (serial): publish fresh prices to the memo and the slots.
-        {
-            let mut memo = self.memo();
-            for (slot, res) in todo.into_iter().zip(computed) {
-                let res = res.expect("parallel_map fills every slot");
-                if let Ok(price) = res {
-                    memo.insert(jobs[slot].1.clone(), price);
+        // Phase 4 (serial, one lock acquisition per touched shard): publish
+        // fresh prices to the memo and the slots.  Errors are never cached;
+        // a disabled memo publishes nothing; small batches insert directly
+        // (a lock per fresh price) instead of grouping by shard.
+        let group_publish = self.memo.enabled && jobs.len() > self.memo.shards.len();
+        let mut publish: Vec<Vec<(usize, f64)>> =
+            if group_publish { vec![Vec::new(); self.memo.shards.len()] } else { Vec::new() };
+        for (slot, res) in todo.into_iter().zip(computed) {
+            let res = res.expect("parallel_map fills every slot");
+            if let Ok(price) = res {
+                if group_publish {
+                    publish[shard_of_job[slot]].push((slot, price));
+                } else if self.memo.enabled {
+                    self.memo.lock(shard_of_job[slot]).insert(jobs[slot].1.clone(), price);
                 }
-                slot_results[slot] = Some(res);
+            }
+            slot_results[slot] = Some(res);
+        }
+        for (shard, fresh) in publish.into_iter().enumerate() {
+            if fresh.is_empty() {
+                continue;
+            }
+            let mut memo = self.memo.lock(shard);
+            for (slot, price) in fresh {
+                memo.insert(jobs[slot].1.clone(), price);
             }
         }
         // Phase 5: scatter unique results back to request order.
@@ -696,7 +846,9 @@ mod tests {
 
     #[test]
     fn lru_evicts_the_stalest_entry() {
-        let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), 2);
+        // Single shard: the test pins down *global* LRU ordering, which only
+        // a one-shard memo guarantees (sharded eviction is per shard).
+        let pricer = BatchPricer::with_memo_config(EngineConfig::default(), 2, 1);
         let req = |steps| PricingRequest::american(ModelKind::Bopm, OptionType::Call, p(), steps);
         pricer.price_batch(&[req(100)]);
         pricer.price_batch(&[req(101)]);
@@ -717,7 +869,47 @@ mod tests {
         pricer.price_batch(std::slice::from_ref(&req));
         pricer.price_batch(std::slice::from_ref(&req));
         let stats = pricer.memo_stats();
-        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+        assert_eq!((stats.hits, stats.misses, stats.entries, stats.capacity), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn sharded_memo_matches_single_shard_bitwise_and_splits_capacity() {
+        // Same book through a single-shard and a many-shard pricer: prices
+        // must be bitwise identical on the cold pass *and* on the warm
+        // re-quote, and the aggregate hit/miss counters must agree.
+        let book: Vec<PricingRequest> = (0..24)
+            .map(|i| OptionParams { strike: 100.0 + 2.0 * i as f64, ..p() })
+            .map(|params| PricingRequest::american(ModelKind::Bopm, OptionType::Call, params, 96))
+            .collect();
+        let single = BatchPricer::with_memo_config(EngineConfig::default(), 512, 1);
+        let sharded = BatchPricer::with_memo_config(EngineConfig::default(), 512, 8);
+        assert_eq!(single.memo_stats().shards, 1);
+        assert_eq!(sharded.memo_stats().shards, 8);
+        assert_eq!(sharded.memo_stats().capacity, 512); // 8 * ceil(512/8)
+        for pass in 0..2 {
+            let a = single.price_batch(&book);
+            let b = sharded.price_batch(&book);
+            for (x, y) in a.iter().zip(&b) {
+                let (x, y) = (x.as_ref().unwrap(), y.as_ref().unwrap());
+                assert_eq!(x.to_bits(), y.to_bits(), "pass {pass}");
+            }
+        }
+        let (s, m) = (single.memo_stats(), sharded.memo_stats());
+        assert_eq!((s.hits, s.misses), (m.hits, m.misses));
+        assert_eq!(m.misses, 24);
+        assert_eq!(m.hits, 24);
+        // The 24 distinct keys spread over more than one shard: entries
+        // aggregate correctly while no single shard holds them all (the
+        // probability of 24 SipHashed keys landing in one of 8 shards is
+        // ~8^-23 — deterministic in practice since the hash keys are fixed).
+        assert_eq!(m.entries, 24);
+    }
+
+    #[test]
+    fn tiny_capacity_rounds_up_to_one_entry_per_shard() {
+        let pricer = BatchPricer::with_memo_config(EngineConfig::default(), 2, 4);
+        let stats = pricer.memo_stats();
+        assert_eq!((stats.capacity, stats.shards), (4, 4)); // 4 * ceil(2/4)
     }
 
     #[test]

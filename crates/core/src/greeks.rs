@@ -1,12 +1,20 @@
 //! Greeks (price sensitivities) for American options, computed by central
 //! finite differences over the fast pricers — cheap because each repricing
 //! is only `O(T log² T)`.
+//!
+//! This module owns the [`Greeks`] type, the bump-width policy, and the
+//! per-contract convenience entry points.  The differencing itself lives in
+//! [`crate::batch::greeks`]: every entry point here is a **batch-of-one
+//! facade** over [`crate::batch::greeks::greeks`], so a single contract's
+//! greeks take exactly the same code path — same bump ladder, same routed
+//! pricers, same arithmetic — as a thousand-contract book fanned through
+//! [`BatchPricer::price_batch`](crate::batch::BatchPricer::price_batch).
 
-use crate::bopm::{fast, BopmModel};
-use crate::bsm::{self, BsmModel};
+use crate::batch::greeks as batch_greeks;
+use crate::batch::{BatchPricer, ModelKind, PricingRequest};
 use crate::engine::EngineConfig;
 use crate::error::Result;
-use crate::params::OptionParams;
+use crate::params::{OptionParams, OptionType};
 
 /// First- and second-order sensitivities of an option price.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -35,16 +43,28 @@ pub struct Greeks {
 /// *piecewise linear* in `S` (the payoff kinks sit on lattice nodes), so a
 /// bump much narrower than the node spacing `S·(u²−1) ≈ 2SVΔt^{1/2}` lands
 /// inside one linear piece and reads a gamma of exactly zero.
-const BUMP_SPOT: f64 = 1e-2;
-const BUMP_VOL: f64 = 1e-4;
-const BUMP_RATE: f64 = 1e-5;
-const BUMP_TIME: f64 = 1e-4;
+pub(crate) const BUMP_SPOT: f64 = 1e-2;
+/// Relative volatility bump (vega).
+pub(crate) const BUMP_VOL: f64 = 1e-4;
+/// Absolute rate bump (rho).
+pub(crate) const BUMP_RATE: f64 = 1e-5;
+/// Relative expiry bump (theta).
+pub(crate) const BUMP_TIME: f64 = 1e-4;
+/// Floor on the volatility used to scale the vega bump, so deep-low-vol
+/// contracts still get a resolvable bump width.
+pub(crate) const VOL_BUMP_FLOOR: f64 = 0.05;
 
-fn central<F: FnMut(f64) -> Result<f64>>(x: f64, h: f64, mut price: F) -> Result<(f64, f64, f64)> {
-    let up = price(x + h)?;
-    let mid = price(x)?;
-    let dn = price(x - h)?;
-    Ok(((up - dn) / (2.0 * h), (up - 2.0 * mid + dn) / (h * h), mid))
+/// Finite-difference greeks of a single batch request: a batch-of-one
+/// facade over [`crate::batch::greeks::greeks`].
+///
+/// The request's bump ladder is fanned through `pricer`, so repeated calls
+/// against the same pricer share the memo (a re-quoted contract's greeks
+/// are nine cache hits).  For whole books, call the batch entry point
+/// directly — it prices every contract's ladder in one batch.
+pub fn greeks_by_fd(pricer: &BatchPricer, request: &PricingRequest) -> Result<Greeks> {
+    batch_greeks::greeks(pricer, std::slice::from_ref(request))
+        .pop()
+        .expect("one request in, one result out")
 }
 
 /// Greeks of the American **call** under BOPM (fast pricer).
@@ -53,57 +73,29 @@ pub fn american_call_bopm(
     steps: usize,
     cfg: &EngineConfig,
 ) -> Result<Greeks> {
-    let params = params.validated()?;
-    let reprice = |p: OptionParams| -> Result<f64> {
-        Ok(fast::price_american_call(&BopmModel::new(p, steps)?, cfg))
-    };
-    greeks_by_fd(params, reprice)
+    // Memo capacity 0: a one-shot facade has no second batch to serve; the
+    // in-batch dedup (rho's base-price reuse) still applies.
+    let pricer = BatchPricer::with_memo_capacity(*cfg, 0);
+    greeks_by_fd(
+        &pricer,
+        &PricingRequest::american(ModelKind::Bopm, OptionType::Call, *params, steps),
+    )
 }
 
 /// Greeks of the American **put** under the BSM explicit FD scheme.
 pub fn american_put_bsm(params: &OptionParams, steps: usize, cfg: &EngineConfig) -> Result<Greeks> {
-    let params = params.validated()?;
-    let reprice = |p: OptionParams| -> Result<f64> {
-        Ok(bsm::fast::price_american_put(&BsmModel::new(p, steps)?, cfg))
-    };
-    greeks_by_fd(params, reprice)
-}
-
-fn greeks_by_fd<F: Fn(OptionParams) -> Result<f64>>(
-    params: OptionParams,
-    reprice: F,
-) -> Result<Greeks> {
-    let hs = params.spot * BUMP_SPOT;
-    let (delta, gamma, _) =
-        central(params.spot, hs, |s| reprice(OptionParams { spot: s, ..params }))?;
-    let hv = params.volatility.max(0.05) * BUMP_VOL;
-    let up = reprice(OptionParams { volatility: params.volatility + hv, ..params })?;
-    let dn = reprice(OptionParams { volatility: params.volatility - hv, ..params })?;
-    let vega = (up - dn) / (2.0 * hv);
-    let hr = BUMP_RATE;
-    let r_up = reprice(OptionParams { rate: params.rate + hr, ..params })?;
-    let rho = if params.rate >= hr {
-        let r_dn = reprice(OptionParams { rate: params.rate - hr, ..params })?;
-        (r_up - r_dn) / (2.0 * hr)
-    } else {
-        // The symmetric down bump would need a negative rate, which the
-        // domain forbids: fall back to the one-sided forward difference
-        // documented on `Greeks::rho` instead of silently clamping.
-        let r_at = reprice(params)?;
-        (r_up - r_at) / hr
-    };
-    let ht = params.expiry * BUMP_TIME;
-    let e_up = reprice(OptionParams { expiry: params.expiry + ht, ..params })?;
-    let e_dn = reprice(OptionParams { expiry: params.expiry - ht, ..params })?;
-    // θ is the derivative with respect to calendar time = −∂V/∂(expiry).
-    let theta = -(e_up - e_dn) / (2.0 * ht);
-    Ok(Greeks { delta, gamma, theta, vega, rho })
+    let pricer = BatchPricer::with_memo_capacity(*cfg, 0);
+    greeks_by_fd(
+        &pricer,
+        &PricingRequest::american(ModelKind::Bsm, OptionType::Put, *params, steps),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::analytic;
+    use crate::bsm::{self, BsmModel};
     use crate::params::OptionType;
 
     #[test]
@@ -173,5 +165,21 @@ mod tests {
         let p = OptionParams { dividend_yield: 0.0, ..OptionParams::paper_defaults() };
         let g = american_put_bsm(&p, 1500, &EngineConfig::default()).unwrap();
         assert!(g.theta <= 1e-6, "theta {}", g.theta);
+    }
+
+    #[test]
+    fn greeks_by_fd_memoizes_across_repeated_calls() {
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let req = PricingRequest::american(
+            ModelKind::Bopm,
+            OptionType::Call,
+            OptionParams::paper_defaults(),
+            128,
+        );
+        let first = greeks_by_fd(&pricer, &req).unwrap();
+        let misses = pricer.memo_stats().misses;
+        let second = greeks_by_fd(&pricer, &req).unwrap();
+        assert_eq!(pricer.memo_stats().misses, misses, "second call must be all memo hits");
+        assert_eq!(first.delta.to_bits(), second.delta.to_bits());
     }
 }

@@ -6,6 +6,13 @@
 //! American quotes bisect over the fast lattice pricer — each probe is
 //! `O(T log² T)`, so the whole inversion is a few dozen milliseconds even at
 //! large `T`.
+//!
+//! The per-quote functions here are the *reference* inversions.  For bulk
+//! work — inverting a whole quote surface — use
+//! [`crate::batch::surface::implied_vol_surface`], which drives every
+//! quote's bracketing rounds in lockstep through the batch pricer (parallel
+//! probes, cross-quote dedup, and a superlinear root iteration) under the
+//! same search interval, tolerance, and error contract as this module.
 
 use crate::analytic::{black_scholes_price, black_scholes_vega};
 use crate::bopm::{fast, BopmModel};
@@ -13,11 +20,15 @@ use crate::engine::EngineConfig;
 use crate::error::{PricingError, Result};
 use crate::params::{OptionParams, OptionType};
 
-/// Volatility search interval.
-const VOL_LO: f64 = 1e-4;
-const VOL_HI: f64 = 5.0;
-const PRICE_TOL: f64 = 1e-10;
-const MAX_ITERS: usize = 200;
+/// Lower end of the volatility search interval (shared with the batch
+/// surface driver so both inversions search the same space).
+pub(crate) const VOL_LO: f64 = 1e-4;
+/// Upper end of the volatility search interval.
+pub(crate) const VOL_HI: f64 = 5.0;
+/// Acceptance tolerance on the price residual `|price(vol) − quote|`.
+pub(crate) const PRICE_TOL: f64 = 1e-10;
+/// Probe budget per quote before declaring no convergence.
+pub(crate) const MAX_ITERS: usize = 200;
 
 /// Implied volatility of a **European** option from its market price.
 pub fn european(params: &OptionParams, opt: OptionType, market_price: f64) -> Result<f64> {

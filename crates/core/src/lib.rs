@@ -14,6 +14,15 @@
 //! The shared machinery lives in [`engine`] (the nonlinear-stencil trapezoid
 //! decomposition) on top of `amopt-stencil`/`amopt-fft` (the linear FFT
 //! stencil substrate).  [`analytic`] provides closed-form European oracles.
+//!
+//! Portfolio-scale workloads enter through [`batch`]: heterogeneous books
+//! via [`BatchPricer`], finite-difference greeks via [`batch::greeks`], and
+//! implied-volatility surfaces via [`batch::surface`] — all sharing one
+//! sharded memo and one fork-join fan-out.  See the repository's
+//! `ARCHITECTURE.md` for the full paper-section → module map and the batch
+//! request lifecycle.
+
+#![warn(missing_docs)]
 
 pub mod analytic;
 pub mod batch;
@@ -28,7 +37,9 @@ pub mod implied_vol;
 pub mod params;
 pub mod topm;
 
-pub use batch::{BatchPricer, PricingRequest};
+pub use batch::surface::VolQuote;
+pub use batch::{BatchPricer, MemoStats, ModelKind, PricingRequest};
 pub use engine::EngineConfig;
 pub use error::{PricingError, Result};
+pub use greeks::Greeks;
 pub use params::{ExerciseStyle, OptionParams, OptionType};

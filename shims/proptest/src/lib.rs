@@ -2,8 +2,9 @@
 //!
 //! Implements the property-testing surface this workspace uses with the
 //! upstream module paths and macro grammar: the [`proptest!`] macro,
-//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, the [`Strategy`]
-//! trait with `prop_map` / `prop_flat_map`, numeric range and tuple
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, the
+//! [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map`, numeric range and tuple
 //! strategies, and `prop::collection::vec`.
 //!
 //! Generation is **deterministic**: each case's RNG is seeded from the test

@@ -13,8 +13,9 @@
 //!   engines and the BOPM/TOPM/BSM pricers with naive, tiled,
 //!   cache-oblivious, and FFT implementations, plus greeks, implied vol,
 //!   Bermudan options, exercise-boundary extraction, and the batch pricing
-//!   subsystem (`core::batch`: dedup + memo + parallel fan-out over
-//!   heterogeneous books);
+//!   subsystem (`core::batch`: dedup + sharded memo + parallel fan-out over
+//!   heterogeneous books, batch-native greeks ladders, and lockstep
+//!   implied-vol surface inversion);
 //! * [`cachesim`] — cache-hierarchy and energy simulation (the PAPI/RAPL
 //!   substitute used to regenerate the paper's Figures 6/7/10).
 //!
@@ -28,6 +29,23 @@
 //! let price = bopm_fast::price_american_call(&model, &EngineConfig::default());
 //! assert!((price - 8.32).abs() < 0.05);
 //! ```
+//!
+//! Derived quantities route through the batch layer — greeks ladders and
+//! implied-vol surfaces fan out through one [`BatchPricer`](prelude::BatchPricer):
+//!
+//! ```
+//! use american_option_pricing::prelude::*;
+//!
+//! let pricer = BatchPricer::new(EngineConfig::default());
+//! let req = PricingRequest::american(
+//!     ModelKind::Bopm,
+//!     OptionType::Call,
+//!     OptionParams::paper_defaults(),
+//!     256,
+//! );
+//! let g: Greeks = batch_greeks(&pricer, std::slice::from_ref(&req)).remove(0).unwrap();
+//! assert!(g.delta > 0.0 && g.vega > 0.0);
+//! ```
 
 pub use amopt_cachesim as cachesim;
 pub use amopt_core as core;
@@ -37,9 +55,12 @@ pub use amopt_stencil as stencil;
 
 /// Most-used items in one import.
 pub mod prelude {
-    pub use amopt_core::batch::{self, BatchPricer, ModelKind, PricingRequest};
+    pub use amopt_core::batch::greeks::greeks as batch_greeks;
+    pub use amopt_core::batch::surface::{implied_vol_surface, VolQuote};
+    pub use amopt_core::batch::{self, BatchPricer, MemoStats, ModelKind, PricingRequest};
     pub use amopt_core::bopm::{fast as bopm_fast, naive as bopm_naive, BopmModel};
     pub use amopt_core::bsm::{fast as bsm_fast, naive as bsm_naive, BsmModel};
+    pub use amopt_core::greeks::{greeks_by_fd, Greeks};
     pub use amopt_core::topm::{fast as topm_fast, naive as topm_naive, TopmModel};
     pub use amopt_core::{
         analytic, bermudan, exercise_boundary, greeks, implied_vol, EngineConfig, ExerciseStyle,
