@@ -16,15 +16,22 @@
 //! cargo bench -p amopt-bench --bench batch_throughput
 //! ```
 
-use amopt_bench::{duplicated_book, median_secs, paper_book, sequential_facade_loop};
+use amopt_bench::{
+    duplicated_book, median_secs, paper_book, put_book, sequential_facade_loop,
+    sequential_naive_put_loop,
+};
 use amopt_core::batch::BatchPricer;
-use amopt_core::EngineConfig;
+use amopt_core::bopm::{self, BopmModel};
+use amopt_core::{EngineConfig, ExerciseStyle, OptionParams, OptionType};
 use criterion::black_box;
 use std::fmt::Write as _;
 
 const STEPS: usize = 252;
 const REPS: usize = 3;
 const MAX_BATCH: usize = 4096;
+/// Lattice size for the single-contract fast-vs-naive put headline
+/// (acceptance: a measured speedup at `T ≥ 2¹⁴` in the archived output).
+const PUT_HEADLINE_STEPS: usize = 1 << 14;
 
 struct Record {
     name: &'static str,
@@ -96,6 +103,55 @@ fn main() {
         secs: dedup_secs,
     });
 
+    // Put-heavy mix: the workload that was Θ(T²)-bound before the left-cone
+    // engine (both American-put routes fell back to the serial loop nest).
+    // Baseline: the naive loop per contract, exactly what the old batch
+    // route computed.
+    let puts = put_book(MAX_BATCH, STEPS);
+    let seq_put_secs = median_secs(REPS, || {
+        black_box(sequential_naive_put_loop(&puts));
+    });
+    records.push(Record {
+        name: "seq_naive_put_loop",
+        batch: MAX_BATCH,
+        threads: 1,
+        secs: seq_put_secs,
+    });
+    let put_secs = median_secs(REPS, || {
+        let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), 0);
+        black_box(pricer.price_batch(&puts));
+    });
+    records.push(Record {
+        name: "batch_put_cold",
+        batch: MAX_BATCH,
+        threads: max_threads,
+        secs: put_secs,
+    });
+
+    // Single-contract headline at T = 2¹⁴: fast left-cone put vs the naive
+    // nest, where the complexity-class gap (T log² T vs T²) is decisive.
+    let headline = OptionParams::paper_defaults();
+    let naive_put_t14_secs = median_secs(REPS, || {
+        let m = BopmModel::new(headline, PUT_HEADLINE_STEPS).expect("valid lattice");
+        black_box(bopm::naive::price(
+            &m,
+            OptionType::Put,
+            ExerciseStyle::American,
+            bopm::naive::ExecMode::Serial,
+        ));
+    });
+    records.push(Record {
+        name: "put_naive_t16384",
+        batch: 1,
+        threads: 1,
+        secs: naive_put_t14_secs,
+    });
+    let fast_put_t14_secs = median_secs(REPS, || {
+        let m = BopmModel::new(headline, PUT_HEADLINE_STEPS).expect("valid lattice");
+        black_box(bopm::fast::price_american_put(&m, &EngineConfig::default()));
+    });
+    records.push(Record { name: "put_fast_t16384", batch: 1, threads: 1, secs: fast_put_t14_secs });
+
     // Warm memo path: the same unchanged book re-quoted — pure cache service.
     let pricer = BatchPricer::new(EngineConfig::default());
     black_box(pricer.price_batch(&dup)); // warm the memo
@@ -128,6 +184,8 @@ fn main() {
         .expect("cold batch record at max size");
     let speedup = seq_secs / batched.secs;
     let dedup_speedup = seq_dup_secs / dedup_secs;
+    let put_speedup = seq_put_secs / put_secs;
+    let put_t14_speedup = naive_put_t14_secs / fast_put_t14_secs;
     println!(
         "\nbatched ({} threads) vs sequential facade loop at {} distinct requests: {speedup:.2}x",
         max_threads, MAX_BATCH
@@ -136,6 +194,11 @@ fn main() {
         "batched vs sequential loop at {} requests (64 distinct, dedup): {dedup_speedup:.2}x",
         MAX_BATCH
     );
+    println!(
+        "put-heavy batch vs naive Θ(T²) put loop at {} requests: {put_speedup:.2}x",
+        MAX_BATCH
+    );
+    println!("fast left-cone put vs naive put at T = {PUT_HEADLINE_STEPS}: {put_t14_speedup:.2}x");
     // Regressions are tracked from the archived JSON datapoints, not by
     // failing the run: timing on shared CI runners is too noisy for hard
     // assertions.  Warn loudly instead.
@@ -151,11 +214,24 @@ fn main() {
              ({dedup_speedup:.2}x) — noisy run or a real regression?"
         );
     }
+    if put_t14_speedup <= 2.0 {
+        eprintln!(
+            "WARNING: fast put at T = {PUT_HEADLINE_STEPS} only {put_t14_speedup:.2}x over the \
+             Θ(T²) nest — the complexity-class gap should dominate at this size"
+        );
+    }
 
-    write_summary(&records, max_threads, speedup, dedup_speedup);
+    write_summary(&records, max_threads, speedup, dedup_speedup, put_speedup, put_t14_speedup);
 }
 
-fn write_summary(records: &[Record], max_threads: usize, speedup: f64, dedup_speedup: f64) {
+fn write_summary(
+    records: &[Record],
+    max_threads: usize,
+    speedup: f64,
+    dedup_speedup: f64,
+    put_speedup: f64,
+    put_t14_speedup: f64,
+) {
     let path = std::env::var("BENCH_BATCH_OUT").unwrap_or_else(|_| "BENCH_batch.json".to_string());
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"bench\": \"batch_throughput\",");
@@ -163,6 +239,8 @@ fn write_summary(records: &[Record], max_threads: usize, speedup: f64, dedup_spe
     let _ = writeln!(json, "  \"max_threads\": {max_threads},");
     let _ = writeln!(json, "  \"speedup_batched_vs_sequential\": {speedup:.4},");
     let _ = writeln!(json, "  \"speedup_dedup_vs_sequential\": {dedup_speedup:.4},");
+    let _ = writeln!(json, "  \"speedup_put_batch_vs_naive_loop\": {put_speedup:.4},");
+    let _ = writeln!(json, "  \"speedup_put_fast_vs_naive_t16384\": {put_t14_speedup:.4},");
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(

@@ -1,0 +1,260 @@
+//! `bench-diff` — throughput regression gate over the archived bench
+//! summaries (`BENCH_batch.json` / `BENCH_surface.json`, schemas in this
+//! crate's README).
+//!
+//! ```sh
+//! bench-diff <history.jsonl> <fresh.json> [--tolerance 0.30] [--window 3] [--no-append]
+//! ```
+//!
+//! The history file holds one summary JSON per line (one line per archived
+//! run).  For every scenario record of the fresh summary — keyed on
+//! `(name, batch|quotes, threads)` — the fresh throughput is compared
+//! against the median of the last `window` archived runs:
+//!
+//! * fewer than 2 archived datapoints for a key → **warn only** (timing on
+//!   shared runners is too noisy to fail on a single reference);
+//! * `fresh < (1 − tolerance) × median` with ≥ 2 datapoints → **fail**
+//!   (exit 1) after printing every comparison;
+//! * scenarios with no history (new benches) are reported as `new` and
+//!   never fail — consumers of the schema must tolerate appended scenarios.
+//!
+//! Unless `--no-append` is given, a **passing** summary is appended to the
+//! history (compacted to one line, capped to the last 20 runs) *after* the
+//! comparison, so the next run sees it; failing runs are kept out of the
+//! history so a retried regression cannot vote itself into the median.
+//! The parser is a minimal scanner
+//! for the two known schemas; unparseable history lines are skipped with a
+//! warning rather than failing the gate.
+
+use std::process::ExitCode;
+
+#[derive(Debug, Clone, PartialEq)]
+struct Record {
+    name: String,
+    size: u64,
+    threads: u64,
+    metric: f64,
+}
+
+/// Extracts the scenario records of one summary JSON: objects inside the
+/// `"results"` array, keyed metric `options_per_sec` or `quotes_per_sec`.
+fn parse_records(json: &str) -> Option<Vec<Record>> {
+    let results_at = json.find("\"results\"")?;
+    let body = &json[results_at..];
+    let open = body.find('[')?;
+    let close = body.find(']')?;
+    let array = &body[open + 1..close];
+    let mut records = Vec::new();
+    let mut rest = array;
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..].find('}')? + start;
+        let obj = &rest[start + 1..end];
+        let name = field_str(obj, "name")?;
+        let size = field_num(obj, "batch").or_else(|| field_num(obj, "quotes"))? as u64;
+        let threads = field_num(obj, "threads")? as u64;
+        let metric =
+            field_num(obj, "options_per_sec").or_else(|| field_num(obj, "quotes_per_sec"))?;
+        records.push(Record { name, size, threads, metric });
+        rest = &rest[end + 1..];
+    }
+    Some(records)
+}
+
+fn field_str(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn field_num(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat)? + pat.len();
+    let rest = obj[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut tolerance = 0.30_f64;
+    let mut window = 3usize;
+    let mut append = true;
+    let mut paths: Vec<&str> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = it.next().and_then(|v| v.parse().ok()).unwrap_or(tolerance)
+            }
+            "--window" => window = it.next().and_then(|v| v.parse().ok()).unwrap_or(window),
+            "--no-append" => append = false,
+            p => paths.push(p),
+        }
+    }
+    let [history_path, fresh_path] = paths[..] else {
+        eprintln!("usage: bench-diff <history.jsonl> <fresh.json> [--tolerance X] [--window N] [--no-append]");
+        return ExitCode::from(2);
+    };
+
+    let fresh_json = match std::fs::read_to_string(fresh_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-diff: cannot read fresh summary {fresh_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(fresh) = parse_records(&fresh_json) else {
+        eprintln!("bench-diff: {fresh_path} does not match the bench summary schema");
+        return ExitCode::from(2);
+    };
+
+    // History: one summary per line, oldest first.
+    let history_raw = std::fs::read_to_string(history_path).unwrap_or_default();
+    let mut history_lines: Vec<&str> =
+        history_raw.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut series: Vec<(String, u64, u64, Vec<f64>)> = Vec::new();
+    for line in &history_lines {
+        let Some(records) = parse_records(line) else {
+            eprintln!("bench-diff: skipping unparseable history line");
+            continue;
+        };
+        for r in records {
+            match series
+                .iter_mut()
+                .find(|(n, s, t, _)| *n == r.name && *s == r.size && *t == r.threads)
+            {
+                Some((_, _, _, xs)) => xs.push(r.metric),
+                None => series.push((r.name, r.size, r.threads, vec![r.metric])),
+            }
+        }
+    }
+
+    println!("| scenario | size | threads | fresh | median(last {window}) | runs | verdict |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut failures = 0usize;
+    let mut warnings = 0usize;
+    for r in &fresh {
+        let prior = series
+            .iter()
+            .find(|(n, s, t, _)| *n == r.name && *s == r.size && *t == r.threads)
+            .map(|(_, _, _, xs)| xs.iter().rev().take(window).copied().collect::<Vec<_>>())
+            .unwrap_or_default();
+        let verdict = if prior.is_empty() {
+            "new".to_string()
+        } else {
+            let med = median(prior.clone());
+            let floor = (1.0 - tolerance) * med;
+            if r.metric >= floor {
+                format!("ok ({:+.1}%)", 100.0 * (r.metric / med - 1.0))
+            } else if prior.len() >= 2 {
+                failures += 1;
+                format!("FAIL ({:.1}% of median)", 100.0 * r.metric / med)
+            } else {
+                warnings += 1;
+                format!("warn ({:.1}% of median, 1 datapoint)", 100.0 * r.metric / med)
+            }
+        };
+        let med_str = if prior.is_empty() {
+            "-".to_string()
+        } else {
+            format!("{:.1}", median(prior.clone()))
+        };
+        println!(
+            "| {} | {} | {} | {:.1} | {} | {} | {} |",
+            r.name,
+            r.size,
+            r.threads,
+            r.metric,
+            med_str,
+            prior.len(),
+            verdict
+        );
+    }
+
+    // A failing run never enters the history: appending it would let a
+    // retried regression vote itself into the median (two retries and the
+    // regressed value *becomes* the accepted baseline).
+    if append && failures == 0 {
+        let compact: String = fresh_json.chars().map(|c| if c == '\n' { ' ' } else { c }).collect();
+        history_lines.push(&compact);
+        let keep = history_lines.len().saturating_sub(20);
+        let out: String = history_lines[keep..].join("\n") + "\n";
+        if let Some(dir) = std::path::Path::new(history_path).parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Err(e) = std::fs::write(history_path, out) {
+            eprintln!("bench-diff: could not update history {history_path}: {e}");
+        }
+    }
+
+    if failures > 0 {
+        eprintln!(
+            "bench-diff: {failures} scenario(s) regressed more than {:.0}% against the archived \
+             median",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    if warnings > 0 {
+        eprintln!(
+            "bench-diff: {warnings} scenario(s) below the archived value, but only one datapoint \
+             exists — warning, not failing"
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "bench": "batch_throughput",
+  "steps": 252,
+  "max_threads": 8,
+  "speedup_batched_vs_sequential": 1.01,
+  "results": [
+    {"name": "batch_cold", "batch": 4096, "threads": 1, "secs": 0.79, "options_per_sec": 5175.0},
+    {"name": "batch_memo_warm", "batch": 4096, "threads": 8, "secs": 0.001, "options_per_sec": 4096000.0}
+  ]
+}"#;
+
+    #[test]
+    fn parses_the_batch_schema() {
+        let records = parse_records(SAMPLE).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].name, "batch_cold");
+        assert_eq!(records[0].size, 4096);
+        assert_eq!(records[0].threads, 1);
+        assert!((records[0].metric - 5175.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parses_surface_metric_and_compacted_lines() {
+        let surface = r#"{"bench": "surface_throughput", "results": [
+            {"name": "surface_cold", "quotes": 32, "threads": 1, "secs": 0.06, "quotes_per_sec": 494.7}
+        ]}"#;
+        let compact: String = surface.chars().map(|c| if c == '\n' { ' ' } else { c }).collect();
+        for text in [surface, compact.as_str()] {
+            let records = parse_records(text).unwrap();
+            assert_eq!(records.len(), 1);
+            assert_eq!(records[0].size, 32);
+            assert!((records[0].metric - 494.7).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn median_is_positional() {
+        assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(vec![5.0, 1.0]), 5.0);
+    }
+}

@@ -150,6 +150,58 @@ pub fn duplicated_book(unique: usize, n: usize, steps: usize) -> Vec<PricingRequ
     (0..n).map(|i| distinct[i % unique.max(1)].clone()).collect()
 }
 
+/// A deterministic put-heavy book: `n` distinct American **puts**
+/// alternating between the binomial and trinomial lattices over the same
+/// strike ladder × maturity grid as [`paper_book`].  This is the workload
+/// that was `Θ(T²)`-bound before the left-cone engine: both put routes used
+/// to fall back to the serial loop nest.
+pub fn put_book(n: usize, steps: usize) -> Vec<PricingRequest> {
+    let base = OptionParams::paper_defaults();
+    (0..n)
+        .map(|i| {
+            let strike = 80.0 + 100.0 * i as f64 / n.max(1) as f64;
+            let expiry = 0.25 + 0.25 * ((i % 8) as f64);
+            let params = OptionParams { strike, expiry, ..base };
+            let model = if i % 2 == 0 { ModelKind::Bopm } else { ModelKind::Topm };
+            PricingRequest::american(model, OptionType::Put, params, steps)
+        })
+        .collect()
+}
+
+/// The pre-left-cone put baseline: one `Θ(T²)` serial loop nest per
+/// contract, scratch-reused — exactly what `BatchPricer` routed American
+/// puts to before the fast engines covered them.
+///
+/// # Panics
+///
+/// Panics on any request that is not an American BOPM/TOPM put.
+pub fn sequential_naive_put_loop(book: &[PricingRequest]) -> Vec<f64> {
+    let mut scratch = Vec::new();
+    book.iter()
+        .map(|req| {
+            assert!(
+                req.option_type == OptionType::Put && req.style == Style::American,
+                "sequential_naive_put_loop only supports American puts, got {req:?}"
+            );
+            match req.model {
+                ModelKind::Bopm => bopm::naive::price_with_scratch(
+                    &BopmModel::new(req.params, req.steps).expect("valid book"),
+                    OptionType::Put,
+                    ExerciseStyle::American,
+                    &mut scratch,
+                ),
+                ModelKind::Topm => topm::naive::price_with_scratch(
+                    &TopmModel::new(req.params, req.steps).expect("valid book"),
+                    OptionType::Put,
+                    ExerciseStyle::American,
+                    &mut scratch,
+                ),
+                ModelKind::Bsm => panic!("no naive-put baseline for the BSM grid in this loop"),
+            }
+        })
+        .collect()
+}
+
 /// The sequential baseline the batch subsystem is judged against: a plain
 /// loop over the facade, one model + one fast-pricer call per request, no
 /// parallelism, no dedup, no memo.  Supports the [`paper_book`] request
@@ -263,6 +315,19 @@ mod tests {
         let seq = sequential_facade_loop(&book);
         for (b, s) in batch.iter().zip(&seq) {
             assert_eq!(b.as_ref().unwrap().to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn put_book_batch_matches_the_naive_loop_numerically() {
+        let book = put_book(32, 96);
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let batch = pricer.price_batch(&book);
+        assert_eq!(pricer.memo_stats().misses, 32, "put book must be duplicate-free");
+        let naive = sequential_naive_put_loop(&book);
+        for ((req, b), n) in book.iter().zip(&batch).zip(&naive) {
+            let b = b.as_ref().unwrap_or_else(|e| panic!("{req:?}: {e}"));
+            assert!((b - n).abs() < 1e-9 * n.abs().max(1.0), "{req:?}: fast {b} vs naive {n}");
         }
     }
 

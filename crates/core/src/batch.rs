@@ -10,9 +10,11 @@
 //!   ([`ModelKind`]) × call/put × exercise [`Style`] × parameters × steps —
 //!   in one plain-data value;
 //! * [`BatchPricer::price_batch`] prices a request slice in parallel over
-//!   the `amopt-parallel` fork-join pool, checking per-worker scratch out of
-//!   a [`WorkspacePool`] so the batch layer's hot loop is allocation-free
-//!   after warm-up;
+//!   the `amopt-parallel` fork-join pool; every routed pricer is one of the
+//!   fast `O(T log² T)` trapezoid engines (American puts included, via the
+//!   left-cone engine), which draw per-worker scratch (FFT buffers, staging
+//!   rows) from `amopt-stencil`'s process-wide `WorkspacePool` — so the hot
+//!   loop is allocation-light after warm-up;
 //! * identical requests inside a batch are **deduplicated** (priced once,
 //!   scattered to every duplicate), and results are **memoized** across
 //!   batches in an LRU keyed on quantized parameters — a market tick that
@@ -28,8 +30,10 @@
 //! directly — the dispatcher adds routing, never arithmetic.
 //!
 //! Derived quantities route through the same machinery: [`greeks`] expresses
-//! finite-difference bump ladders as batch requests, and [`surface`] inverts
-//! whole implied-volatility surfaces with one batch per bracketing round.
+//! finite-difference bump ladders as batch requests, [`surface`] inverts
+//! whole implied-volatility surfaces with one batch per bracketing round,
+//! and [`boundary`] extracts early-exercise frontiers for a contract set
+//! with the same dedup → parallel fan-out → scatter pattern.
 //!
 //! ```
 //! use amopt_core::batch::{BatchPricer, ModelKind, PricingRequest};
@@ -45,6 +49,7 @@
 //! assert!(prices.iter().all(|p| p.is_ok()));
 //! ```
 
+pub mod boundary;
 pub mod greeks;
 pub mod surface;
 
@@ -58,9 +63,8 @@ use crate::bopm::{self, BopmModel};
 use crate::bsm::{self, BsmModel};
 use crate::engine::EngineConfig;
 use crate::error::{PricingError, Result};
-use crate::params::{ExerciseStyle, OptionParams, OptionType};
+use crate::params::{OptionParams, OptionType};
 use crate::topm::{self, TopmModel};
-use amopt_parallel::WorkspacePool;
 
 /// Which discretisation family prices the contract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -76,8 +80,8 @@ pub enum ModelKind {
 
 /// Exercise rights of a batch request.
 ///
-/// Extends the facade's two-valued [`ExerciseStyle`] with the Bermudan
-/// schedule, which needs its exercise dates alongside.
+/// Extends the facade's two-valued [`ExerciseStyle`](crate::params::ExerciseStyle)
+/// with the Bermudan schedule, which needs its exercise dates alongside.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Style {
     /// Exercisable only at expiry.
@@ -355,14 +359,6 @@ pub struct MemoStats {
     pub shards: usize,
 }
 
-/// Per-worker scratch checked out for the duration of one request.  The
-/// lattice buffer feeds the loop-nest routes (BOPM/TOPM American puts), so
-/// steady-state batches allocate nothing in the batch layer itself.
-#[derive(Debug, Default)]
-struct Workspace {
-    lattice: Vec<f64>,
-}
-
 /// Default memo capacity: big enough for a few books of distinct contracts,
 /// small enough that the per-shard `O(capacity / shards)` eviction scan
 /// stays invisible.
@@ -389,7 +385,6 @@ pub struct BatchPricer {
     cfg: EngineConfig,
     grain: usize,
     memo: ShardedMemo,
-    workspaces: WorkspacePool<Workspace>,
 }
 
 impl BatchPricer {
@@ -422,12 +417,7 @@ impl BatchPricer {
     /// eviction only ever causes recomputation, and every pricer is
     /// deterministic — so results are bitwise identical for any shard count.
     pub fn with_memo_config(cfg: EngineConfig, capacity: usize, shards: usize) -> Self {
-        BatchPricer {
-            cfg,
-            grain: 1,
-            memo: ShardedMemo::new(capacity, shards),
-            workspaces: WorkspacePool::new(),
-        }
+        BatchPricer { cfg, grain: 1, memo: ShardedMemo::new(capacity, shards) }
     }
 
     /// Sets the fork-join grain: number of unique requests per leaf task.
@@ -535,16 +525,14 @@ impl BatchPricer {
                 slot_results[slot] = hit.map(Ok);
             }
         }
-        // Phase 3 (parallel): price what the memo did not know.  Workers
-        // check scratch out of the workspace pool, so this loop allocates
-        // only inside the routed pricers themselves.
+        // Phase 3 (parallel): price what the memo did not know.  Per-worker
+        // scratch (FFT buffers, staging rows) lives in `amopt-stencil`'s
+        // process-wide pool, which every trapezoid engine checks out of, so
+        // this loop allocates only the rows the pricers actually keep.
         let todo: Vec<usize> = (0..jobs.len()).filter(|&s| slot_results[s].is_none()).collect();
         let computed = amopt_parallel::parallel_map(todo.len(), self.grain, |k| {
             let (req_idx, key) = &jobs[todo[k]];
-            let res = self
-                .workspaces
-                .with(Workspace::default, |ws| self.route(&requests[*req_idx], &key.dates, ws));
-            Some(res)
+            Some(self.route(&requests[*req_idx], &key.dates))
         });
         // Phase 4 (serial, one lock acquisition per touched shard): publish
         // fresh prices to the memo and the slots.  Errors are never cached;
@@ -584,7 +572,7 @@ impl BatchPricer {
     /// normalised Bermudan schedule from the request's key (unused
     /// otherwise).  Adds no arithmetic of its own: a batch of one is bitwise
     /// identical to the direct call.
-    fn route(&self, req: &PricingRequest, dates: &[usize], ws: &mut Workspace) -> Result<f64> {
+    fn route(&self, req: &PricingRequest, dates: &[usize]) -> Result<f64> {
         let unsupported = || {
             Err(PricingError::Unsupported {
                 what: format!(
@@ -602,15 +590,9 @@ impl BatchPricer {
                     (Style::American, OptionType::Call) => {
                         Ok(bopm::fast::price_american_call(&model, &self.cfg))
                     }
-                    // No fast nonlinear-stencil engine covers the left-cone
-                    // put lattice yet (ROADMAP open item); the serial loop
-                    // nest is the canonical pricer, Θ(T²) but scratch-reusing.
-                    (Style::American, OptionType::Put) => Ok(bopm::naive::price_with_scratch(
-                        &model,
-                        OptionType::Put,
-                        ExerciseStyle::American,
-                        &mut ws.lattice,
-                    )),
+                    (Style::American, OptionType::Put) => {
+                        Ok(bopm::fast::price_american_put(&model, &self.cfg))
+                    }
                     (Style::European, opt) => Ok(bopm::european::price_european_fft(&model, opt)),
                     (Style::Bermudan(_), OptionType::Put) => {
                         bermudan::price_bermudan_put_fft(&model, dates, self.cfg.backend)
@@ -624,12 +606,9 @@ impl BatchPricer {
                     (Style::American, OptionType::Call) => {
                         Ok(topm::fast::price_american_call(&model, &self.cfg))
                     }
-                    (Style::American, OptionType::Put) => Ok(topm::naive::price_with_scratch(
-                        &model,
-                        OptionType::Put,
-                        ExerciseStyle::American,
-                        &mut ws.lattice,
-                    )),
+                    (Style::American, OptionType::Put) => {
+                        Ok(topm::fast::price_american_put(&model, &self.cfg))
+                    }
                     (Style::European, opt) => Ok(topm::european::price_european_fft(&model, opt)),
                     (Style::Bermudan(_), _) => unsupported(),
                 }
@@ -674,12 +653,7 @@ mod tests {
             }),
             (PricingRequest::american(ModelKind::Bopm, OptionType::Put, p(), steps), {
                 let m = BopmModel::new(p(), steps).unwrap();
-                bopm::naive::price(
-                    &m,
-                    OptionType::Put,
-                    ExerciseStyle::American,
-                    bopm::naive::ExecMode::Serial,
-                )
+                bopm::fast::price_american_put(&m, &cfg)
             }),
             (PricingRequest::european(ModelKind::Bopm, OptionType::Call, p(), steps), {
                 let m = BopmModel::new(p(), steps).unwrap();
@@ -699,12 +673,7 @@ mod tests {
             }),
             (PricingRequest::american(ModelKind::Topm, OptionType::Put, p(), steps), {
                 let m = TopmModel::new(p(), steps).unwrap();
-                topm::naive::price(
-                    &m,
-                    OptionType::Put,
-                    ExerciseStyle::American,
-                    topm::naive::ExecMode::Serial,
-                )
+                topm::fast::price_american_put(&m, &cfg)
             }),
             (PricingRequest::european(ModelKind::Topm, OptionType::Call, p(), steps), {
                 let m = TopmModel::new(p(), steps).unwrap();

@@ -1,0 +1,211 @@
+//! Batch-native early-exercise boundary extraction.
+//!
+//! Boundary curves ride the same orchestration pattern as prices
+//! ([`crate::batch`]) and surfaces ([`super::surface`]): requests normalise
+//! and **deduplicate**, unique jobs fan out in parallel over the
+//! `amopt-parallel` pool (each job is one fast-engine pricing pass that
+//! tracks the red–green divider as it goes), and every input slot gets its
+//! own `Result` — one invalid contract never poisons the rest.  This
+//! replaces the serial per-contract loop callers previously wrote around
+//! [`crate::exercise_boundary`].
+//!
+//! Curves are not memoized: a boundary is a whole sampled frontier, not a
+//! quantised scalar, and re-extractions are rare compared to re-quotes.
+//!
+//! ```
+//! use amopt_core::batch::boundary::{exercise_boundaries, BoundaryRequest};
+//! use amopt_core::batch::{BatchPricer, ModelKind};
+//! use amopt_core::{EngineConfig, OptionParams, OptionType};
+//!
+//! let pricer = BatchPricer::new(EngineConfig::default());
+//! let base = OptionParams::paper_defaults();
+//! let book: Vec<BoundaryRequest> = [OptionType::Call, OptionType::Put]
+//!     .into_iter()
+//!     .map(|ty| BoundaryRequest::new(ModelKind::Bopm, ty, base, 512, 16))
+//!     .collect();
+//! for frontier in exercise_boundaries(&pricer, &book) {
+//!     assert!(!frontier.unwrap().is_empty());
+//! }
+//! ```
+
+use crate::batch::{BatchPricer, ModelKind};
+use crate::bopm::BopmModel;
+use crate::bsm::BsmModel;
+use crate::error::{PricingError, Result};
+use crate::exercise_boundary::{self, BoundaryPoint};
+use crate::params::{OptionParams, OptionType};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// One early-exercise frontier to extract: contract plus the number of
+/// roughly equally spaced time samples wanted along the curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryRequest {
+    /// Discretisation family.
+    pub model: ModelKind,
+    /// Call or put (American exercise is implied — European contracts have
+    /// no early-exercise frontier).
+    pub option_type: OptionType,
+    /// Market/contract parameters.
+    pub params: OptionParams,
+    /// Lattice/grid time steps `T`.
+    pub steps: usize,
+    /// Requested number of frontier samples (the extractors may return a
+    /// couple more: expiry and the first engine row are always included).
+    pub samples: usize,
+}
+
+impl BoundaryRequest {
+    /// A frontier request for the American contract `model` × `option_type`.
+    pub fn new(
+        model: ModelKind,
+        option_type: OptionType,
+        params: OptionParams,
+        steps: usize,
+        samples: usize,
+    ) -> Self {
+        BoundaryRequest { model, option_type, params, steps, samples }
+    }
+}
+
+fn route(req: &BoundaryRequest, pricer: &BatchPricer) -> Result<Vec<BoundaryPoint>> {
+    let cfg = pricer.engine_config();
+    match (req.model, req.option_type) {
+        (ModelKind::Bopm, OptionType::Call) => {
+            let model = BopmModel::new(req.params, req.steps)?;
+            Ok(exercise_boundary::bopm_call_boundary(&model, cfg, req.samples))
+        }
+        (ModelKind::Bopm, OptionType::Put) => {
+            let model = BopmModel::new(req.params, req.steps)?;
+            Ok(exercise_boundary::bopm_put_boundary(&model, cfg, req.samples))
+        }
+        (ModelKind::Bsm, OptionType::Put) => {
+            let model = BsmModel::new(req.params, req.steps)?;
+            Ok(exercise_boundary::bsm_put_boundary(&model, cfg, req.samples))
+        }
+        (model, option_type) => Err(PricingError::Unsupported {
+            what: format!(
+                "{model:?} {option_type:?} has no fast boundary-tracking pricer in this \
+                 workspace (the trinomial frontier is dense-only, see \
+                 exercise_boundary::topm_call_boundary_dense)"
+            ),
+        }),
+    }
+}
+
+/// Normalised identity of a boundary request, for in-batch deduplication.
+/// Bit-exact parameter identity is enough here (no memo lives across
+/// batches, so there is no float-noise folding to do).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct JobKey {
+    model: ModelKind,
+    option_type: OptionType,
+    steps: usize,
+    samples: usize,
+    param_bits: [u64; 6],
+}
+
+fn job_key(req: &BoundaryRequest) -> JobKey {
+    let p = &req.params;
+    JobKey {
+        model: req.model,
+        option_type: req.option_type,
+        steps: req.steps,
+        samples: req.samples,
+        param_bits: [
+            p.spot.to_bits(),
+            p.strike.to_bits(),
+            p.rate.to_bits(),
+            p.volatility.to_bits(),
+            p.dividend_yield.to_bits(),
+            p.expiry.to_bits(),
+        ],
+    }
+}
+
+/// Extracts every requested early-exercise frontier through `pricer`'s
+/// engine configuration: dedup → parallel fan-out → scatter, one `Result`
+/// per input slot (order-preserving).
+pub fn exercise_boundaries(
+    pricer: &BatchPricer,
+    requests: &[BoundaryRequest],
+) -> Vec<Result<Vec<BoundaryPoint>>> {
+    // Phase 1 (serial): dedup identical requests into unique jobs.
+    let mut unique: HashMap<JobKey, usize> = HashMap::new();
+    let mut jobs: Vec<usize> = Vec::new();
+    let mut assignment = Vec::with_capacity(requests.len());
+    for (i, req) in requests.iter().enumerate() {
+        let slot = match unique.entry(job_key(req)) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(v) => {
+                let slot = jobs.len();
+                jobs.push(i);
+                v.insert(slot);
+                slot
+            }
+        };
+        assignment.push(slot);
+    }
+    // Phase 2 (parallel): one boundary-tracking pricing pass per unique job.
+    let extracted =
+        amopt_parallel::parallel_map(jobs.len(), 1, |k| Some(route(&requests[jobs[k]], pricer)));
+    // Phase 3: scatter back to input order.
+    assignment
+        .into_iter()
+        .map(|slot| extracted[slot].clone().expect("parallel_map fills every slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+
+    fn p() -> OptionParams {
+        OptionParams::paper_defaults()
+    }
+
+    #[test]
+    fn batch_matches_the_serial_extractors_exactly() {
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let cfg = EngineConfig::default();
+        let zero_div = OptionParams { dividend_yield: 0.0, ..p() };
+        let book = vec![
+            BoundaryRequest::new(ModelKind::Bopm, OptionType::Call, p(), 256, 8),
+            BoundaryRequest::new(ModelKind::Bopm, OptionType::Put, p(), 256, 8),
+            BoundaryRequest::new(ModelKind::Bsm, OptionType::Put, zero_div, 256, 8),
+        ];
+        let got = exercise_boundaries(&pricer, &book);
+        let want = vec![
+            exercise_boundary::bopm_call_boundary(&BopmModel::new(p(), 256).unwrap(), &cfg, 8),
+            exercise_boundary::bopm_put_boundary(&BopmModel::new(p(), 256).unwrap(), &cfg, 8),
+            exercise_boundary::bsm_put_boundary(&BsmModel::new(zero_div, 256).unwrap(), &cfg, 8),
+        ];
+        for ((req, g), w) in book.iter().zip(&got).zip(&want) {
+            let g = g.as_ref().unwrap_or_else(|e| panic!("{req:?}: {e}"));
+            assert_eq!(g, w, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse_and_errors_stay_per_slot() {
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let good = BoundaryRequest::new(ModelKind::Bopm, OptionType::Put, p(), 128, 4);
+        let bad = BoundaryRequest::new(
+            ModelKind::Bopm,
+            OptionType::Put,
+            OptionParams { spot: -1.0, ..p() },
+            128,
+            4,
+        );
+        let unsupported = BoundaryRequest::new(ModelKind::Topm, OptionType::Call, p(), 128, 4);
+        let out =
+            exercise_boundaries(&pricer, &[good.clone(), bad, good.clone(), unsupported, good]);
+        assert!(matches!(out[1], Err(PricingError::InvalidParams { .. })), "{:?}", out[1]);
+        assert!(matches!(out[3], Err(PricingError::Unsupported { .. })), "{:?}", out[3]);
+        let first = out[0].as_ref().unwrap();
+        assert_eq!(first, out[2].as_ref().unwrap());
+        assert_eq!(first, out[4].as_ref().unwrap());
+        assert!(!first.is_empty());
+    }
+}

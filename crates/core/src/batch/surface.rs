@@ -47,7 +47,7 @@
 
 use crate::batch::{BatchPricer, ModelKind, PricingRequest};
 use crate::error::{PricingError, Result};
-use crate::implied_vol::{MAX_ITERS, PRICE_TOL, VOL_HI, VOL_LO};
+use crate::implied_vol::{stability_seed, MAX_ITERS, PRICE_TOL, VOL_HI, VOL_LO};
 use crate::params::{OptionParams, OptionType};
 
 /// Attainability slack on the bracket endpoints, matching the serial
@@ -123,8 +123,17 @@ impl Bracket {
 /// volatility per round.
 #[derive(Debug)]
 enum State {
-    /// Walking the lower bracket endpoint up past unstable discretisations
-    /// (low volatilities can make the lattice inadmissible).
+    /// Walking the lower bracket endpoint up past unstable discretisations.
+    /// Seeded at the closed-form stability floor
+    /// ([`crate::bopm::BopmModel::min_stable_volatility`]), so the walk is
+    /// normally a single probe, with the doubling fallback covering
+    /// edge-of-threshold rounding.  Unstable outcomes are shared across a
+    /// strike ladder *by construction*: stability depends only on
+    /// `(rate, dividend, expiry, steps, vol)`, the seed is a pure function
+    /// of that key, so every same-key quote walks the identical vol
+    /// sequence in lockstep — each round's probes collapse to one lattice
+    /// pricing in-batch, and one quote's `UnstableDiscretisation` advances
+    /// all of them together.  No cross-quote cache is needed.
     WalkLo { lo: f64 },
     /// Lower endpoint priced; probing the upper endpoint `VOL_HI`.
     ProbeHi { lo: f64, p_lo: f64 },
@@ -297,7 +306,7 @@ pub fn implied_vol_surface(pricer: &BatchPricer, quotes: &[VolQuote]) -> Vec<Res
     let mut states: Vec<State> = quotes
         .iter()
         .map(|q| match q.params.validated() {
-            Ok(_) => State::WalkLo { lo: VOL_LO },
+            Ok(_) => State::WalkLo { lo: stability_seed(&q.params, q.steps) },
             Err(e) => State::Done(Err(e)),
         })
         .collect();
@@ -452,6 +461,27 @@ mod tests {
             "{:?}",
             out[0]
         );
+    }
+
+    #[test]
+    fn stability_seed_cuts_the_low_vol_walk_to_one_probe() {
+        // Y = 0.3 at 64 steps: volatilities below ≈ 0.0375 are unstable.
+        // The closed-form seed starts the bracket above the floor, so no
+        // lattice pricing is spent probing unstable discretisations (the old
+        // walk burned ~9 doubling probes per quote here).
+        let params = OptionParams { dividend_yield: 0.3, ..p() };
+        let seed = stability_seed(&params, 64);
+        assert!(seed > VOL_LO, "floor must bind for this contract");
+        assert!(
+            crate::bopm::BopmModel::new(OptionParams { volatility: seed, ..params }, 64).is_ok(),
+            "the seed itself must be a stable first probe"
+        );
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let q = quote_at(params, 0.8, 64);
+        let out = implied_vol_surface(&pricer, &[q]);
+        assert!((out[0].as_ref().unwrap() - 0.8).abs() < 1e-6, "{:?}", out[0]);
+        let misses = pricer.memo_stats().misses;
+        assert!(misses <= 20, "expected bracket + root probes only, got {misses}");
     }
 
     #[test]

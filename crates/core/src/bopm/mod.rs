@@ -153,6 +153,24 @@ impl BopmModel {
         StencilKernel::new(vec![self.s0, self.s1], 0)
     }
 
+    /// Closed-form stability floor of the CRR discretisation: the lattice
+    /// admits a risk-neutral probability `p ∈ (0, 1)` iff
+    /// `V·√Δt > |R − Y|·Δt`, i.e. iff the volatility exceeds
+    /// `|R − Y|·√(E/steps)`.
+    ///
+    /// Volatilities at or below the returned floor make [`BopmModel::new`]
+    /// fail with [`PricingError::UnstableDiscretisation`]; anything strictly
+    /// above it (modulo a few ulps of rounding in the lattice exponentials)
+    /// constructs.  Root-finders that sweep volatility — the implied-vol
+    /// drivers — seed their lower bracket here instead of probe-walking up
+    /// from zero.
+    pub fn min_stable_volatility(params: &OptionParams, steps: usize) -> f64 {
+        if steps == 0 {
+            return f64::INFINITY;
+        }
+        (params.rate - params.dividend_yield).abs() * params.dt(steps).sqrt()
+    }
+
     /// Largest leaf column whose call exercise value is non-positive, i.e.
     /// the red–green boundary `j_T` of the expiry row; `-1` when every leaf
     /// is in the money.
@@ -258,6 +276,25 @@ mod tests {
             ..OptionParams::paper_defaults()
         };
         assert!(matches!(BopmModel::new(p, 1), Err(PricingError::UnstableDiscretisation { .. })));
+    }
+
+    #[test]
+    fn min_stable_volatility_is_the_exact_threshold() {
+        for (rate, div, steps) in [(0.05, 0.0163, 64usize), (0.3, 0.0, 16), (0.001, 0.2, 128)] {
+            let p = OptionParams { rate, dividend_yield: div, ..OptionParams::paper_defaults() };
+            let floor = BopmModel::min_stable_volatility(&p, steps);
+            assert!(floor > 0.0);
+            let above = OptionParams { volatility: floor * (1.0 + 1e-6), ..p };
+            assert!(BopmModel::new(above, steps).is_ok(), "just above the floor must be stable");
+            let below = OptionParams { volatility: floor * (1.0 - 1e-6), ..p };
+            assert!(
+                matches!(
+                    BopmModel::new(below, steps),
+                    Err(PricingError::UnstableDiscretisation { .. })
+                ),
+                "just below the floor must be unstable"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,641 @@
+//! Left-cone nonlinear stencil engine — American **puts** under BOPM/TOPM.
+//!
+//! Same anchor-0 kernels as [`super::right_cone`] (σ = 2 covers BOPM, σ = 3
+//! covers TOPM), mirrored obstacle geometry: the green (early-exercise)
+//! region sits on the **left** of every row (low columns = low asset
+//! prices), the red (continuation) region on the right, and the last green
+//! column `f_t` drifts **left** by at most `σ − 1` columns per interior
+//! step: `f_t − (σ−1) ≤ f_{t+1} ≤ f_t`.  The drift bound is the mirror of
+//! Cor. 2.7 / Cor. A.6 under column reflection (`j ↦ i·(σ−1) − j` maps the
+//! put's green-left triangle onto a call-type green-right one; for the
+//! binomial lattice the reflection is the exact discrete put–call symmetry
+//! `P(S, K, R, Y) = C(K, S, Y, R)`).  Note the asymmetry with the call
+//! engine: a fixed column *gains* one factor of `u` per backward step, so
+//! the put boundary drifts left up to `σ − 1 ≥ 1` columns per step (the
+//! trinomial boundary typically drops 1–2 columns every step), while it
+//! never moves right.
+//!
+//! Three structural differences from the right cone:
+//!
+//! * **Raw value space.**  Put grid values are bounded by the strike `K`
+//!   everywhere, so there is no `u^T` dynamic-range hazard and rows store
+//!   raw values (the premium trick of the call engine would in fact be
+//!   *wrong* here: the put premium `G − green` diverges like `φ − K` on the
+//!   deep-out-of-the-money right, exactly where the call's premium is zero).
+//! * **Exact zero tail.**  At expiry the payoff `(K − φ)₊` vanishes right of
+//!   the leaf boundary `f₀`, and an anchor-0 cone only looks right — so
+//!   `G(t, c) = 0` *exactly* for every `c > f₀`, at every `t`.  Rows
+//!   therefore store red values only up to the support edge and treat the
+//!   tail as implicit zeros.
+//! * **Whole-prefix certification.**  The boundary only moves left, so any
+//!   cell right of the *current* boundary has an all-red dependency cone at
+//!   every depth: the entire stored red region advances with one FFT
+//!   correlation, no guard band.  The nonlinear work concentrates in the
+//!   trapezoid of freshly exposed columns `(f_{t+h}, f_t]` — a window of
+//!   width `O(σh)` that recurses at half height, giving `O(h log² h)` work
+//!   and `O(h)` span like the other two engines.
+//!
+//! Rows also carry the cone edge `hi` (the triangle hypotenuse in engine
+//! coordinates: `hi = σ'·(T − t)` with σ' the kernel span), which shrinks by
+//! the span each step; the recursion windows are genuinely truncated rows of
+//! the same type.
+
+use super::EngineConfig;
+use amopt_parallel::join;
+use amopt_stencil::{advance_values_with, with_scratch, Segment, StencilKernel};
+
+/// A row in compressed green-prefix form: cells `[?, boundary]` are green
+/// (obstacle closed form), cells `(boundary, hi]` are red with the prefix
+/// `(boundary, reds.end())` stored and the tail `[reds.end(), hi]` an
+/// implicit *exact* zero (see the module docs on the zero tail).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreenPrefixRow {
+    /// Steps elapsed from the known initial row (expiry).
+    pub t: u64,
+    /// Last green column `f`; `< reds.start` of the cone means no green cell
+    /// is in view, `≥ hi` means every cone cell is green.
+    pub boundary: i64,
+    /// Last valid column of the row (the cone's right edge).
+    pub hi: i64,
+    /// Stored red values starting at `boundary + 1`; columns from
+    /// `reds.end()` through `hi` are exact zeros.
+    pub reds: Segment,
+}
+
+impl GreenPrefixRow {
+    /// Number of red cells in view (stored plus implicit zeros).
+    #[inline]
+    pub fn red_count(&self) -> i64 {
+        (self.hi - self.boundary).max(0)
+    }
+
+    /// True when every cone cell is green.
+    #[inline]
+    pub fn is_all_green(&self) -> bool {
+        self.boundary >= self.hi
+    }
+
+    /// Internal consistency between segment extent, boundary and `hi`.
+    pub fn assert_consistent(&self) {
+        debug_assert_eq!(self.reds.start, self.boundary + 1, "red segment must start after f");
+        debug_assert!(
+            self.reds.end() - 1 <= self.hi,
+            "red segment [{}, {}) exceeds cone edge {}",
+            self.reds.start,
+            self.reds.end(),
+            self.hi
+        );
+    }
+
+    /// Row value at column `c ∈ [boundary', hi]` (green closed form at or
+    /// below the boundary, stored red or implicit zero above it).
+    pub fn value_at<G: Fn(u64, i64) -> f64>(&self, green: &G, c: i64) -> f64 {
+        if c <= self.boundary {
+            green(self.t, c)
+        } else if self.reds.contains(c) {
+            self.reds.get(c)
+        } else {
+            0.0
+        }
+    }
+
+    /// Copy of the red cells over `[lo, hi]` (inclusive), materialising the
+    /// implicit zero tail.  `lo` must sit above the boundary and `hi` within
+    /// the cone.
+    fn extract_reds(&self, lo: i64, hi: i64) -> Segment {
+        debug_assert!(lo > self.boundary && hi <= self.hi);
+        let mut values = Vec::with_capacity((hi - lo + 1).max(0) as usize);
+        for c in lo..=hi {
+            values.push(if self.reds.contains(c) { self.reds.get(c) } else { 0.0 });
+        }
+        Segment::new(lo, values)
+    }
+}
+
+/// Locates the last green column of a single-crossing row: `green(j)` must
+/// be monotone (true up to some column, false beyond), and column `−1` acts
+/// as a virtual green sentinel (returned when no column is green).
+///
+/// Gallops to a green/red bracket from the `start` hint and binary-searches
+/// the crossing — `O(log)` predicate evaluations however far the true
+/// boundary sits from the hint.  Shared by the BOPM and TOPM put drivers,
+/// which materialise row `T−1` with an honestly located boundary (the
+/// expiry transition is the one step the interior drift lemmas do not
+/// cover).
+pub fn last_green_from(start: i64, green: impl Fn(i64) -> bool) -> i64 {
+    let start = start.max(0);
+    let (mut lo, mut hi); // invariant: lo green or −1, hi red
+    if green(start) {
+        lo = start;
+        hi = start + 1;
+        let mut step = 1i64;
+        while green(hi) {
+            lo = hi;
+            hi += step;
+            step *= 2;
+        }
+    } else {
+        hi = start;
+        lo = start - 1;
+        let mut step = 1i64;
+        while lo >= 0 && !green(lo) {
+            hi = lo;
+            lo -= step;
+            step *= 2;
+        }
+        lo = lo.max(-1);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if green(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// One naive step.  Cells right of the old boundary are certified red (pure
+/// linear update); the new boundary is located by scanning *down* from the
+/// old one until the obstacle wins — single crossing makes the first green
+/// hit the last green column.  The scan length is the boundary's actual
+/// drift, which totals `O(σT)` over a whole pricing, so the base case stays
+/// linear-time regardless of how fast the boundary moves.
+fn step_once<G>(kernel: &StencilKernel, green: &G, row: &GreenPrefixRow) -> GreenPrefixRow
+where
+    G: Fn(u64, i64) -> f64 + Sync,
+{
+    let span = kernel.span() as i64;
+    let f = row.boundary;
+    let hi1 = row.hi - span;
+    let t1 = row.t + 1;
+    debug_assert!(hi1 >= 0, "stepped past the cone apex");
+    let w = kernel.weights();
+    let val = |c: i64| row.value_at(green, c);
+    let lin = |c: i64| -> f64 {
+        let mut acc = 0.0;
+        for (m, &wm) in w.iter().enumerate() {
+            acc += wm * val(c + m as i64);
+        }
+        acc
+    };
+    // Certified-red tail (f, hi1]: the boundary never moves right.
+    let mut tail = Vec::with_capacity((hi1 - f).max(0) as usize);
+    for c in (f + 1)..=hi1 {
+        tail.push(lin(c));
+    }
+    // Downward scan from the last in-view boundary candidate.
+    let mut head: Vec<f64> = Vec::new(); // cells (boundary, min(f, hi1)], reversed
+    let mut boundary = -1i64;
+    let mut c = f.min(hi1);
+    while c >= 0 {
+        let lin_c = lin(c);
+        let g_c = green(t1, c);
+        if g_c >= lin_c {
+            boundary = c;
+            break;
+        }
+        head.push(lin_c.max(g_c));
+        c -= 1;
+    }
+    let mut values = Vec::with_capacity(head.len() + tail.len());
+    values.extend(head.into_iter().rev());
+    values.extend(tail);
+    GreenPrefixRow { t: t1, boundary, hi: hi1, reds: Segment::new(boundary + 1, values) }
+}
+
+/// Pure linear advance of a row with no green cell left (`boundary < 0`):
+/// the boundary never returns, so the remaining problem is one correlation.
+fn advance_all_red(
+    kernel: &StencilKernel,
+    row: &GreenPrefixRow,
+    h: u64,
+    cfg: &EngineConfig,
+) -> GreenPrefixRow {
+    debug_assert!(row.boundary < 0);
+    let span = kernel.span() as i64;
+    let hi1 = row.hi - span * h as i64;
+    let t1 = row.t + h;
+    if row.reds.is_empty() {
+        return GreenPrefixRow {
+            t: t1,
+            boundary: row.boundary,
+            hi: hi1,
+            reds: Segment::new(row.reds.start, vec![]),
+        };
+    }
+    let mut out = with_scratch(|s| {
+        let staging = &mut s.staging;
+        staging.clear();
+        staging.extend_from_slice(&row.reds.values);
+        staging.resize(row.reds.len() + span as usize * h as usize, 0.0);
+        advance_values_with(staging, row.reds.start, kernel, h, cfg.backend, &mut s.fft)
+    });
+    if out.end() - 1 > hi1 {
+        out.values.truncate((hi1 - out.start + 1).max(0) as usize);
+    }
+    GreenPrefixRow { t: t1, boundary: row.boundary, hi: hi1, reds: out }
+}
+
+/// Advances the certified-red region `(f, hi − σ'h]` by `h` purely linear
+/// steps: only the non-zero support prefix is computed (one correlation);
+/// the zero tail stays implicit.
+fn advance_certified(
+    kernel: &StencilKernel,
+    row: &GreenPrefixRow,
+    h: u64,
+    hi_new: i64,
+    cfg: &EngineConfig,
+) -> Segment {
+    let span = kernel.span() as i64;
+    let f = row.boundary;
+    let support_end = row.reds.end() - 1; // last stored column; f when empty
+    let out_hi = support_end.min(hi_new);
+    if out_hi < f + 1 {
+        return Segment::new(f + 1, vec![]);
+    }
+    let in_hi = out_hi + span * h as i64;
+    with_scratch(|s| {
+        let staging = &mut s.staging;
+        staging.clear();
+        staging.reserve((in_hi - f) as usize);
+        for c in (f + 1)..=in_hi {
+            // Columns beyond the stored support are exact zeros (module
+            // docs); in windows the storage always reaches the cone edge.
+            staging.push(if row.reds.contains(c) { row.reds.get(c) } else { 0.0 });
+        }
+        advance_values_with(staging, f + 1, kernel, h, cfg.backend, &mut s.fft)
+    })
+}
+
+/// Advances a [`GreenPrefixRow`] by `h` steps of the nonlinear stencil
+/// `G_{t+1}[c] = max(Σ_m kernel[m]·G_t[c+m], green(t+1, c))`, in raw value
+/// space.
+///
+/// Work `O(h log² h)`, span `O(h)` — the mirror of Theorem 2.8 under the
+/// discrete put–call symmetry.
+///
+/// # Panics
+/// If the kernel anchor is non-zero or it has fewer than two taps.
+pub fn advance_green_prefix<G>(
+    kernel: &StencilKernel,
+    green: &G,
+    row: &GreenPrefixRow,
+    h: u64,
+    cfg: &EngineConfig,
+) -> GreenPrefixRow
+where
+    G: Fn(u64, i64) -> f64 + Sync,
+{
+    assert_eq!(kernel.anchor(), 0, "left-cone engine requires anchor 0");
+    assert!(kernel.span() >= 1, "left-cone engine requires at least two taps");
+    row.assert_consistent();
+
+    let span = kernel.span() as i64;
+    let mut cur = row.clone();
+    let mut remaining = h;
+    while remaining > 0 {
+        let f = cur.boundary;
+        let hi = cur.hi;
+        if cur.is_all_green() {
+            // Green absorbs: the boundary drops at most σ−1 ≤ span per step
+            // while the cone edge drops exactly span, so an all-green view
+            // stays all-green.  The reported boundary is the conservative
+            // drift lower bound `f − span·r`; it stays at or above the
+            // shrunken cone edge, so the all-green classification of the
+            // result is exact.
+            let r = remaining as i64;
+            return GreenPrefixRow {
+                t: cur.t + remaining,
+                boundary: f - span * r,
+                hi: hi - span * r,
+                reds: Segment::new(f - span * r + 1, vec![]),
+            };
+        }
+        if f < 0 {
+            return advance_all_red(kernel, &cur, remaining, cfg);
+        }
+        if remaining <= cfg.base_cutoff {
+            for _ in 0..remaining {
+                cur = step_once(kernel, green, &cur);
+            }
+            return cur;
+        }
+
+        // Half height, capped so the boundary window's red context fits the
+        // cone: the window needs input columns (f, f + σ'·h1].
+        let h1 = (remaining / 2).min(((hi - f) / span).max(0) as u64);
+        if h1 == 0 {
+            // Cone edge hugs the boundary — advance a small chunk naively.
+            let steps = remaining.min(cfg.base_cutoff.max(1));
+            for _ in 0..steps {
+                cur = step_once(kernel, green, &cur);
+            }
+            remaining -= steps;
+            continue;
+        }
+
+        let win_hi = f + span * h1 as i64;
+        let hi_new = hi - span * h1 as i64;
+        let sub_row = GreenPrefixRow {
+            t: cur.t,
+            boundary: f,
+            hi: win_hi,
+            reds: cur.extract_reds(f + 1, win_hi),
+        };
+        let parallel = remaining >= cfg.sequential_below;
+        let bulk_task = || advance_certified(kernel, &cur, h1, hi_new, cfg);
+        let sub_task = || advance_green_prefix(kernel, green, &sub_row, h1, cfg);
+        let (bulk_out, sub_out) =
+            if parallel { join(bulk_task, sub_task) } else { (bulk_task(), sub_task()) };
+
+        debug_assert_eq!(sub_out.t, cur.t + h1);
+        debug_assert_eq!(sub_out.hi, f);
+        debug_assert!(sub_out.boundary >= f - span * h1 as i64 && sub_out.boundary <= f);
+        debug_assert_eq!(bulk_out.start, f + 1);
+
+        // Stitch: window covers (f1, f] (zero-filled up to its cone edge if
+        // its support ended early), bulk covers [f+1, support edge], zeros
+        // beyond stay implicit.
+        let f1 = sub_out.boundary;
+        let mut values = sub_out.reds.values;
+        values.resize((f - f1) as usize, 0.0);
+        values.extend_from_slice(&bulk_out.values);
+        let mut reds = Segment::new(f1 + 1, values);
+        if reds.end() - 1 > hi_new {
+            reds.values.truncate((hi_new - reds.start + 1).max(0) as usize);
+        }
+        cur = GreenPrefixRow { t: cur.t + h1, boundary: f1, hi: hi_new, reds };
+        cur.assert_consistent();
+        remaining -= h1;
+    }
+    cur
+}
+
+/// Drives the engine from `init` to the apex and returns the grid value of
+/// the root cell `(total_steps, 0)`.
+pub fn solve_to_root<G>(
+    kernel: &StencilKernel,
+    green: &G,
+    init: GreenPrefixRow,
+    total_steps: u64,
+    cfg: &EngineConfig,
+) -> f64
+where
+    G: Fn(u64, i64) -> f64 + Sync,
+{
+    let remaining = total_steps - init.t;
+    let final_row = advance_green_prefix(kernel, green, &init, remaining, cfg);
+    debug_assert_eq!(final_row.t, total_steps);
+    debug_assert!(final_row.hi >= 0, "initial row's cone must contain the root");
+    final_row.value_at(green, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amopt_stencil::Backend;
+
+    /// Dense reference on the triangle: full rows, explicit max everywhere.
+    /// Returns the root value and the per-step last-green boundary.
+    fn dense_solve<G: Fn(u64, i64) -> f64>(
+        kernel: &StencilKernel,
+        green: &G,
+        init: &[f64],
+        steps: u64,
+    ) -> (f64, Vec<i64>) {
+        let span = kernel.span();
+        let mut row = init.to_vec();
+        let mut boundaries = Vec::with_capacity(steps as usize);
+        for t in 0..steps {
+            let next_len = row.len() - span;
+            let mut next = Vec::with_capacity(next_len);
+            let mut f = -1i64;
+            for c in 0..next_len {
+                let lin: f64 =
+                    kernel.weights().iter().enumerate().map(|(m, &w)| w * row[c + m]).sum();
+                let ob = green(t + 1, c as i64);
+                if ob >= lin {
+                    f = c as i64;
+                }
+                next.push(lin.max(ob));
+            }
+            boundaries.push(f);
+            row = next;
+        }
+        (row[0], boundaries)
+    }
+
+    /// A genuine BOPM-put (span 1) or TOPM-put (span 2) instance, for which
+    /// the mirrored drift lemmas hold.  `strike_off` shifts moneyness.
+    #[allow(clippy::type_complexity)]
+    fn synthetic_problem(
+        steps: u64,
+        span: usize,
+        strike_off: f64,
+    ) -> (StencilKernel, impl Fn(u64, i64) -> f64 + Sync + Clone, Vec<f64>) {
+        let r_dt = 0.0010_f64;
+        let y_dt = 0.0004_f64;
+        let m = (-r_dt).exp();
+        let (kernel, alpha_exp) = match span {
+            1 => {
+                let alpha = 0.02_f64;
+                let u = alpha.exp();
+                let p = ((r_dt - y_dt).exp() - 1.0 / u) / (u - 1.0 / u);
+                assert!(p > 0.0 && p < 1.0);
+                (StencilKernel::new(vec![m * (1.0 - p), m * p], 0), alpha)
+            }
+            2 => {
+                let alpha = 0.04_f64;
+                let su = (alpha / 2.0).exp();
+                let sd = 1.0 / su;
+                let b = ((r_dt - y_dt) / 2.0).exp();
+                let pu = ((b - sd) / (su - sd)).powi(2);
+                let pd = ((su - b) / (su - sd)).powi(2);
+                let po = 1.0 - pu - pd;
+                assert!(pu > 0.0 && pd > 0.0 && po > 0.0);
+                (StencilKernel::new(vec![m * pd, m * po, m * pu], 0), alpha)
+            }
+            _ => unreachable!(),
+        };
+        // Node price in grid coordinates: u^{qc − i} with i = steps − t;
+        // q = 2 for the binomial layout, 1 for the trinomial one.
+        let q = if span == 1 { 2.0 } else { 1.0 };
+        let strike = (alpha_exp * (steps as f64 * q / 2.0 + strike_off)).exp();
+        let phi = move |t: u64, c: i64| -> f64 {
+            let i = (steps - t) as f64;
+            (alpha_exp * (q * c as f64 - i)).exp()
+        };
+        let green = move |t: u64, c: i64| strike - phi(t, c);
+        let width = steps as usize * span + 1;
+        let init: Vec<f64> = (0..width as i64).map(|c| green(0, c).max(0.0)).collect();
+        (kernel, green, init)
+    }
+
+    /// Engine row at `t = 1`: one honest dense step from the payoff row
+    /// (the expiry transition may break the unit drift bound — exactly why
+    /// the production drivers materialise row `T−1` explicitly).
+    fn first_step_row<G: Fn(u64, i64) -> f64>(
+        kernel: &StencilKernel,
+        green: &G,
+        init: &[f64],
+    ) -> GreenPrefixRow {
+        let span = kernel.span();
+        let hi = (init.len() - 1 - span) as i64;
+        let mut f = -1i64;
+        let mut values = Vec::new();
+        for c in 0..=hi {
+            let lin: f64 =
+                kernel.weights().iter().enumerate().map(|(m, &w)| w * init[c as usize + m]).sum();
+            let ob = green(1, c);
+            if ob >= lin {
+                f = c;
+                values.clear();
+            } else {
+                values.push(lin);
+            }
+        }
+        GreenPrefixRow { t: 1, boundary: f, hi, reds: Segment::new(f + 1, values) }
+    }
+
+    fn check_matches_dense(steps: u64, span: usize, strike_off: f64, cfg: &EngineConfig) {
+        let (kernel, green, init) = synthetic_problem(steps, span, strike_off);
+        let (want, _) = dense_solve(&kernel, &green, &init, steps);
+        let row = first_step_row(&kernel, &green, &init);
+        let got = solve_to_root(&kernel, &green, row, steps, cfg);
+        assert!(
+            (got - want).abs() < 1e-9 * want.abs().max(1.0),
+            "steps={steps} span={span} off={strike_off}: fast {got} vs dense {want}"
+        );
+    }
+
+    #[test]
+    fn binomial_like_matches_dense_across_sizes() {
+        let cfg = EngineConfig::default();
+        for steps in [2u64, 3, 5, 8, 9, 16, 33, 100, 257, 1000] {
+            check_matches_dense(steps, 1, 0.0, &cfg);
+        }
+    }
+
+    #[test]
+    fn trinomial_like_matches_dense_across_sizes() {
+        let cfg = EngineConfig::default();
+        for steps in [2u64, 3, 8, 21, 64, 200, 513] {
+            check_matches_dense(steps, 2, 0.0, &cfg);
+        }
+    }
+
+    #[test]
+    fn matches_dense_across_moneyness() {
+        let cfg = EngineConfig::default();
+        for off in [-40.0, -10.0, -1.0, 1.0, 10.0, 40.0] {
+            check_matches_dense(300, 1, off, &cfg);
+            check_matches_dense(150, 2, off, &cfg);
+        }
+    }
+
+    #[test]
+    fn different_base_cutoffs_agree() {
+        for cutoff in [1u64, 4, 8, 32, 100] {
+            let cfg = EngineConfig { base_cutoff: cutoff, ..EngineConfig::default() };
+            check_matches_dense(300, 1, 0.0, &cfg);
+            check_matches_dense(150, 2, 0.0, &cfg);
+        }
+    }
+
+    #[test]
+    fn direct_taps_backend_agrees() {
+        let cfg = EngineConfig { backend: Backend::DirectTaps, ..EngineConfig::default() };
+        check_matches_dense(200, 1, 0.0, &cfg);
+    }
+
+    #[test]
+    fn boundary_position_matches_dense_reference() {
+        let steps = 240u64;
+        let (kernel, green, init) = synthetic_problem(steps, 1, 0.0);
+        let (_, dense_b) = dense_solve(&kernel, &green, &init, steps);
+        // Interior rows obey the unit drift the engine relies on.
+        for w in dense_b.windows(2) {
+            assert!(w[1] <= w[0] && w[1] >= w[0] - 1, "drift violated: {w:?}");
+        }
+        let row = first_step_row(&kernel, &green, &init);
+        assert_eq!(row.boundary, dense_b[0]);
+        let half = steps / 2;
+        let mid = advance_green_prefix(&kernel, &green, &row, half - 1, &EngineConfig::default());
+        assert_eq!(mid.boundary, dense_b[half as usize - 1]);
+        let out =
+            advance_green_prefix(&kernel, &green, &mid, steps - half, &EngineConfig::default());
+        assert_eq!(out.t, steps);
+        assert_eq!(out.boundary, dense_b[steps as usize - 1]);
+    }
+
+    #[test]
+    fn values_stay_bounded_by_the_strike() {
+        // The raw-space justification: every put value is in [0, K].
+        let steps = 4096u64;
+        let (kernel, green, init) = synthetic_problem(steps, 1, 0.0);
+        let strike = green(0, -1_000_000); // φ vanishes far left: green ≈ K
+        let row = first_step_row(&kernel, &green, &init);
+        let out = advance_green_prefix(&kernel, &green, &row, steps - 1, &EngineConfig::default());
+        for &v in &out.reds.values {
+            assert!(v.is_finite() && v >= -1e-12 && v <= strike, "value {v} out of [0, K]");
+        }
+    }
+
+    #[test]
+    fn deep_itm_goes_all_green() {
+        // Strike far above every node: exercise everywhere, price = green.
+        let steps = 64u64;
+        let (kernel, green, init) = synthetic_problem(steps, 1, 500.0);
+        let row = first_step_row(&kernel, &green, &init);
+        assert!(row.is_all_green());
+        let got = solve_to_root(&kernel, &green, row, steps, &EngineConfig::default());
+        assert_eq!(got, green(steps, 0));
+    }
+
+    #[test]
+    fn deep_otm_is_exactly_zero() {
+        // Strike below every node: payoff row identically zero, price 0.
+        let steps = 64u64;
+        let (kernel, green, init) = synthetic_problem(steps, 1, -500.0);
+        assert!(init.iter().all(|&v| v == 0.0));
+        let row = first_step_row(&kernel, &green, &init);
+        assert_eq!(row.boundary, -1);
+        let got = solve_to_root(&kernel, &green, row, steps, &EngineConfig::default());
+        assert_eq!(got, 0.0);
+    }
+
+    #[test]
+    fn last_green_from_finds_the_crossing_regardless_of_hint() {
+        for boundary in [-1i64, 0, 1, 7, 100, 1_000_000] {
+            for hint in [0i64, 1, 5, 64, 2_000_000] {
+                let got = last_green_from(hint, |j| j <= boundary);
+                assert_eq!(got, boundary, "boundary {boundary} hint {hint}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_advance_composes() {
+        // advance(h1) ∘ advance(h2) == advance(h1 + h2) — what the
+        // boundary-sampling drivers rely on.
+        let steps = 200u64;
+        let (kernel, green, init) = synthetic_problem(steps, 1, 0.0);
+        let cfg = EngineConfig::default();
+        let row = first_step_row(&kernel, &green, &init);
+        let once = advance_green_prefix(&kernel, &green, &row, steps - 1, &cfg);
+        let mut chunked = row;
+        for h in [30u64, 70, 50, 49] {
+            chunked = advance_green_prefix(&kernel, &green, &chunked, h, &cfg);
+        }
+        assert_eq!(chunked.t, once.t);
+        assert_eq!(chunked.boundary, once.boundary);
+        assert_eq!(chunked.hi, once.hi);
+        for c in (chunked.boundary + 1)..=chunked.hi {
+            let a = chunked.value_at(&green, c);
+            let b = once.value_at(&green, c);
+            assert!((a - b).abs() < 1e-10 * b.abs().max(1.0), "col {c}: {a} vs {b}");
+        }
+    }
+}

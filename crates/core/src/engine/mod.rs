@@ -6,21 +6,28 @@
 //! and a **green** region (obstacle wins) separated by a monotone boundary
 //! that drifts at most one column per step (Cor. 2.7 / Thm 4.3 / Cor. A.6).
 //!
-//! Two engines cover the geometries used by the three pricing models:
+//! Three engines cover the geometries used by the pricing models:
 //!
 //! * [`right_cone`]: kernel anchored at offset 0 (cone opens rightward),
 //!   green region on the *right*, boundary drifts left — BOPM (§2.3) and
-//!   TOPM (§3, App. A.3);
+//!   TOPM (§3, App. A.3) American **calls**;
+//! * [`left_cone`]: the same anchor-0 kernels with the green region on the
+//!   *left*, boundary drifting left — BOPM/TOPM American **puts**, the
+//!   mirror geometry under the discrete put–call symmetry;
 //! * [`centered`]: symmetric 3-point kernel, green region on the *left*,
 //!   boundary drifts left — the BSM explicit finite difference (§4.3).
 //!
-//! Both advance a compressed row representation ([`RedRow`] /
-//! [`centered::GreenLeftRow`]) by `h` steps in `O(h log² h)` work and `O(h)`
-//! span, calling the linear FFT advance of `amopt-stencil` on regions whose
-//! redness is certified by the drift bound, and recursing on a
-//! boundary-centred window of half height.
+//! All three advance a compressed row representation ([`RedRow`] /
+//! [`left_cone::GreenPrefixRow`] / [`centered::GreenLeftRow`]) by `h` steps
+//! in `O(h log² h)` work and `O(h)` span, calling the linear FFT advance of
+//! `amopt-stencil` on regions whose redness is certified by the drift bound,
+//! and recursing on a boundary-centred window of half height.  The call
+//! engine works in premium space (`δ = G − green`, the affine-correction
+//! trick below); the put engines work in raw value space, where the grid
+//! values are bounded by the strike.
 
 pub mod centered;
+pub mod left_cone;
 pub mod right_cone;
 
 use amopt_stencil::{Backend, Segment, StencilKernel};

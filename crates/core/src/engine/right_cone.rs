@@ -38,7 +38,7 @@
 
 use super::{EngineConfig, ExpObstacle, RedRow};
 use amopt_parallel::join;
-use amopt_stencil::{advance, Segment, StencilKernel};
+use amopt_stencil::{advance_values_with, with_scratch, Segment, StencilKernel};
 
 /// Width of the certified-red guard band after `h` steps for a kernel of
 /// span `σ−1`.
@@ -49,15 +49,29 @@ pub fn guard(span: usize, h: u64) -> i64 {
     h.max(1 + span * (h - 1))
 }
 
-/// Premium values over absolute columns `[lo, hi]`: stored reds up to
-/// `boundary`, exact zeros beyond.
-fn build_premium_row(reds: &Segment, boundary: i64, lo: i64, hi: i64) -> Segment {
+/// Advances the premium values over absolute columns `[lo, hi]` (stored
+/// reds up to `boundary`, exact zeros beyond) by `h` linear steps, staging
+/// the padded input row in pooled scratch so batched pricings do not
+/// reallocate it per trapezoid.
+fn advance_premium_row(
+    reds: &Segment,
+    boundary: i64,
+    lo: i64,
+    hi: i64,
+    kernel: &StencilKernel,
+    h: u64,
+    cfg: &EngineConfig,
+) -> Segment {
     debug_assert!(lo >= reds.start, "requested columns below the stored window");
-    let mut values = Vec::with_capacity((hi - lo + 1).max(0) as usize);
-    for c in lo..=hi {
-        values.push(if c <= boundary { reds.get(c) } else { 0.0 });
-    }
-    Segment::new(lo, values)
+    with_scratch(|s| {
+        let staging = &mut s.staging;
+        staging.clear();
+        staging.reserve((hi - lo + 1).max(0) as usize);
+        for c in lo..=hi {
+            staging.push(if c <= boundary { reds.get(c) } else { 0.0 });
+        }
+        advance_values_with(staging, lo, kernel, h, cfg.backend, &mut s.fft)
+    })
 }
 
 /// Naive base case: advances the premium window one step at a time; the
@@ -173,13 +187,12 @@ where
 
         // Certified-red bulk: output [a, j − g1] needs input [a, j − g1 + (σ−1)h1].
         let bulk_hi_in = j - g1 + (span as u64 * h1) as i64;
-        let bulk_input = build_premium_row(&cur.reds, j, a, bulk_hi_in);
         let sub_row = RedRow { t: cur.t, reds: cur.reds.extract(win_lo, j), boundary: j };
 
         let t_out = cur.t + h1;
         let parallel = remaining >= cfg.sequential_below;
         let bulk_task = || {
-            let mut out = advance(&bulk_input, kernel, h1, cfg.backend);
+            let mut out = advance_premium_row(&cur.reds, j, a, bulk_hi_in, kernel, h1, cfg);
             apply_drift(&mut out, obstacle, h1, t_out);
             out
         };

@@ -23,6 +23,16 @@ use crate::params::{OptionParams, OptionType};
 /// Lower end of the volatility search interval (shared with the batch
 /// surface driver so both inversions search the same space).
 pub(crate) const VOL_LO: f64 = 1e-4;
+
+/// Starting point of the lower-bracket stability walk: `VOL_LO` when the
+/// whole interval is stable, otherwise a hair above the closed-form
+/// stability floor `|R−Y|·√(E/steps)` (clamped to the interval top, where
+/// the no-stable-bracket error path takes over).  Shared with the batch
+/// surface driver so both inversions probe identical brackets.
+pub(crate) fn stability_seed(params: &OptionParams, steps: usize) -> f64 {
+    let floor = BopmModel::min_stable_volatility(params, steps);
+    VOL_LO.max(floor * (1.0 + 1e-9)).min(VOL_HI)
+}
 /// Upper end of the volatility search interval.
 pub(crate) const VOL_HI: f64 = 5.0;
 /// Acceptance tolerance on the price residual `|price(vol) − quote|`.
@@ -94,12 +104,14 @@ pub fn american_call_bopm(
         Ok(fast::price_american_call(&m, cfg))
     };
     // The lattice itself is only constructible when V·√Δt dominates
-    // |R−Y|·Δt (risk-neutral p ∈ (0,1)); walk the lower bracket up to the
-    // first valid volatility.  The walk is clamped to VOL_HI: doubling could
-    // otherwise overshoot the upper end and leave an inverted bracket, or
-    // surface a raw `UnstableDiscretisation` from a probe the caller never
-    // asked for.
-    let mut lo = VOL_LO;
+    // |R−Y|·Δt (risk-neutral p ∈ (0,1)).  The threshold is closed-form
+    // ([`BopmModel::min_stable_volatility`]), so the lower bracket seeds
+    // just above it — normally the very first probe is stable.  The doubling
+    // walk stays as a fallback against edge-of-threshold float rounding,
+    // clamped to VOL_HI: doubling could otherwise overshoot the upper end
+    // and leave an inverted bracket, or surface a raw
+    // `UnstableDiscretisation` from a probe the caller never asked for.
+    let mut lo = stability_seed(&params, steps);
     let p_lo = loop {
         match price_at(lo) {
             Ok(p) => break p,
@@ -243,6 +255,31 @@ mod tests {
             matches!(got, Err(PricingError::InvalidParams { field: "steps", .. })),
             "expected InvalidParams, got {got:?}"
         );
+    }
+
+    #[test]
+    fn stability_seed_sits_just_above_the_closed_form_floor() {
+        // Binding floor: Y = 0.3 at 64 steps.
+        let p = OptionParams { dividend_yield: 0.3, ..OptionParams::paper_defaults() };
+        let seed = stability_seed(&p, 64);
+        assert!(seed > VOL_LO);
+        assert!(BopmModel::new(OptionParams { volatility: seed, ..p }, 64).is_ok());
+        // Non-binding floor (R = Y ⇒ floor 0): the seed collapses to VOL_LO.
+        let calm =
+            OptionParams { rate: 0.02, dividend_yield: 0.02, ..OptionParams::paper_defaults() };
+        assert_eq!(stability_seed(&calm, 252), VOL_LO);
+        // Floor above the whole interval: clamped to VOL_HI, where the
+        // no-stable-bracket error path takes over.
+        let wild = OptionParams { rate: 6.0, dividend_yield: 0.0, ..calm };
+        assert_eq!(stability_seed(&wild, 1), VOL_HI);
+        // A quote whose true volatility sits barely above the floor still
+        // round-trips through the seeded bracket.
+        let true_vol = seed * 1.05;
+        let cfg = EngineConfig::default();
+        let m = BopmModel::new(OptionParams { volatility: true_vol, ..p }, 64).unwrap();
+        let quoted = fast::price_american_call(&m, &cfg);
+        let got = american_call_bopm(&p, 64, quoted, &cfg).unwrap();
+        assert!((got - true_vol).abs() < 1e-6, "got {got} want {true_vol}");
     }
 
     #[test]

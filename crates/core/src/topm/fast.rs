@@ -9,6 +9,7 @@
 
 use super::european::price_european_fft;
 use super::TopmModel;
+use crate::engine::left_cone::{self, GreenPrefixRow};
 use crate::engine::right_cone::solve_to_root;
 use crate::engine::{EngineConfig, ExpObstacle, RedRow};
 use crate::params::OptionType;
@@ -97,6 +98,66 @@ pub fn price_american_call(model: &TopmModel, cfg: &EngineConfig) -> f64 {
     solve_to_root(&model.kernel(), &obstacle, row, t_total, 0, cfg)
 }
 
+// ---------------------------------------------------------------------------
+// American put — the left-cone engine.  On the trinomial lattice a fixed
+// column gains a full factor of `u` per backward step, so the put boundary
+// drifts left one-to-two columns every step (the span-2 case of the
+// left-cone drift law); the engine's downward boundary scan handles it.
+// ---------------------------------------------------------------------------
+
+/// Obstacle closure for the American put: `green(t, c) = K − φ(t, c)`.
+fn put_green(model: &TopmModel) -> impl Fn(u64, i64) -> f64 + Sync + '_ {
+    let t_total = model.steps();
+    move |t: u64, c: i64| model.exercise_put(t_total - t as usize, c)
+}
+
+/// Continuation value of a row-`T−1` cell, straight from the payoff row.
+#[inline]
+fn first_step_put_continuation(model: &TopmModel, j: i64) -> f64 {
+    let t = model.steps();
+    let (s0, s1, s2) = model.weights();
+    s0 * model.exercise_put(t, j).max(0.0)
+        + s1 * model.exercise_put(t, j + 1).max(0.0)
+        + s2 * model.exercise_put(t, j + 2).max(0.0)
+}
+
+/// Whether cell `(T−1, j)` is green (exercise beats continuation).
+#[inline]
+fn first_step_put_green(model: &TopmModel, j: i64) -> bool {
+    model.exercise_put(model.steps() - 1, j) >= first_step_put_continuation(model, j)
+}
+
+/// Builds row `T−1` (engine time `t = 1`) with a bracketed-binary-search
+/// last green column — see [`crate::bopm::fast`]'s put driver for why the
+/// expiry transition is materialised explicitly.
+fn first_step_put_row(model: &TopmModel) -> GreenPrefixRow {
+    let t = model.steps() as i64;
+    let leaf = model.leaf_call_boundary();
+    let lo = left_cone::last_green_from(leaf, |j| first_step_put_green(model, j));
+    let row_hi = 2 * (t - 1);
+    let support_end = leaf.min(row_hi);
+    let values: Vec<f64> =
+        ((lo + 1)..=support_end).map(|j| first_step_put_continuation(model, j)).collect();
+    GreenPrefixRow { t: 1, boundary: lo, hi: row_hi, reds: Segment::new(lo + 1, values) }
+}
+
+/// American put price via the left-cone FFT trapezoid decomposition —
+/// `O(T log² T)` work and `O(T)` span.
+pub fn price_american_put(model: &TopmModel, cfg: &EngineConfig) -> f64 {
+    if model.params().rate == 0.0 {
+        // Zero rate ⇒ no early-exercise premium for puts (continuation
+        // ≥ K·e^{−RΔt} − φ·e^{−YΔt} = K − φ·e^{−YΔt} ≥ K − φ node by node).
+        return price_european_fft(model, OptionType::Put);
+    }
+    let t_total = model.steps() as u64;
+    let row = first_step_put_row(model);
+    if row.is_all_green() {
+        return model.exercise_put(0, 0);
+    }
+    let green = put_green(model);
+    left_cone::solve_to_root(&model.kernel(), &green, row, t_total, cfg)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +220,111 @@ mod tests {
             ..OptionParams::paper_defaults()
         };
         assert_matches_naive(p, 128, 1e-9);
+    }
+
+    // --- American put (left-cone engine) ---
+
+    fn assert_put_matches_naive(params: OptionParams, steps: usize, tol: f64) {
+        let m = TopmModel::new(params, steps).unwrap();
+        let want = naive::price(&m, OptionType::Put, ExerciseStyle::American, ExecMode::Serial);
+        let got = price_american_put(&m, &EngineConfig::default());
+        assert!(
+            (got - want).abs() <= tol * want.abs().max(1.0),
+            "steps={steps}: fft put {got} vs naive {want}"
+        );
+    }
+
+    #[test]
+    fn put_matches_naive_paper_params() {
+        for steps in [1usize, 2, 3, 7, 8, 9, 50, 252, 1000, 2500] {
+            assert_put_matches_naive(OptionParams::paper_defaults(), steps, 1e-9);
+        }
+    }
+
+    #[test]
+    fn put_matches_naive_at_large_t() {
+        assert_put_matches_naive(OptionParams::paper_defaults(), 10_000, 1e-9);
+    }
+
+    #[test]
+    fn put_matches_naive_across_moneyness() {
+        let base = OptionParams::paper_defaults();
+        for spot in [60.0, 110.0, 129.5, 131.0, 250.0] {
+            assert_put_matches_naive(OptionParams { spot, ..base }, 400, 1e-9);
+        }
+    }
+
+    #[test]
+    fn put_matches_naive_across_vol_and_rates() {
+        let base = OptionParams::paper_defaults();
+        for vol in [0.08, 0.2, 0.5] {
+            for (rate, div) in [(0.0163, 0.0), (0.05, 0.02), (0.001, 0.07), (0.07, 0.004)] {
+                let p = OptionParams { volatility: vol, rate, dividend_yield: div, ..base };
+                assert_put_matches_naive(p, 300, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_put_equals_european() {
+        let p = OptionParams { rate: 0.0, ..OptionParams::paper_defaults() };
+        assert_put_matches_naive(p, 600, 1e-9);
+        let m = TopmModel::new(p, 600).unwrap();
+        assert_eq!(
+            price_american_put(&m, &EngineConfig::default()),
+            super::price_european_fft(&m, OptionType::Put)
+        );
+    }
+
+    #[test]
+    fn deep_itm_put_immediate_exercise() {
+        let p = OptionParams {
+            spot: 10.0,
+            strike: 5_000.0,
+            rate: 0.2,
+            ..OptionParams::paper_defaults()
+        };
+        assert_put_matches_naive(p, 128, 1e-9);
+    }
+
+    #[test]
+    fn put_boundary_drops_one_to_two_columns_per_interior_step() {
+        // The span-2 drift law the left-cone engine is built around.
+        let m = TopmModel::new(OptionParams::paper_defaults(), 400).unwrap();
+        let t = m.steps();
+        let (s0, s1, s2) = m.weights();
+        let mut row: Vec<f64> = (0..=2 * t as i64).map(|j| m.exercise_put(t, j).max(0.0)).collect();
+        let mut prev: Option<i64> = None;
+        for i in (0..t).rev() {
+            let mut f = -1i64;
+            let mut next = Vec::with_capacity(2 * i + 1);
+            for j in 0..=2 * i as i64 {
+                let cont =
+                    s0 * row[j as usize] + s1 * row[j as usize + 1] + s2 * row[j as usize + 2];
+                let ex = m.exercise_put(i, j);
+                if ex >= cont {
+                    f = j;
+                }
+                next.push(cont.max(ex));
+            }
+            if let Some(p) = prev {
+                if f >= 0 {
+                    assert!(f < p && f >= p - 2, "row {i}: boundary {f} after {p}");
+                }
+            }
+            prev = Some(f);
+            row = next;
+        }
+    }
+
+    #[test]
+    fn put_agrees_with_binomial_model() {
+        let p = OptionParams::paper_defaults();
+        let tri = TopmModel::new(p, 2000).unwrap();
+        let bin = crate::bopm::BopmModel::new(p, 2000).unwrap();
+        let v_tri = price_american_put(&tri, &EngineConfig::default());
+        let v_bin = crate::bopm::fast::price_american_put(&bin, &EngineConfig::default());
+        assert!((v_tri - v_bin).abs() < 5e-3 * v_bin.max(1.0), "tri {v_tri} vs bin {v_bin}");
     }
 
     #[test]

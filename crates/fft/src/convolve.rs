@@ -15,7 +15,26 @@
 use crate::bluestein;
 use crate::complex::Complex64;
 use crate::radix2::{next_pow2, Direction};
-use crate::real::{fft_real, fft_two_real, ifft_real};
+use crate::real::{fft_two_real, ifft_real};
+
+/// Reusable buffers for [`correlate_power_valid_with`].
+///
+/// One correlation needs two transform-sized complex buffers (the row
+/// spectrum, operated on in place, and the directly-evaluated kernel
+/// spectrum).  Holding them in a scratch that outlives the call makes
+/// repeated correlations — the trapezoid engines issue thousands per
+/// pricing — allocation-free apart from the returned output vector, which
+/// the caller keeps.  Buffers grow to the largest transform seen and never
+/// shrink; pool instances per worker (e.g. via
+/// `amopt_parallel::WorkspacePool`) rather than sharing one.
+#[derive(Debug, Default)]
+pub struct FftScratch {
+    /// Row buffer: holds the padded input, its spectrum, the pointwise
+    /// product, and finally the inverse transform.
+    buf: Vec<Complex64>,
+    /// Directly evaluated kernel spectrum.
+    kspec: Vec<Complex64>,
+}
 
 /// Full linear convolution of two real sequences (`len = a + b − 1`).
 pub fn linear_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
@@ -58,6 +77,18 @@ pub fn power_kernel_len(kernel_len: usize, h: u64) -> usize {
 /// # Panics
 /// If `kernel` is empty or `x` is shorter than `|W|`.
 pub fn correlate_power_valid(x: &[f64], kernel: &[f64], h: u64) -> Vec<f64> {
+    correlate_power_valid_with(x, kernel, h, &mut FftScratch::default())
+}
+
+/// [`correlate_power_valid`] with caller-owned scratch buffers: bitwise the
+/// same output, but the two transform-sized complex buffers are reused
+/// across calls instead of reallocated.
+pub fn correlate_power_valid_with(
+    x: &[f64],
+    kernel: &[f64],
+    h: u64,
+    scratch: &mut FftScratch,
+) -> Vec<f64> {
     assert!(!kernel.is_empty(), "kernel must have at least one tap");
     if h == 0 {
         return x.to_vec();
@@ -77,32 +108,40 @@ pub fn correlate_power_valid(x: &[f64], kernel: &[f64], h: u64) -> Vec<f64> {
     }
 
     let n = next_pow2(x.len());
-    let sx = fft_real(x, n);
+    let buf = &mut scratch.buf;
+    buf.clear();
+    buf.resize(n, Complex64::ZERO);
+    for (slot, &v) in buf.iter_mut().zip(x) {
+        slot.re = v;
+    }
+    let plan = crate::radix2::plan(n);
+    plan.forward(buf);
     // The kernel spectrum is evaluated *directly* rather than packed into the
     // same transform as `x`: a shared transform would leave the tiny kernel
     // spectrum with absolute error proportional to ‖x‖, which the pointwise
     // `h`-th power then amplifies by a factor of `h` — observed as ~1e-6
     // price error at T = 252.  Direct evaluation is exact to ε and costs only
     // O(σ·n) for σ-tap kernels.
-    let sk = kernel_spectrum(kernel, n);
-    let spec: Vec<Complex64> =
-        sx.iter().zip(&sk).map(|(&xv, &kv)| xv * kv.conj().powu(h)).collect();
-    ifft_real(spec, out_len)
+    kernel_spectrum_into(kernel, n, &mut scratch.kspec);
+    for (xv, kv) in buf.iter_mut().zip(&scratch.kspec) {
+        *xv *= kv.conj().powu(h);
+    }
+    plan.inverse(buf);
+    buf[..out_len].iter().map(|v| v.re).collect()
 }
 
 /// Direct evaluation of the length-`n` DFT of a short real kernel:
-/// `K[k] = Σ_m w_m e^{−2πi k m / n}`.
-fn kernel_spectrum(kernel: &[f64], n: usize) -> Vec<Complex64> {
+/// `K[k] = Σ_m w_m e^{−2πi k m / n}`, written into a reusable buffer.
+fn kernel_spectrum_into(kernel: &[f64], n: usize, out: &mut Vec<Complex64>) {
     let step = -2.0 * std::f64::consts::PI / n as f64;
-    (0..n)
-        .map(|k| {
-            let mut acc = Complex64::ZERO;
-            for (m, &w) in kernel.iter().enumerate() {
-                acc += Complex64::cis(step * (k * m % n) as f64) * w;
-            }
-            acc
-        })
-        .collect()
+    out.clear();
+    out.extend((0..n).map(|k| {
+        let mut acc = Complex64::ZERO;
+        for (m, &w) in kernel.iter().enumerate() {
+            acc += Complex64::cis(step * (k * m % n) as f64) * w;
+        }
+        acc
+    }));
 }
 
 /// Periodic (cyclic) variant: evolves a periodic grid of `x.len()` cells by

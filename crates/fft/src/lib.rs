@@ -25,8 +25,8 @@ pub mod real;
 
 pub use complex::{c64, Complex64};
 pub use convolve::{
-    correlate_power_periodic, correlate_power_valid, kernel_power_taps, linear_convolve,
-    power_kernel_len,
+    correlate_power_periodic, correlate_power_valid, correlate_power_valid_with, kernel_power_taps,
+    linear_convolve, power_kernel_len, FftScratch,
 };
 pub use radix2::{fft, ifft, next_pow2, plan, Direction, Fft};
 pub use real::{fft_real, fft_two_real, ifft_real};

@@ -11,7 +11,34 @@
 
 use crate::kernel::StencilKernel;
 use crate::segment::Segment;
-use amopt_fft::correlate_power_valid;
+use amopt_fft::{correlate_power_valid_with, FftScratch};
+use amopt_parallel::WorkspacePool;
+use std::sync::OnceLock;
+
+/// Per-worker scratch for the advance primitives: FFT buffers plus a staging
+/// row for callers that assemble padded/stitched inputs before advancing.
+///
+/// Engines running inside a fork-join pool check one of these out of the
+/// process-wide pool ([`with_scratch`]) per linear advance, so steady-state
+/// pricing — in particular the batch layer's hot loop — allocates only the
+/// output rows it actually keeps.  Buffers grow to the largest problem seen
+/// and stay checked in for reuse (bounded by peak worker concurrency).
+#[derive(Debug, Default)]
+pub struct AdvanceScratch {
+    /// Caller-assembled input row (padded premiums, zero-extended reds, …).
+    pub staging: Vec<f64>,
+    /// Reusable FFT transform buffers.
+    pub fft: FftScratch,
+}
+
+/// Runs `f` with an [`AdvanceScratch`] checked out of the process-wide pool.
+///
+/// The pool grows to at most the number of concurrently active workers; a
+/// sequential caller reuses a single scratch forever.
+pub fn with_scratch<R>(f: impl FnOnce(&mut AdvanceScratch) -> R) -> R {
+    static POOL: OnceLock<WorkspacePool<AdvanceScratch>> = OnceLock::new();
+    POOL.get_or_init(WorkspacePool::new).with(AdvanceScratch::default, f)
+}
 
 /// Strategy for computing a multi-step advance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -41,40 +68,61 @@ pub fn output_start(start: i64, kernel: &StencilKernel, h: u64) -> i64 {
 
 /// Advances `seg` by `h` linear steps using the requested backend.
 ///
+/// Scratch comes from the process-wide pool ([`with_scratch`]); callers that
+/// already hold scratch (or stage their input in one) should use
+/// [`advance_values_with`] directly.
+///
 /// # Panics
 /// If the segment is too short to produce at least one valid cell.
 pub fn advance(seg: &Segment, kernel: &StencilKernel, h: u64, backend: Backend) -> Segment {
-    let out_len = valid_output_len(seg.len(), kernel, h).filter(|&l| l > 0).unwrap_or_else(|| {
-        panic!(
-            "segment of {} cells cannot be advanced {h} steps by a span-{} kernel",
-            seg.len(),
-            kernel.span()
-        )
-    });
-    let start = output_start(seg.start, kernel, h);
+    with_scratch(|s| advance_values_with(&seg.values, seg.start, kernel, h, backend, &mut s.fft))
+}
+
+/// [`advance`] over a raw value slice anchored at absolute column `start`,
+/// reusing caller-owned FFT scratch.  Bitwise identical to [`advance`].
+///
+/// # Panics
+/// If the slice is too short to produce at least one valid cell.
+pub fn advance_values_with(
+    values: &[f64],
+    start: i64,
+    kernel: &StencilKernel,
+    h: u64,
+    backend: Backend,
+    fft: &mut FftScratch,
+) -> Segment {
+    let out_len =
+        valid_output_len(values.len(), kernel, h).filter(|&l| l > 0).unwrap_or_else(|| {
+            panic!(
+                "segment of {} cells cannot be advanced {h} steps by a span-{} kernel",
+                values.len(),
+                kernel.span()
+            )
+        });
+    let start = output_start(start, kernel, h);
     if h == 0 {
-        return seg.clone();
+        return Segment::new(start, values.to_vec());
     }
-    let values = match backend {
+    let out = match backend {
         Backend::Fft => {
             // Small problems: the stepped loop beats FFT constants and keeps
             // base cases allocation-light.
-            if seg.len() <= 64 {
-                stepped(&seg.values, kernel, h)
+            if values.len() <= 64 {
+                stepped(values, kernel, h)
             } else {
-                correlate_power_valid(&seg.values, kernel.weights(), h)
+                correlate_power_valid_with(values, kernel.weights(), h, fft)
             }
         }
         Backend::DirectTaps => {
             let taps = kernel.power_taps(h);
             (0..out_len)
-                .map(|c| taps.iter().enumerate().map(|(m, &w)| w * seg.values[c + m]).sum())
+                .map(|c| taps.iter().enumerate().map(|(m, &w)| w * values[c + m]).sum())
                 .collect()
         }
-        Backend::Stepped => stepped(&seg.values, kernel, h),
+        Backend::Stepped => stepped(values, kernel, h),
     };
-    debug_assert_eq!(values.len(), out_len);
-    Segment::new(start, values)
+    debug_assert_eq!(out.len(), out_len);
+    Segment::new(start, out)
 }
 
 fn stepped(row: &[f64], kernel: &StencilKernel, h: u64) -> Vec<f64> {

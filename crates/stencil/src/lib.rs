@@ -20,7 +20,10 @@ pub mod bounded;
 pub mod kernel;
 pub mod segment;
 
-pub use advance::{advance, advance_periodic, output_start, valid_output_len, Backend};
+pub use advance::{
+    advance, advance_periodic, advance_values_with, output_start, valid_output_len, with_scratch,
+    AdvanceScratch, Backend,
+};
 pub use bounded::{advance_left_wall, stepped_wall};
 pub use kernel::StencilKernel;
 pub use segment::Segment;

@@ -1,6 +1,7 @@
 //! Early-exercise boundary explorer: extract and print the critical-price
-//! frontier for an American put (BSM finite differences) and an American
-//! call (binomial lattice) — the red–green divider of the paper, §2.2/§4.2.
+//! frontier of a small contract set — BSM put, binomial call, and binomial
+//! put (left-cone engine) — in one batch-native call (the red–green divider
+//! of the paper, §2.2/§4.2).
 //!
 //! ```sh
 //! cargo run --release --example boundary_explorer
@@ -9,29 +10,33 @@
 use american_option_pricing::prelude::*;
 
 fn main() {
-    let cfg = EngineConfig::default();
+    let pricer = BatchPricer::new(EngineConfig::default());
+    let base = OptionParams::paper_defaults();
+    let zero_div = OptionParams { dividend_yield: 0.0, ..base };
 
-    // American put: exercise when the asset falls below the frontier.
-    let put_params = OptionParams { dividend_yield: 0.0, ..OptionParams::paper_defaults() };
-    let bsm = BsmModel::new(put_params, 8192).expect("stable grid");
-    let frontier = exercise_boundary::bsm_put_boundary(&bsm, &cfg, 16);
-    println!("American put early-exercise frontier (K = {}):", put_params.strike);
-    println!("  t [yr]   critical price");
-    for p in frontier.iter().rev() {
-        if let Some(x) = p.critical_price {
-            println!("  {:6.3}   {:10.4}", p.time_years, x);
-        }
-    }
+    // One batch extracts every frontier in parallel; each slot keeps its
+    // own Result.
+    let book = vec![
+        BoundaryRequest::new(ModelKind::Bsm, OptionType::Put, zero_div, 8192, 16),
+        BoundaryRequest::new(ModelKind::Bopm, OptionType::Call, base, 8192, 16),
+        BoundaryRequest::new(ModelKind::Bopm, OptionType::Put, base, 8192, 16),
+    ];
+    let frontiers = exercise_boundaries(&pricer, &book);
 
-    // American call: with dividends, exercise when the asset rises above it.
-    let call_params = OptionParams::paper_defaults();
-    let bopm = BopmModel::new(call_params, 8192).expect("valid lattice");
-    let frontier = exercise_boundary::bopm_call_boundary(&bopm, &cfg, 16);
-    println!("\nAmerican call early-exercise frontier (K = {}):", call_params.strike);
-    println!("  t [yr]   critical price");
-    for p in frontier.iter().rev() {
-        if let Some(x) = p.critical_price {
-            println!("  {:6.3}   {:10.4}", p.time_years, x);
+    let titles = [
+        "American put, BSM grid (exercise when the asset falls below)",
+        "American call, binomial lattice (exercise when the asset rises above)",
+        "American put, binomial lattice (left-cone engine)",
+    ];
+    for (title, frontier) in titles.iter().zip(frontiers) {
+        let frontier = frontier.expect("valid contract");
+        println!("{title} — K = {}:", base.strike);
+        println!("  t [yr]   critical price");
+        for p in frontier.iter().rev() {
+            if let Some(x) = p.critical_price {
+                println!("  {:6.3}   {:10.4}", p.time_years, x);
+            }
         }
+        println!();
     }
 }

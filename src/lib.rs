@@ -55,6 +55,7 @@ pub use amopt_stencil as stencil;
 
 /// Most-used items in one import.
 pub mod prelude {
+    pub use amopt_core::batch::boundary::{exercise_boundaries, BoundaryRequest};
     pub use amopt_core::batch::greeks::greeks as batch_greeks;
     pub use amopt_core::batch::surface::{implied_vol_surface, VolQuote};
     pub use amopt_core::batch::{self, BatchPricer, MemoStats, ModelKind, PricingRequest};

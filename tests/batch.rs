@@ -28,12 +28,13 @@ fn arb_params() -> impl Strategy<Value = OptionParams> {
 
 /// One request per supported route, spanning every model family and style.
 fn arb_request() -> impl Strategy<Value = PricingRequest> {
-    (arb_params(), 16usize..240, 0usize..8).prop_map(|(p, steps, kind)| match kind {
+    (arb_params(), 16usize..240, 0usize..9).prop_map(|(p, steps, kind)| match kind {
         0 => PricingRequest::american(ModelKind::Bopm, OptionType::Call, p, steps),
         1 => PricingRequest::american(ModelKind::Bopm, OptionType::Put, p, steps),
         2 => PricingRequest::european(ModelKind::Bopm, OptionType::Put, p, steps),
         3 => PricingRequest::american(ModelKind::Topm, OptionType::Call, p, steps),
         4 => PricingRequest::european(ModelKind::Topm, OptionType::Call, p, steps),
+        8 => PricingRequest::american(ModelKind::Topm, OptionType::Put, p, steps),
         5 => PricingRequest::american(
             ModelKind::Bsm,
             OptionType::Put,
@@ -58,12 +59,12 @@ fn direct_price(req: &PricingRequest) -> Result<f64, PricingError> {
         (ModelKind::Bopm, OptionType::Call, Style::American) => {
             Ok(bopm_fast::price_american_call(&BopmModel::new(req.params, req.steps)?, &cfg))
         }
-        (ModelKind::Bopm, OptionType::Put, Style::American) => Ok(bopm_naive::price(
-            &BopmModel::new(req.params, req.steps)?,
-            OptionType::Put,
-            ExerciseStyle::American,
-            bopm_naive::ExecMode::Serial,
-        )),
+        (ModelKind::Bopm, OptionType::Put, Style::American) => {
+            Ok(bopm_fast::price_american_put(&BopmModel::new(req.params, req.steps)?, &cfg))
+        }
+        (ModelKind::Topm, OptionType::Put, Style::American) => {
+            Ok(topm_fast::price_american_put(&TopmModel::new(req.params, req.steps)?, &cfg))
+        }
         (ModelKind::Bopm, opt, Style::European) => {
             let m = BopmModel::new(req.params, req.steps)?;
             Ok(amopt_core::bopm::european::price_european_fft(&m, opt))
