@@ -1,0 +1,310 @@
+//! `service_throughput` — options/sec and latency percentiles of the
+//! batch-coalescing quote service vs the per-request serial baseline.
+//!
+//! The workload is a **dedup-heavy book** ([`duplicated_book`]: 4096
+//! requests cycling 64 distinct contracts at `T = 252`) — the traffic shape
+//! the service exists for: many clients quoting the same underlyings, where
+//! coalescing turns per-request lattice work into in-batch dedup and memo
+//! hits.  Scenarios:
+//!
+//! * `serial_per_request` — one model build + one fast pricing per request,
+//!   sequentially: the pre-service caller with no batching anywhere;
+//! * `service_inproc` — the same book through [`QuoteService`] in-process
+//!   clients, eight closed-loop submitter threads (each submits and waits
+//!   one request at a time), so batches form *only* from concurrency and
+//!   the deadline — nobody hands the service a pre-made batch;
+//! * `service_tcp` — the book over loopback TCP connections with a
+//!   16-request pipeline window per connection, timing each request from
+//!   send to response line.
+//!
+//! Per-request latency percentiles (p50/p90/p99/max, in microseconds) are
+//! recorded for the two service scenarios.  The machine-readable summary
+//! goes to `BENCH_service.json` (override with `BENCH_SERVICE_OUT`); schema
+//! in `crates/bench/README.md`.
+//!
+//! ```sh
+//! cargo bench -p amopt-bench --bench service_throughput
+//! ```
+
+use amopt_bench::duplicated_book;
+use amopt_core::batch::{ModelKind, PricingRequest, Style};
+use amopt_core::bopm::{self, BopmModel};
+use amopt_core::{EngineConfig, OptionType};
+use amopt_service::{wire, QuoteServer, ServiceConfig, TcpQuoteClient};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+const STEPS: usize = 252;
+const BOOK: usize = 4096;
+const UNIQUE: usize = 64;
+const INPROC_THREADS: usize = 8;
+const TCP_CONNS: usize = 4;
+const TCP_WINDOW: usize = 16;
+
+struct Record {
+    name: &'static str,
+    batch: usize,
+    threads: usize,
+    secs: f64,
+    latencies_us: Option<Latency>,
+}
+
+#[derive(Clone, Copy)]
+struct Latency {
+    p50: f64,
+    p90: f64,
+    p99: f64,
+    max: f64,
+}
+
+fn percentiles(mut lat_us: Vec<f64>) -> Latency {
+    lat_us.sort_by(f64::total_cmp);
+    let at = |q: f64| lat_us[((lat_us.len() - 1) as f64 * q) as usize];
+    Latency { p50: at(0.5), p90: at(0.9), p99: at(0.99), max: *lat_us.last().unwrap() }
+}
+
+fn service_config() -> ServiceConfig {
+    ServiceConfig {
+        max_batch: 256,
+        max_wait: Duration::from_micros(500),
+        queue_depth: 2 * BOOK,
+        per_conn_inflight: 2 * BOOK,
+        memo_capacity: 8192,
+        ..ServiceConfig::default()
+    }
+}
+
+/// The pre-service baseline: price each request as it "arrives", one model
+/// construction + one fast pricing per request, no dedup, no memo.
+fn serial_per_request(book: &[PricingRequest]) -> Vec<f64> {
+    let cfg = EngineConfig::default();
+    book.iter()
+        .map(|req| {
+            assert!(
+                req.model == ModelKind::Bopm
+                    && req.option_type == OptionType::Call
+                    && req.style == Style::American,
+                "baseline supports the duplicated_book shape only"
+            );
+            let m = BopmModel::new(req.params, req.steps).expect("valid book");
+            bopm::fast::price_american_call(&m, &cfg)
+        })
+        .collect()
+}
+
+fn main() {
+    let max_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let book = duplicated_book(UNIQUE, BOOK, STEPS);
+    let mut records: Vec<Record> = Vec::new();
+
+    // Reference prices once; every scenario must reproduce them bitwise.
+    let want = serial_per_request(&book);
+
+    // --- Baseline ---
+    let t0 = Instant::now();
+    let got = serial_per_request(&book);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(got.len(), want.len());
+    records.push(Record {
+        name: "serial_per_request",
+        batch: BOOK,
+        threads: 1,
+        secs: serial_secs,
+        latencies_us: None,
+    });
+
+    // --- In-process service, closed-loop submitters ---
+    let (inproc_secs, inproc_lat) = {
+        let service = amopt_service::QuoteService::start(service_config());
+        let chunk = book.len().div_ceil(INPROC_THREADS);
+        let t0 = Instant::now();
+        let lat: Vec<Vec<(usize, f64, f64)>> = std::thread::scope(|scope| {
+            book.chunks(chunk)
+                .enumerate()
+                .map(|(w, slice)| {
+                    let client = service.client();
+                    scope.spawn(move || {
+                        let mut out = Vec::with_capacity(slice.len());
+                        for (i, req) in slice.iter().enumerate() {
+                            let sent = Instant::now();
+                            let price = client.price(req.clone()).expect("service accepts book");
+                            let us = sent.elapsed().as_secs_f64() * 1e6;
+                            out.push((w * chunk + i, price, us));
+                        }
+                        out
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let mut lat_us = Vec::with_capacity(book.len());
+        for (id, price, us) in lat.into_iter().flatten() {
+            assert_eq!(price.to_bits(), want[id].to_bits(), "request {id}");
+            lat_us.push(us);
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed as usize, book.len());
+        if stats.batches >= book.len() as u64 {
+            eprintln!(
+                "WARNING: closed-loop traffic did not coalesce at all ({} batches for {} \
+                 requests) — every batch was a singleton",
+                stats.batches,
+                book.len()
+            );
+        }
+        eprintln!(
+            "in-process: {} batches (mean size {:.1}), memo hit rate {:.3}",
+            stats.batches,
+            stats.mean_batch_size(),
+            stats.memo_hit_rate()
+        );
+        service.shutdown();
+        (secs, percentiles(lat_us))
+    };
+    records.push(Record {
+        name: "service_inproc",
+        batch: BOOK,
+        threads: INPROC_THREADS,
+        secs: inproc_secs,
+        latencies_us: Some(inproc_lat),
+    });
+
+    // --- TCP loopback, pipelined windows ---
+    let (tcp_secs, tcp_lat) = {
+        let server = QuoteServer::bind("127.0.0.1:0", service_config()).expect("bind loopback");
+        let addr = server.local_addr();
+        let chunk = book.len().div_ceil(TCP_CONNS);
+        let t0 = Instant::now();
+        let lat: Vec<Vec<(usize, f64, f64)>> = std::thread::scope(|scope| {
+            book.chunks(chunk)
+                .enumerate()
+                .map(|(w, slice)| {
+                    scope.spawn(move || {
+                        let mut client = TcpQuoteClient::connect(addr).expect("connect");
+                        let mut out = Vec::with_capacity(slice.len());
+                        let mut sent_at = std::collections::VecDeque::new();
+                        let mut next = 0usize;
+                        let mut done = 0usize;
+                        while done < slice.len() {
+                            while next < slice.len() && sent_at.len() < TCP_WINDOW {
+                                let id = (w * chunk + next) as u64;
+                                let line = wire::encode_pricing_request(id, "price", &slice[next]);
+                                client.send(&line).expect("send");
+                                sent_at.push_back(Instant::now());
+                                next += 1;
+                            }
+                            let reply = client.recv().expect("response");
+                            let us = sent_at.pop_front().unwrap().elapsed().as_secs_f64() * 1e6;
+                            let doc = wire::parse(&reply).expect("valid json");
+                            let id = doc.get("id").unwrap().as_f64().unwrap() as usize;
+                            let price = doc
+                                .get("price")
+                                .and_then(wire::JsonValue::as_f64)
+                                .unwrap_or_else(|| panic!("error response: {reply}"));
+                            out.push((id, price, us));
+                            done += 1;
+                        }
+                        out
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("no panics"))
+                .collect()
+        });
+        let secs = t0.elapsed().as_secs_f64();
+        let mut lat_us = Vec::with_capacity(book.len());
+        for (id, price, us) in lat.into_iter().flatten() {
+            assert_eq!(price.to_bits(), want[id].to_bits(), "request {id}");
+            lat_us.push(us);
+        }
+        server.shutdown();
+        (secs, percentiles(lat_us))
+    };
+    records.push(Record {
+        name: "service_tcp",
+        batch: BOOK,
+        threads: TCP_CONNS,
+        secs: tcp_secs,
+        latencies_us: Some(tcp_lat),
+    });
+
+    // --- Report ---
+    println!(
+        "\nbenchmark group: service_throughput (dedup-heavy book: {BOOK} requests, {UNIQUE} \
+         distinct, T = {STEPS})"
+    );
+    println!("| scenario | requests | threads | secs | options/s | p50 us | p99 us |");
+    println!("|---|---|---|---|---|---|---|");
+    for r in &records {
+        let (p50, p99) = r
+            .latencies_us
+            .map(|l| (format!("{:.0}", l.p50), format!("{:.0}", l.p99)))
+            .unwrap_or_else(|| ("-".into(), "-".into()));
+        println!(
+            "| {} | {} | {} | {:.4} | {:.0} | {} | {} |",
+            r.name,
+            r.batch,
+            r.threads,
+            r.secs,
+            r.batch as f64 / r.secs,
+            p50,
+            p99
+        );
+    }
+    let inproc_speedup = serial_secs / inproc_secs;
+    let tcp_speedup = serial_secs / tcp_secs;
+    println!("\ncoalesced in-process vs per-request serial baseline: {inproc_speedup:.2}x");
+    println!("coalesced over TCP vs per-request serial baseline: {tcp_speedup:.2}x");
+    if inproc_speedup < 1.0 {
+        eprintln!(
+            "WARNING: in-process service below the serial per-request baseline \
+             ({inproc_speedup:.2}x) — noisy run or a real regression?"
+        );
+    }
+
+    write_summary(&records, max_threads, inproc_speedup, tcp_speedup);
+}
+
+fn write_summary(records: &[Record], max_threads: usize, inproc: f64, tcp: f64) {
+    let path =
+        std::env::var("BENCH_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string());
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"service_throughput\",");
+    let _ = writeln!(json, "  \"steps\": {STEPS},");
+    let _ = writeln!(json, "  \"book\": {BOOK},");
+    let _ = writeln!(json, "  \"unique_contracts\": {UNIQUE},");
+    let _ = writeln!(json, "  \"max_threads\": {max_threads},");
+    let _ = writeln!(json, "  \"speedup_inproc_vs_serial\": {inproc:.4},");
+    let _ = writeln!(json, "  \"speedup_tcp_vs_serial\": {tcp:.4},");
+    json.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"batch\": {}, \"threads\": {}, \"secs\": {:.6}, \
+             \"options_per_sec\": {:.1}",
+            r.name,
+            r.batch,
+            r.threads,
+            r.secs,
+            r.batch as f64 / r.secs,
+        );
+        if let Some(l) = r.latencies_us {
+            let _ = write!(
+                json,
+                ", \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}",
+                l.p50, l.p90, l.p99, l.max
+            );
+        }
+        json.push('}');
+        json.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

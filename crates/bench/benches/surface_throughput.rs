@@ -60,9 +60,11 @@ fn main() {
 
     // Correctness gate before timing anything: both paths must invert every
     // quote and agree — a fast wrong surface would make the speedup numbers
-    // meaningless.
+    // meaningless.  The same pass counts lattice pricings (memo misses) per
+    // quote, the number the Newton-with-vega driver exists to push down
+    // (serial bisection ~50, Illinois ~14).
     let serial_vols = serial_surface_loop(&quotes);
-    {
+    let probes_per_quote = {
         let pricer = BatchPricer::with_memo_capacity(EngineConfig::default(), MEMO_CAPACITY);
         let batch_vols = implied_vol_surface(&pricer, &quotes);
         for (i, (b, s)) in batch_vols.iter().zip(&serial_vols).enumerate() {
@@ -72,7 +74,8 @@ fn main() {
             );
             assert!((b - s).abs() < 1e-6, "quote {i}: surface {b} vs serial {s}");
         }
-    }
+        pricer.memo_stats().misses as f64 / n as f64
+    };
 
     // Baseline: the pre-surface caller — a serial per-quote bisection loop.
     let serial_secs = median_secs(REPS, || {
@@ -163,6 +166,7 @@ fn main() {
     );
     println!("warm re-quote vs serial loop: {warm_speedup:.2}x");
     println!("duplicate quotes (bid/ask x{}): {dup_speedup:.2}x", dup.len());
+    println!("lattice pricings per quote (cold, incl. vega bumps): {probes_per_quote:.1}");
     // Regressions are tracked from the archived JSON datapoints, not by
     // failing the run: timing on shared CI runners is too noisy for hard
     // assertions.  Warn loudly instead.
@@ -179,7 +183,7 @@ fn main() {
         );
     }
 
-    write_summary(&records, max_threads, speedup, warm_speedup, dup_speedup);
+    write_summary(&records, max_threads, speedup, warm_speedup, dup_speedup, probes_per_quote);
 }
 
 fn write_summary(
@@ -188,6 +192,7 @@ fn write_summary(
     speedup: f64,
     warm_speedup: f64,
     dup_speedup: f64,
+    probes_per_quote: f64,
 ) {
     let path =
         std::env::var("BENCH_SURFACE_OUT").unwrap_or_else(|_| "BENCH_surface.json".to_string());
@@ -199,6 +204,7 @@ fn write_summary(
     let _ = writeln!(json, "  \"speedup_surface_vs_serial\": {speedup:.4},");
     let _ = writeln!(json, "  \"speedup_requote_vs_serial\": {warm_speedup:.4},");
     let _ = writeln!(json, "  \"speedup_dup_quotes_vs_serial\": {dup_speedup:.4},");
+    let _ = writeln!(json, "  \"probes_per_quote_cold\": {probes_per_quote:.2},");
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(

@@ -93,11 +93,13 @@ fn reps_for(steps: usize) -> usize {
     }
 }
 
-/// Figure 5: parallel running time vs T, one sub-figure per model.
+/// Figure 5: parallel running time vs T, one sub-figure per model.  A put
+/// column rides along for each lattice family, so the tables cover both
+/// cones (the BSM grid is a put already).
 fn fig5(model: &str, max_t_fft: usize, max_t_naive: usize) {
     let groups: &[(&str, &[Impl])] = &[
-        ("bopm", &[Impl::FftBopm, Impl::QlBopm, Impl::ZbBopm]),
-        ("topm", &[Impl::FftTopm, Impl::VanillaTopm]),
+        ("bopm", &[Impl::FftBopm, Impl::FftBopmPut, Impl::QlBopm, Impl::ZbBopm]),
+        ("topm", &[Impl::FftTopm, Impl::FftTopmPut, Impl::VanillaTopm]),
         ("bsm", &[Impl::FftBsm, Impl::VanillaBsm]),
     ];
     for (name, impls) in groups {

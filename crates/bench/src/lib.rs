@@ -9,33 +9,42 @@ use amopt_core::topm::{self, TopmModel};
 use amopt_core::{implied_vol, EngineConfig, ExerciseStyle, OptionParams, OptionType, Result};
 use std::time::Instant;
 
-/// Implementations compared in Figure 5 / Table 5.
+/// Implementations compared in Figure 5 / Table 5 (put-cone engines
+/// included, so the Fig. 5-style sweeps cover both cones).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Impl {
     /// Our FFT trapezoid pricer.
     FftBopm,
+    /// The left-cone FFT pricer on the American **put** (same contract,
+    /// mirrored geometry).
+    FftBopmPut,
     /// Naive parallel loop nest (Par-bin-ops' QuantLib-equivalent).
     QlBopm,
     /// Cache-aware tiled loops (Zubair-style).
     ZbBopm,
     /// FFT trinomial pricer.
     FftTopm,
+    /// The left-cone FFT pricer on the trinomial American **put**.
+    FftTopmPut,
     /// Parallel trinomial loop nest.
     VanillaTopm,
-    /// FFT BSM pricer.
+    /// FFT BSM pricer (an American put by construction).
     FftBsm,
     /// Parallel BSM loop nest.
     VanillaBsm,
 }
 
 impl Impl {
-    /// Legend string matching the paper's Table 4.
+    /// Legend string matching the paper's Table 4 (`-put` suffixed for the
+    /// left-cone engines, which the paper does not cover).
     pub fn legend(self) -> &'static str {
         match self {
             Impl::FftBopm => "fft-bopm",
+            Impl::FftBopmPut => "fft-bopm-put",
             Impl::QlBopm => "ql-bopm",
             Impl::ZbBopm => "zb-bopm",
             Impl::FftTopm => "fft-topm",
+            Impl::FftTopmPut => "fft-topm-put",
             Impl::VanillaTopm => "vanilla-topm",
             Impl::FftBsm => "fft-bsm",
             Impl::VanillaBsm => "vanilla-bsm",
@@ -56,6 +65,10 @@ pub fn run_pricer(which: Impl, steps: usize) -> f64 {
         Impl::FftBopm => {
             let m = BopmModel::new(params, steps).expect("model");
             bopm::fast::price_american_call(&m, &cfg)
+        }
+        Impl::FftBopmPut => {
+            let m = BopmModel::new(params, steps).expect("model");
+            bopm::fast::price_american_put(&m, &cfg)
         }
         Impl::QlBopm => {
             let m = BopmModel::new(params, steps).expect("model");
@@ -78,6 +91,10 @@ pub fn run_pricer(which: Impl, steps: usize) -> f64 {
         Impl::FftTopm => {
             let m = TopmModel::new(params, steps).expect("model");
             topm::fast::price_american_call(&m, &cfg)
+        }
+        Impl::FftTopmPut => {
+            let m = TopmModel::new(params, steps).expect("model");
+            topm::fast::price_american_put(&m, &cfg)
         }
         Impl::VanillaTopm => {
             let m = TopmModel::new(params, steps).expect("model");
@@ -297,6 +314,28 @@ mod tests {
         let f = run_pricer(Impl::FftBsm, t);
         let g = run_pricer(Impl::VanillaBsm, t);
         assert!((f - g).abs() < 1e-9 * g.max(1.0));
+    }
+
+    #[test]
+    fn put_impls_match_their_naive_nests() {
+        let t = 256;
+        let params = OptionParams::paper_defaults();
+        let want_bopm = bopm::naive::price(
+            &BopmModel::new(params, t).unwrap(),
+            OptionType::Put,
+            ExerciseStyle::American,
+            bopm::naive::ExecMode::Serial,
+        );
+        let got = run_pricer(Impl::FftBopmPut, t);
+        assert!((got - want_bopm).abs() < 1e-9 * want_bopm, "{got} vs {want_bopm}");
+        let want_topm = topm::naive::price(
+            &TopmModel::new(params, t).unwrap(),
+            OptionType::Put,
+            ExerciseStyle::American,
+            topm::naive::ExecMode::Serial,
+        );
+        let got = run_pricer(Impl::FftTopmPut, t);
+        assert!((got - want_topm).abs() < 1e-9 * want_topm, "{got} vs {want_topm}");
     }
 
     #[test]

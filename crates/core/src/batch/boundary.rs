@@ -34,6 +34,7 @@ use crate::bsm::BsmModel;
 use crate::error::{PricingError, Result};
 use crate::exercise_boundary::{self, BoundaryPoint};
 use crate::params::{OptionParams, OptionType};
+use crate::topm::TopmModel;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 
@@ -79,17 +80,26 @@ fn route(req: &BoundaryRequest, pricer: &BatchPricer) -> Result<Vec<BoundaryPoin
             let model = BopmModel::new(req.params, req.steps)?;
             Ok(exercise_boundary::bopm_put_boundary(&model, cfg, req.samples))
         }
+        (ModelKind::Topm, OptionType::Call) => {
+            let model = TopmModel::new(req.params, req.steps)?;
+            Ok(exercise_boundary::topm_call_boundary(&model, cfg, req.samples))
+        }
+        (ModelKind::Topm, OptionType::Put) => {
+            let model = TopmModel::new(req.params, req.steps)?;
+            Ok(exercise_boundary::topm_put_boundary(&model, cfg, req.samples))
+        }
         (ModelKind::Bsm, OptionType::Put) => {
             let model = BsmModel::new(req.params, req.steps)?;
             Ok(exercise_boundary::bsm_put_boundary(&model, cfg, req.samples))
         }
-        (model, option_type) => Err(PricingError::Unsupported {
-            what: format!(
-                "{model:?} {option_type:?} has no fast boundary-tracking pricer in this \
-                 workspace (the trinomial frontier is dense-only, see \
-                 exercise_boundary::topm_call_boundary_dense)"
-            ),
-        }),
+        (model @ ModelKind::Bsm, option_type @ OptionType::Call) => {
+            Err(PricingError::Unsupported {
+                what: format!(
+                    "{model:?} {option_type:?} has no fast boundary-tracking pricer in this \
+                     workspace (the BSM grid prices puts only)"
+                ),
+            })
+        }
     }
 }
 
@@ -173,12 +183,16 @@ mod tests {
         let book = vec![
             BoundaryRequest::new(ModelKind::Bopm, OptionType::Call, p(), 256, 8),
             BoundaryRequest::new(ModelKind::Bopm, OptionType::Put, p(), 256, 8),
+            BoundaryRequest::new(ModelKind::Topm, OptionType::Call, p(), 256, 8),
+            BoundaryRequest::new(ModelKind::Topm, OptionType::Put, p(), 256, 8),
             BoundaryRequest::new(ModelKind::Bsm, OptionType::Put, zero_div, 256, 8),
         ];
         let got = exercise_boundaries(&pricer, &book);
         let want = vec![
             exercise_boundary::bopm_call_boundary(&BopmModel::new(p(), 256).unwrap(), &cfg, 8),
             exercise_boundary::bopm_put_boundary(&BopmModel::new(p(), 256).unwrap(), &cfg, 8),
+            exercise_boundary::topm_call_boundary(&TopmModel::new(p(), 256).unwrap(), &cfg, 8),
+            exercise_boundary::topm_put_boundary(&TopmModel::new(p(), 256).unwrap(), &cfg, 8),
             exercise_boundary::bsm_put_boundary(&BsmModel::new(zero_div, 256).unwrap(), &cfg, 8),
         ];
         for ((req, g), w) in book.iter().zip(&got).zip(&want) {
@@ -198,7 +212,7 @@ mod tests {
             128,
             4,
         );
-        let unsupported = BoundaryRequest::new(ModelKind::Topm, OptionType::Call, p(), 128, 4);
+        let unsupported = BoundaryRequest::new(ModelKind::Bsm, OptionType::Call, p(), 128, 4);
         let out =
             exercise_boundaries(&pricer, &[good.clone(), bad, good.clone(), unsupported, good]);
         assert!(matches!(out[1], Err(PricingError::InvalidParams { .. })), "{:?}", out[1]);

@@ -13,12 +13,20 @@
 //! * identical quotes (bid/ask pairs, the same contract quoted across
 //!   accounts) advance through identical probe sequences, so their probes
 //!   deduplicate in-batch and re-quoted surfaces are served from the memo;
-//! * per quote, the driver replaces the serial path's pure bisection with a
-//!   **bracket-guarded Illinois (false-position) iteration**: same
-//!   bracketing walk, same attainability checks, same `|price − quote| <
-//!   PRICE_TOL` acceptance, but superlinear convergence — typically 3–4×
-//!   fewer lattice pricings per quote, which is what makes the batch path
-//!   faster even on a single core;
+//! * per quote, the root phase runs **Newton with a lattice vega**: each
+//!   round prices the candidate volatility *and* a bumped neighbour (the
+//!   greeks ladder's finite-difference vega, one extra pricing), and the
+//!   Newton step `σ − f/vega` replaces the next probe whenever it lands
+//!   strictly inside the bracket.  The **bracket-guarded Illinois
+//!   (false-position) iteration** remains as the fallback — flat vega, a
+//!   Newton step outside the bracket, or a failed bump probe all degrade
+//!   gracefully to the previous behaviour.  Same bracketing walk, same
+//!   attainability checks, same `|price − quote| < PRICE_TOL` acceptance as
+//!   the serial inversion, but quadratic convergence: fewer root rounds and
+//!   fewer total lattice pricings per quote than Illinois alone;
+//! * quotes may be **calls or puts**: puts invert over the fast left-cone
+//!   engine (`bopm::fast::price_american_put`) under the identical search
+//!   interval, tolerance, and error contract;
 //! * every quote gets its own `Result`: an unattainable or zero-vega quote
 //!   errors in its own slot exactly like the serial inversion
 //!   (`InvalidParams` / `NoConvergence`) and never poisons the surface.
@@ -47,6 +55,7 @@
 
 use crate::batch::{BatchPricer, ModelKind, PricingRequest};
 use crate::error::{PricingError, Result};
+use crate::greeks::{BUMP_VOL, VOL_BUMP_FLOOR};
 use crate::implied_vol::{stability_seed, MAX_ITERS, PRICE_TOL, VOL_HI, VOL_LO};
 use crate::params::{OptionParams, OptionType};
 
@@ -59,18 +68,21 @@ const RANGE_SLACK: f64 = 1e-9;
 /// inversion's `hi - lo < 1e-12`).
 const BRACKET_EPS: f64 = 1e-12;
 
-/// One implied-volatility quote: the contract, its lattice resolution, and
-/// the observed market price to invert.
+/// One implied-volatility quote: the contract, call or put, its lattice
+/// resolution, and the observed market price to invert.
 ///
-/// The driver prices American **calls** under the binomial lattice — the
-/// same pricer the serial [`crate::implied_vol::american_call_bopm`]
-/// bisects over.  The `volatility` field of `params` is *not* used as data
-/// (every probe overwrites it); it only has to be positive so the
-/// parameters validate.
+/// The driver prices American contracts under the binomial lattice — calls
+/// through the same pricer the serial
+/// [`crate::implied_vol::american_call_bopm`] bisects over, puts through
+/// the fast left-cone engine.  The `volatility` field of `params` is *not*
+/// used as data (every probe overwrites it); it only has to be positive so
+/// the parameters validate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VolQuote {
     /// Contract/market parameters; `volatility` is ignored (see above).
     pub params: OptionParams,
+    /// Call or put (both invert over their fast American BOPM pricer).
+    pub option_type: OptionType,
     /// Lattice time steps for every probe pricing.
     pub steps: usize,
     /// Observed market price to invert.
@@ -78,14 +90,35 @@ pub struct VolQuote {
 }
 
 impl VolQuote {
-    /// A quote for the American BOPM call at `params` priced on a
+    /// A quote for the American BOPM **call** at `params` priced on a
     /// `steps`-step lattice.
     pub fn new(params: OptionParams, steps: usize, market_price: f64) -> Self {
-        VolQuote { params, steps, market_price }
+        VolQuote { params, option_type: OptionType::Call, steps, market_price }
+    }
+
+    /// A quote for the American BOPM **put** at `params` priced on a
+    /// `steps`-step lattice.
+    pub fn put(params: OptionParams, steps: usize, market_price: f64) -> Self {
+        VolQuote { params, option_type: OptionType::Put, steps, market_price }
     }
 }
 
-/// Live bracket of one quote's Illinois iteration.
+/// Volatility bump width of the per-round lattice vega: the greeks ladder's
+/// policy (relative bump, floored so deep-low-vol candidates still get a
+/// resolvable width).
+fn vega_bump(vol: f64) -> f64 {
+    vol.max(VOL_BUMP_FLOOR) * BUMP_VOL
+}
+
+/// Residual magnitude below which the driver stops buying vega bumps: with
+/// `|price − quote|` this small the last probe sits within a few Newton
+/// digits of the root, the bracket endpoint it replaced *is* that probe, and
+/// the Illinois secant through the endpoints converges as fast as Newton
+/// would — so the extra pricing per round no longer pays.
+const NEWTON_ENDGAME: f64 = 1e-5;
+
+/// Live bracket of one quote's root iteration (Newton with a lattice vega,
+/// Illinois as the bracket-guarded fallback).
 #[derive(Debug, Clone, Copy)]
 struct Bracket {
     lo: f64,
@@ -102,6 +135,9 @@ struct Bracket {
     /// 0 = none yet.  Two consecutive same-side replacements trigger the
     /// Illinois halving of the stale endpoint's residual.
     last_side: i8,
+    /// `|price − quote|` of the most recent probe (∞ before the first);
+    /// gates the vega bump via [`NEWTON_ENDGAME`].
+    last_abs_f: f64,
 }
 
 impl Bracket {
@@ -153,6 +189,19 @@ impl State {
             State::Done(_) => None,
         }
     }
+
+    /// The bumped companion volatility for this round's lattice vega, if
+    /// the state is in the root phase and still far enough from the root
+    /// that a Newton step beats the Illinois secant (the bracketing walk
+    /// needs no vega; the endgame spends one pricing per round, not two).
+    fn bump_vol(&self) -> Option<f64> {
+        match self {
+            State::Root(b) if b.last_abs_f >= NEWTON_ENDGAME => {
+                Some(b.pending + vega_bump(b.pending))
+            }
+            _ => None,
+        }
+    }
 }
 
 fn no_bracket_error(steps: usize, reason: &str) -> PricingError {
@@ -195,14 +244,24 @@ fn enter_root(quote: &VolQuote, lo: f64, p_lo: f64, hi: f64, p_hi: f64) -> State
             iterations: 0,
         }));
     }
-    let mut bracket =
-        Bracket { lo, hi, f_lo: p_lo - m, f_hi: p_hi - m, pending: 0.0, iters: 0, last_side: 0 };
+    let mut bracket = Bracket {
+        lo,
+        hi,
+        f_lo: p_lo - m,
+        f_hi: p_hi - m,
+        pending: 0.0,
+        iters: 0,
+        last_side: 0,
+        last_abs_f: f64::INFINITY,
+    };
     bracket.pending = bracket.candidate();
     State::Root(bracket)
 }
 
-/// Advances one quote's state with this round's probe result.
-fn advance(state: State, quote: &VolQuote, probe: Result<f64>) -> State {
+/// Advances one quote's state with this round's probe result(s).  `bump` is
+/// the bumped companion probe (root phase only); a failed or missing bump
+/// never kills the quote — it only forfeits the Newton step for this round.
+fn advance(state: State, quote: &VolQuote, probe: Result<f64>, bump: Option<Result<f64>>) -> State {
     match state {
         State::WalkLo { lo } => match probe {
             Ok(p_lo) if lo >= VOL_HI => enter_root(quote, lo, p_lo, lo, p_lo),
@@ -231,6 +290,7 @@ fn advance(state: State, quote: &VolQuote, probe: Result<f64>) -> State {
             if f.abs() < PRICE_TOL {
                 return State::Done(Ok(b.pending));
             }
+            b.last_abs_f = f.abs();
             b.iters += 1;
             if b.iters >= MAX_ITERS {
                 return State::Done(Err(PricingError::NoConvergence {
@@ -273,7 +333,16 @@ fn advance(state: State, quote: &VolQuote, probe: Result<f64>) -> State {
                 b.f_lo = f;
                 b.last_side = -1;
             }
-            b.pending = b.candidate();
+            // Newton step from the lattice vega when the bump probe priced
+            // and the step lands strictly inside the updated bracket;
+            // otherwise the Illinois/bisection candidate (flat vega, an
+            // out-of-bracket step, and a failed bump all fall back here).
+            let newton = bump.and_then(|r| r.ok()).and_then(|p_up| {
+                let vega = (p_up - p) / vega_bump(b.pending);
+                let x = b.pending - f / vega;
+                (vega > 0.0 && x.is_finite() && x > b.lo && x < b.hi).then_some(x)
+            });
+            b.pending = newton.unwrap_or_else(|| b.candidate());
             State::Root(b)
         }
         State::Done(_) => state,
@@ -285,7 +354,7 @@ fn advance(state: State, quote: &VolQuote, probe: Result<f64>) -> State {
 fn probe_request(quote: &VolQuote, vol: f64) -> PricingRequest {
     PricingRequest::american(
         ModelKind::Bopm,
-        OptionType::Call,
+        quote.option_type,
         OptionParams { volatility: vol, ..quote.params },
         quote.steps,
     )
@@ -295,12 +364,13 @@ fn probe_request(quote: &VolQuote, vol: f64) -> PricingRequest {
 /// one batch per lockstep round.
 ///
 /// Returns one `Result` per quote, order-preserving: the volatility whose
-/// American BOPM call price reproduces `market_price` to within the serial
-/// inversion's tolerance, or the same error classes the serial
+/// American BOPM call (or put) price reproduces `market_price` to within
+/// the serial inversion's tolerance, or the same error classes the serial
 /// [`crate::implied_vol::american_call_bopm`] reports (`InvalidParams` for
 /// bad contracts and unattainable quotes, `NoConvergence` for zero-vega
 /// quotes).  Each round submits the current probe of every unresolved quote
-/// as a single batch, so probes price in parallel and shared probes
+/// (plus a bumped companion for the lattice-vega Newton step once a bracket
+/// exists) as a single batch, so probes price in parallel and shared probes
 /// deduplicate across quotes.
 pub fn implied_vol_surface(pricer: &BatchPricer, quotes: &[VolQuote]) -> Vec<Result<f64>> {
     let mut states: Vec<State> = quotes
@@ -311,22 +381,29 @@ pub fn implied_vol_surface(pricer: &BatchPricer, quotes: &[VolQuote]) -> Vec<Res
         })
         .collect();
     loop {
-        // Gather this round's probes (one per unresolved quote).
-        let mut who: Vec<usize> = Vec::new();
+        // Gather this round's probes: one per unresolved quote, plus the
+        // bumped vega companion for quotes in the root phase.
+        let mut who: Vec<(usize, bool)> = Vec::new();
         let mut probes: Vec<PricingRequest> = Vec::new();
         for (i, state) in states.iter().enumerate() {
             if let Some(vol) = state.probe_vol() {
-                who.push(i);
                 probes.push(probe_request(&quotes[i], vol));
+                let bump = state.bump_vol();
+                if let Some(bv) = bump {
+                    probes.push(probe_request(&quotes[i], bv));
+                }
+                who.push((i, bump.is_some()));
             }
         }
         if probes.is_empty() {
             break;
         }
-        let prices = pricer.price_batch(&probes);
-        for (i, price) in who.into_iter().zip(prices) {
+        let mut prices = pricer.price_batch(&probes).into_iter();
+        for (i, has_bump) in who {
+            let main = prices.next().expect("one result per probe");
+            let bump = has_bump.then(|| prices.next().expect("one result per probe"));
             let state = std::mem::replace(&mut states[i], State::Done(Ok(f64::NAN)));
-            states[i] = advance(state, &quotes[i], price);
+            states[i] = advance(state, &quotes[i], main, bump);
         }
     }
     states
@@ -386,9 +463,11 @@ mod tests {
 
     #[test]
     fn surface_uses_far_fewer_probes_than_serial_bisection() {
-        // The whole point of the Illinois driver: the memo-miss count *is*
-        // the number of lattice pricings.  Serial bisection spends ~50 per
-        // quote; the surface driver must stay well under half that.
+        // The memo-miss count *is* the number of lattice pricings.  Serial
+        // bisection spends ~50 per quote; Illinois alone took ~14; the
+        // Newton-with-vega driver (2 pricings per root round, quadratic
+        // convergence) must land well below Illinois even counting its bump
+        // probes.
         let pricer = BatchPricer::new(EngineConfig::default());
         let quotes: Vec<VolQuote> = [100.0, 120.0, 140.0]
             .iter()
@@ -398,9 +477,59 @@ mod tests {
         assert!(out.iter().all(Result::is_ok));
         let probes_per_quote = pricer.memo_stats().misses as f64 / quotes.len() as f64;
         assert!(
-            probes_per_quote < 25.0,
-            "expected < 25 pricings per quote, got {probes_per_quote}"
+            probes_per_quote < 12.0,
+            "expected < 12 pricings per quote, got {probes_per_quote}"
         );
+    }
+
+    fn put_quote_at(params: OptionParams, true_vol: f64, steps: usize) -> VolQuote {
+        let cfg = EngineConfig::default();
+        let priced = OptionParams { volatility: true_vol, ..params };
+        let market = fast::price_american_put(&BopmModel::new(priced, steps).unwrap(), &cfg);
+        VolQuote::put(params, steps, market)
+    }
+
+    #[test]
+    fn put_quotes_roundtrip_through_the_left_cone_engine() {
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let mut quotes = Vec::new();
+        let mut want = Vec::new();
+        for (i, &strike) in [110.0, 130.0, 150.0].iter().enumerate() {
+            let vol = 0.18 + 0.05 * i as f64;
+            quotes.push(put_quote_at(OptionParams { strike, ..p() }, vol, 200));
+            want.push(vol);
+        }
+        let got = implied_vol_surface(&pricer, &quotes);
+        for ((q, res), want) in quotes.iter().zip(&got).zip(&want) {
+            let vol = res.as_ref().unwrap_or_else(|e| panic!("K={}: {e}", q.params.strike));
+            assert!((vol - want).abs() < 1e-6, "K={}: {vol} vs {want}", q.params.strike);
+        }
+    }
+
+    #[test]
+    fn mixed_call_put_surface_resolves_every_slot() {
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let quotes = vec![
+            quote_at(p(), 0.22, 128),
+            put_quote_at(p(), 0.22, 128),
+            quote_at(OptionParams { strike: 110.0, ..p() }, 0.3, 128),
+            put_quote_at(OptionParams { strike: 150.0, ..p() }, 0.27, 128),
+        ];
+        let out = implied_vol_surface(&pricer, &quotes);
+        for (q, res) in quotes.iter().zip(&out) {
+            let vol = res.as_ref().unwrap_or_else(|e| panic!("{q:?}: {e}"));
+            assert!(*vol > 0.1 && *vol < 0.5, "{q:?}: {vol}");
+        }
+    }
+
+    #[test]
+    fn unattainable_put_quote_errors_in_its_own_slot() {
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let good = put_quote_at(p(), 0.2, 128);
+        let huge = VolQuote::put(p(), 128, p().strike * 10.0);
+        let out = implied_vol_surface(&pricer, &[good, huge]);
+        assert!(out[0].is_ok(), "{:?}", out[0]);
+        assert!(matches!(&out[1], Err(PricingError::InvalidParams { .. })), "{:?}", out[1]);
     }
 
     #[test]

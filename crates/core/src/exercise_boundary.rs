@@ -9,7 +9,6 @@
 use crate::bopm::BopmModel;
 use crate::bsm::BsmModel;
 use crate::engine::EngineConfig;
-use crate::params::OptionType;
 use crate::topm::TopmModel;
 
 /// One sample of the early-exercise frontier.
@@ -91,19 +90,45 @@ pub fn bsm_put_boundary(
         .collect()
 }
 
-/// Early-exercise frontier of an American **call** under TOPM, via the dense
-/// reference sweep (the trinomial fast path does not track samples; this is
-/// `Θ(T²)` and intended for validation and plotting at moderate `T`).
-pub fn topm_call_boundary_dense(model: &TopmModel) -> Vec<BoundaryPoint> {
+/// Early-exercise frontier of an American **call** under TOPM, via the fast
+/// engine's boundary tracking (one `O(T log² T)` pricing pass — this
+/// replaces the old `Θ(T²)` dense sweep `topm_call_boundary_dense`).
+pub fn topm_call_boundary(
+    model: &TopmModel,
+    cfg: &EngineConfig,
+    samples: usize,
+) -> Vec<BoundaryPoint> {
     let t = model.steps();
     let expiry = model.params().expiry;
-    let (_, raw) = crate::topm::naive::price_american_with_boundary(model, OptionType::Call);
+    let (_, raw) = crate::topm::fast::price_with_boundary_samples(model, cfg, samples);
     raw.into_iter()
-        .enumerate()
         .map(|(i, j)| BoundaryPoint {
             time_step: i,
             time_years: expiry * i as f64 / t as f64,
+            // First green column is j+1; a boundary at/over the trinomial
+            // row width 2i means the whole row continues.
             critical_price: (j < 2 * i as i64).then(|| model.node_price(i, j + 1)),
+        })
+        .collect()
+}
+
+/// Early-exercise frontier of an American **put** under TOPM, via the
+/// left-cone engine's boundary tracking (one fast pricing pass).
+pub fn topm_put_boundary(
+    model: &TopmModel,
+    cfg: &EngineConfig,
+    samples: usize,
+) -> Vec<BoundaryPoint> {
+    let t = model.steps();
+    let expiry = model.params().expiry;
+    let (_, raw) = crate::topm::fast::price_put_with_boundary_samples(model, cfg, samples);
+    raw.into_iter()
+        .map(|(i, f)| BoundaryPoint {
+            time_step: i,
+            time_years: expiry * i as f64 / t as f64,
+            // Last green column is f (clamped to the row width 2i); f < 0
+            // means no exercise region in the row.
+            critical_price: (f >= 0).then(|| model.node_price(i, f.min(2 * i as i64))),
         })
         .collect()
 }
@@ -169,9 +194,29 @@ mod tests {
     fn trinomial_boundary_critical_prices_above_strike() {
         let p = OptionParams::paper_defaults();
         let tri = TopmModel::new(p, 400).unwrap();
-        let pts = topm_call_boundary_dense(&tri);
+        let pts = topm_call_boundary(&tri, &EngineConfig::default(), 16);
+        let seen = pts.iter().filter(|p| p.critical_price.is_some()).count();
+        assert!(seen > 4, "expected a visible exercise region");
         for pt in pts.iter().filter(|p| p.critical_price.is_some()) {
             assert!(pt.critical_price.unwrap() >= p.strike * 0.999);
+        }
+    }
+
+    #[test]
+    fn trinomial_put_boundary_sits_below_strike_and_decreases_with_tau() {
+        let m = TopmModel::new(OptionParams::paper_defaults(), 2048).unwrap();
+        let pts = topm_put_boundary(&m, &EngineConfig::default(), 32);
+        // Samples come expiry-first; the critical price decreases as
+        // time-to-expiry grows, to within the trinomial lattice quantisation
+        // (the boundary may drop up to two columns per step, factor u²).
+        let prices: Vec<f64> = pts.iter().filter_map(|p| p.critical_price).collect();
+        assert!(prices.len() > 4, "expected a visible exercise region");
+        let slack = m.up().powi(2) * (1.0 + 1e-9);
+        for w in prices.windows(2) {
+            assert!(w[1] <= w[0] * slack, "boundary not decreasing in tau: {w:?}");
+        }
+        for &x in &prices {
+            assert!(x <= m.params().strike * (1.0 + 1e-12), "critical {x} above strike");
         }
     }
 }

@@ -10,7 +10,7 @@
 use super::european::price_european_fft;
 use super::TopmModel;
 use crate::engine::left_cone::{self, GreenPrefixRow};
-use crate::engine::right_cone::solve_to_root;
+use crate::engine::right_cone::{advance_red_row, solve_to_root};
 use crate::engine::{EngineConfig, ExpObstacle, RedRow};
 use crate::params::OptionType;
 use amopt_stencil::Segment;
@@ -98,6 +98,46 @@ pub fn price_american_call(model: &TopmModel, cfg: &EngineConfig) -> f64 {
     solve_to_root(&model.kernel(), &obstacle, row, t_total, 0, cfg)
 }
 
+/// American call price plus the early-exercise boundary sampled at `rows`
+/// roughly equally spaced time steps (the trinomial mirror of
+/// [`crate::bopm::fast::price_with_boundary_samples`]).
+///
+/// Returns `(price, samples)`; each sample is `(i, j_i)` with grid row `i`
+/// (market time step) and *extended-grid* boundary column `j_i` (−1 = all
+/// green; values at or above the row width `2i` mean the triangle row is
+/// all red).  One fast `O(T log² T)` pricing pass — this retires the old
+/// `Θ(T²)` dense sweep as the only way to see a trinomial frontier.
+pub fn price_with_boundary_samples(
+    model: &TopmModel,
+    cfg: &EngineConfig,
+    rows: usize,
+) -> (f64, Vec<(usize, i64)>) {
+    let t_total = model.steps() as u64;
+    let mut samples = Vec::with_capacity(rows + 2);
+    samples.push((model.steps(), model.leaf_call_boundary()));
+    if model.params().dividend_yield == 0.0 || t_total == 1 {
+        let price = price_american_call(model, cfg);
+        return (price, samples);
+    }
+    let kernel = model.kernel();
+    let obstacle = call_obstacle(model);
+    let mut cur = first_step_row(model);
+    samples.push((model.steps() - 1, cur.boundary));
+    let chunk = (t_total / rows.max(1) as u64).max(1);
+    while cur.t < t_total && !cur.is_all_green() {
+        let h = chunk.min(t_total - cur.t);
+        cur = advance_red_row(&kernel, &obstacle, &cur, h, cfg);
+        samples.push((model.steps() - cur.t as usize, cur.boundary));
+    }
+    let green_root = model.exercise_call(0, 0);
+    let price = if cur.t == t_total && cur.boundary >= 0 && cur.reds.contains(0) {
+        cur.reds.get(0) + green_root
+    } else {
+        green_root
+    };
+    (price, samples)
+}
+
 // ---------------------------------------------------------------------------
 // American put — the left-cone engine.  On the trinomial lattice a fixed
 // column gains a full factor of `u` per backward step, so the put boundary
@@ -156,6 +196,45 @@ pub fn price_american_put(model: &TopmModel, cfg: &EngineConfig) -> f64 {
     }
     let green = put_green(model);
     left_cone::solve_to_root(&model.kernel(), &green, row, t_total, cfg)
+}
+
+/// American put price plus the early-exercise boundary sampled at `rows`
+/// roughly equally spaced time steps (the trinomial mirror of
+/// [`crate::bopm::fast::price_put_with_boundary_samples`]).
+///
+/// Returns `(price, samples)`; each sample is `(i, f_i)` with grid row `i`
+/// (market time step) and the last green (exercise-optimal) column `f_i`:
+/// `−1` means no exercise region in the row, values at or above the row
+/// width `2i` mean the whole row exercises.
+pub fn price_put_with_boundary_samples(
+    model: &TopmModel,
+    cfg: &EngineConfig,
+    rows: usize,
+) -> (f64, Vec<(usize, i64)>) {
+    let t_total = model.steps() as u64;
+    let mut samples = Vec::with_capacity(rows + 2);
+    samples.push((model.steps(), model.leaf_call_boundary()));
+    if model.params().rate == 0.0 || t_total == 1 {
+        let price = price_american_put(model, cfg);
+        return (price, samples);
+    }
+    let kernel = model.kernel();
+    let green = put_green(model);
+    let mut cur = first_step_put_row(model);
+    samples.push((model.steps() - 1, cur.boundary));
+    let chunk = (t_total / rows.max(1) as u64).max(1);
+    while cur.t < t_total && !cur.is_all_green() {
+        let h = chunk.min(t_total - cur.t);
+        cur = left_cone::advance_green_prefix(&kernel, &green, &cur, h, cfg);
+        samples.push((model.steps() - cur.t as usize, cur.boundary));
+    }
+    let price = if cur.t < t_total {
+        // Green absorbs through the apex.
+        model.exercise_put(0, 0)
+    } else {
+        cur.value_at(&green, 0)
+    };
+    (price, samples)
 }
 
 #[cfg(test)]
@@ -315,6 +394,76 @@ mod tests {
             prev = Some(f);
             row = next;
         }
+    }
+
+    #[test]
+    fn boundary_samples_match_naive_boundary() {
+        let m = TopmModel::new(OptionParams::paper_defaults(), 512).unwrap();
+        let (_, dense) = naive::price_american_with_boundary(&m, OptionType::Call);
+        let (price, samples) = price_with_boundary_samples(&m, &EngineConfig::default(), 16);
+        let want = naive::price(&m, OptionType::Call, ExerciseStyle::American, ExecMode::Serial);
+        assert!((price - want).abs() < 1e-9 * want.max(1.0));
+        assert!(samples.len() > 10, "expected a sampled frontier");
+        for (i, j) in samples {
+            if j <= 2 * i as i64 {
+                assert_eq!(j, dense[i], "row {i}");
+            } else {
+                // Extended boundary beyond the hypotenuse ⇒ triangle row all red.
+                assert_eq!(dense[i], 2 * i as i64, "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn put_boundary_samples_match_dense_tracking() {
+        let m = TopmModel::new(OptionParams::paper_defaults(), 512).unwrap();
+        // Dense last-green tracking: largest j with exercise ≥ continuation.
+        let t = m.steps();
+        let (s0, s1, s2) = m.weights();
+        let mut row: Vec<f64> = (0..=2 * t as i64).map(|j| m.exercise_put(t, j).max(0.0)).collect();
+        let mut dense = vec![-1i64; t]; // dense[i] = boundary of row i
+        for i in (0..t).rev() {
+            let mut f = -1i64;
+            let mut next = Vec::with_capacity(2 * i + 1);
+            for j in 0..=2 * i as i64 {
+                let cont =
+                    s0 * row[j as usize] + s1 * row[j as usize + 1] + s2 * row[j as usize + 2];
+                let ex = m.exercise_put(i, j);
+                if ex >= cont {
+                    f = j;
+                }
+                next.push(cont.max(ex));
+            }
+            dense[i] = f;
+            row = next;
+        }
+        let (price, samples) = price_put_with_boundary_samples(&m, &EngineConfig::default(), 16);
+        let want = naive::price(&m, OptionType::Put, ExerciseStyle::American, ExecMode::Serial);
+        assert!((price - want).abs() < 1e-9 * want.max(1.0));
+        assert!(samples.len() > 10, "expected a sampled frontier");
+        for &(i, f) in &samples[1..] {
+            // Expiry sample (index 0) uses the leaf formula; engine rows are
+            // compared against the dense tracker directly.
+            assert_eq!(f, dense[i], "row {i}");
+        }
+    }
+
+    #[test]
+    fn boundary_sampling_price_is_bitwise_the_plain_fast_price_on_shortcuts() {
+        // Y = 0 call and R = 0 put short-circuit to the European FFT pass;
+        // the sampling wrappers must return exactly the plain price and the
+        // lone expiry sample.
+        let cfg = EngineConfig::default();
+        let y0 = OptionParams { dividend_yield: 0.0, ..OptionParams::paper_defaults() };
+        let m = TopmModel::new(y0, 300).unwrap();
+        let (p, s) = price_with_boundary_samples(&m, &cfg, 8);
+        assert_eq!(p.to_bits(), price_american_call(&m, &cfg).to_bits());
+        assert_eq!(s.len(), 1);
+        let r0 = OptionParams { rate: 0.0, ..OptionParams::paper_defaults() };
+        let m = TopmModel::new(r0, 300).unwrap();
+        let (p, s) = price_put_with_boundary_samples(&m, &cfg, 8);
+        assert_eq!(p.to_bits(), price_american_put(&m, &cfg).to_bits());
+        assert_eq!(s.len(), 1);
     }
 
     #[test]

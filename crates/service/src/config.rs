@@ -1,0 +1,66 @@
+//! Service tuning knobs.
+
+use amopt_core::batch::{DEFAULT_MEMO_CAPACITY, DEFAULT_MEMO_SHARDS};
+use amopt_core::EngineConfig;
+use std::time::Duration;
+
+/// Configuration of a [`QuoteService`](crate::QuoteService).
+///
+/// The two coalescing knobs trade latency for batch efficiency:
+/// `max_batch` caps how much work one flush carries (bounding per-request
+/// queueing delay under load), `max_wait` caps how long a lone request
+/// waits for company (bounding latency when traffic is thin).  A batch
+/// flushes at whichever limit is hit first.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Engine configuration every routed pricer runs under.
+    pub engine: EngineConfig,
+    /// Flush a batch once it holds this many requests.
+    pub max_batch: usize,
+    /// Flush a batch once its oldest request has waited this long.
+    pub max_wait: Duration,
+    /// Submission-queue capacity; submits beyond it are rejected with
+    /// [`ServiceError::Overloaded`](crate::ServiceError::Overloaded).
+    pub queue_depth: usize,
+    /// Worker threads assembling and executing batches.  Each worker
+    /// executes its batch through the shared `BatchPricer`, whose internal
+    /// fan-out runs on the `amopt-parallel` fork-join pool; more than one
+    /// worker lets a fresh batch coalesce while the previous one executes.
+    pub workers: usize,
+    /// Maximum requests a single connection / client handle may have in
+    /// flight; submits beyond it are rejected with `Overloaded`.
+    pub per_conn_inflight: usize,
+    /// Total memo capacity passed through to the shared `BatchPricer`
+    /// (`0` disables cross-batch memoization).
+    pub memo_capacity: usize,
+    /// Memo shard count passed through to the shared `BatchPricer`.
+    pub memo_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            engine: EngineConfig::default(),
+            max_batch: 256,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 4096,
+            workers: 2,
+            per_conn_inflight: 1024,
+            memo_capacity: DEFAULT_MEMO_CAPACITY,
+            memo_shards: DEFAULT_MEMO_SHARDS,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Normalises degenerate values (zero batch size, zero workers, …) to
+    /// their smallest working settings.
+    pub(crate) fn normalised(mut self) -> Self {
+        self.max_batch = self.max_batch.max(1);
+        self.queue_depth = self.queue_depth.max(1);
+        self.workers = self.workers.max(1);
+        self.per_conn_inflight = self.per_conn_inflight.max(1);
+        self.memo_shards = self.memo_shards.max(1);
+        self
+    }
+}

@@ -1,0 +1,66 @@
+//! # amopt-service
+//!
+//! A batch-coalescing quote service front-end over
+//! [`BatchPricer`](amopt_core::batch::BatchPricer) — the layer between "fast
+//! kernel" and "system under traffic".
+//!
+//! The batch subsystem wins by deduplication, memoization, and lockstep
+//! parallel fan-out — but only when callers hand it *batches*.  Production
+//! traffic arrives as independent quotes.  This crate manufactures the
+//! batches: requests from any number of clients land in one bounded
+//! submission queue, a worker pool coalesces them by **deadline and size**
+//! (a batch flushes when it reaches [`ServiceConfig::max_batch`] requests
+//! or when its oldest request has waited [`ServiceConfig::max_wait`],
+//! whichever comes first) and executes each batch through one shared
+//! `BatchPricer`, so co-arriving quotes share dedup, the sharded memo, and
+//! the fork-join pool exactly as a hand-built batch would.
+//!
+//! Load shedding is explicit: when the submission queue is at
+//! [`ServiceConfig::queue_depth`] or a connection exceeds its in-flight cap,
+//! the submit fails *immediately* with [`ServiceError::Overloaded`] — no
+//! silent latency cliff, no unbounded buffering.  Shutdown is graceful:
+//! accepted requests are drained and answered before the workers exit.
+//!
+//! Two front doors share the same queue:
+//!
+//! * the in-process [`Client`] handle (`service.client()`), for embedding
+//!   the service in another Rust process;
+//! * a TCP listener ([`QuoteServer`]) speaking a line-delimited JSON wire
+//!   protocol ([`wire`]), hand-rolled in this crate so the container needs
+//!   no external dependencies.
+//!
+//! ```
+//! use amopt_service::{QuoteService, ServiceConfig, ServiceRequest, ServiceResponse};
+//! use amopt_core::batch::{ModelKind, PricingRequest};
+//! use amopt_core::{OptionParams, OptionType};
+//!
+//! let service = QuoteService::start(ServiceConfig::default());
+//! let client = service.client();
+//! let req = PricingRequest::american(
+//!     ModelKind::Bopm,
+//!     OptionType::Call,
+//!     OptionParams::paper_defaults(),
+//!     252,
+//! );
+//! let ServiceResponse::Price(price) = client.call(ServiceRequest::Price(req)).unwrap() else {
+//!     panic!("price request returns a price response");
+//! };
+//! assert!((price - 8.32).abs() < 0.05);
+//! service.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod queue;
+mod tcp;
+mod types;
+pub mod wire;
+
+pub use config::ServiceConfig;
+pub use queue::{Client, QuoteService, Ticket};
+pub use tcp::{QuoteServer, TcpQuoteClient};
+pub use types::{BatchHistogram, ServiceError, ServiceRequest, ServiceResponse, ServiceStats};
+
+/// Result alias for service submissions.
+pub type ServiceResult = std::result::Result<ServiceResponse, ServiceError>;

@@ -1,0 +1,651 @@
+//! The coalescing core: bounded submission queue, deadline/size batcher,
+//! worker pool, and the in-process client handle.
+//!
+//! ## Queue lifecycle
+//!
+//! 1. **Submit.**  A [`Client`] wraps the request and a fresh completion
+//!    slot into a queue entry.  Submission fails fast — with
+//!    [`ServiceError::Overloaded`] — when the bounded queue is full or the
+//!    client is at its in-flight cap; nothing is ever silently dropped or
+//!    unboundedly buffered.
+//! 2. **Coalesce.**  An idle worker adopts the queue head and waits until
+//!    the queue holds [`max_batch`](crate::ServiceConfig::max_batch)
+//!    requests *or* the head has aged
+//!    [`max_wait`](crate::ServiceConfig::max_wait), whichever first, then
+//!    drains up to `max_batch` entries in arrival order.
+//! 3. **Execute.**  The drained batch is grouped by request kind and each
+//!    group runs through its batch-native driver over the *shared*
+//!    [`BatchPricer`] — one `price_batch` for prices, one fanned greeks
+//!    ladder, one lockstep surface inversion — so co-batched requests share
+//!    in-batch dedup and every request shares the cross-batch memo.
+//! 4. **Complete.**  Each entry's slot receives its own `Result`; waiting
+//!    clients wake.  Batch size, queue depth, and rejection counters feed
+//!    [`ServiceStats`](crate::ServiceStats).
+//!
+//! Shutdown flips a flag (new submits fail with
+//! [`ServiceError::ShuttingDown`]), wakes every worker, and joins them;
+//! workers drain the remaining queue — answering every accepted request —
+//! before exiting.
+
+use crate::config::ServiceConfig;
+use crate::types::{BatchHistogram, ServiceError, ServiceRequest, ServiceResponse, ServiceStats};
+use crate::ServiceResult;
+use amopt_core::batch::surface::{implied_vol_surface, VolQuote};
+use amopt_core::batch::{greeks as batch_greeks, BatchPricer, PricingRequest};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Completion slot of one submitted request.
+#[derive(Debug)]
+struct Slot {
+    done: Mutex<Option<ServiceResult>>,
+    ready: Condvar,
+}
+
+impl Slot {
+    fn new() -> Arc<Self> {
+        Arc::new(Slot { done: Mutex::new(None), ready: Condvar::new() })
+    }
+
+    fn fill(&self, result: ServiceResult) {
+        let mut done = self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *done = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> ServiceResult {
+        let mut done = self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if let Some(result) = done.take() {
+                return result;
+            }
+            done = self.ready.wait(done).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// Releases one unit of a client's in-flight budget when the request
+/// completes (dropped by the worker after filling the slot, or by the
+/// submit path on rejection).
+#[derive(Debug)]
+struct InflightPermit(Arc<AtomicUsize>);
+
+impl Drop for InflightPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+#[derive(Debug)]
+struct Pending {
+    request: ServiceRequest,
+    slot: Arc<Slot>,
+    enqueued: Instant,
+    _permit: InflightPermit,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    queue: VecDeque<Pending>,
+    shutdown: bool,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_inflight: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    batches: AtomicU64,
+    batch_hist: [AtomicU64; crate::types::BATCH_HIST_BUCKETS],
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: ServiceConfig,
+    pricer: BatchPricer,
+    state: Mutex<QueueState>,
+    /// Signalled on every enqueue and on shutdown.
+    work: Condvar,
+    counters: Counters,
+}
+
+/// The batch-coalescing quote service.  Start one with
+/// [`QuoteService::start`], hand out [`Client`]s, and shut it down with
+/// [`QuoteService::shutdown`] (also invoked on drop).
+#[derive(Debug)]
+pub struct QuoteService {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl QuoteService {
+    /// Starts the worker pool and returns the running service.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let cfg = cfg.normalised();
+        let pricer = BatchPricer::with_memo_config(cfg.engine, cfg.memo_capacity, cfg.memo_shards);
+        let shared = Arc::new(Shared {
+            cfg,
+            pricer,
+            state: Mutex::new(QueueState::default()),
+            work: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("amopt-service-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        QuoteService { shared, workers: Mutex::new(workers) }
+    }
+
+    /// A new client handle with its own in-flight budget
+    /// ([`ServiceConfig::per_conn_inflight`]).  Handles are cheap; give
+    /// each connection or logical caller its own.
+    pub fn client(&self) -> Client {
+        Client { shared: Arc::clone(&self.shared), inflight: Arc::new(AtomicUsize::new(0)) }
+    }
+
+    /// The configuration the service was started with (normalised).
+    pub fn config(&self) -> &ServiceConfig {
+        &self.shared.cfg
+    }
+
+    /// Point-in-time counters: queue depth, batch-size histogram, memo hit
+    /// rate, rejection counts.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        let queue_depth = self.shared.state.lock().map(|s| s.queue.len()).unwrap_or_default();
+        let mut hist = BatchHistogram::default();
+        for (slot, counter) in hist.0.iter_mut().zip(&c.batch_hist) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        ServiceStats {
+            queue_depth,
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected_queue_full: c.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_inflight: c.rejected_inflight.load(Ordering::Relaxed),
+            rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batch_sizes: hist,
+            memo: self.shared.pricer.memo_stats(),
+        }
+    }
+
+    /// Stops accepting new requests, drains and answers everything already
+    /// accepted, and joins the workers.  Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut state =
+                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            state.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        let mut workers = self.workers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for QuoteService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// In-process handle for submitting quotes to a [`QuoteService`].
+///
+/// Cloning shares the in-flight budget; use
+/// [`QuoteService::client`] for an independent one.
+#[derive(Debug, Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+    inflight: Arc<AtomicUsize>,
+}
+
+impl Client {
+    /// Submits a request without waiting; the returned [`Ticket`] resolves
+    /// when the coalesced batch containing the request executes.
+    ///
+    /// Fails fast with [`ServiceError::Overloaded`] when this client is at
+    /// its in-flight cap or the submission queue is full, and with
+    /// [`ServiceError::ShuttingDown`] once shutdown has begun.
+    pub fn submit(&self, request: ServiceRequest) -> Result<Ticket, ServiceError> {
+        let shared = &self.shared;
+        // In-flight cap first: it is client-local, so a saturated client
+        // cannot even contend on the queue lock.
+        let cap = shared.cfg.per_conn_inflight;
+        if self
+            .inflight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| (v < cap).then_some(v + 1))
+            .is_err()
+        {
+            shared.counters.rejected_inflight.fetch_add(1, Ordering::Relaxed);
+            return Err(ServiceError::Overloaded { what: "per-connection in-flight cap" });
+        }
+        let permit = InflightPermit(Arc::clone(&self.inflight));
+        let slot = Slot::new();
+        {
+            let mut state = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if state.shutdown {
+                drop(state);
+                shared.counters.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::ShuttingDown);
+            }
+            if state.queue.len() >= shared.cfg.queue_depth {
+                drop(state);
+                shared.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                return Err(ServiceError::Overloaded { what: "submission queue full" });
+            }
+            state.queue.push_back(Pending {
+                request,
+                slot: Arc::clone(&slot),
+                enqueued: Instant::now(),
+                _permit: permit,
+            });
+        }
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.work.notify_one();
+        Ok(Ticket { slot })
+    }
+
+    /// Submits a request and blocks for its response.
+    pub fn call(&self, request: ServiceRequest) -> ServiceResult {
+        self.submit(request)?.wait()
+    }
+
+    /// Prices one contract through the service.
+    pub fn price(&self, request: PricingRequest) -> Result<f64, ServiceError> {
+        match self.call(ServiceRequest::Price(request))? {
+            ServiceResponse::Price(p) => Ok(p),
+            other => unreachable!("price request answered with {other:?}"),
+        }
+    }
+
+    /// Full greeks ladder for one contract through the service.
+    pub fn greeks(
+        &self,
+        request: PricingRequest,
+    ) -> Result<amopt_core::greeks::Greeks, ServiceError> {
+        match self.call(ServiceRequest::Greeks(request))? {
+            ServiceResponse::Greeks(g) => Ok(g),
+            other => unreachable!("greeks request answered with {other:?}"),
+        }
+    }
+
+    /// Inverts one implied-volatility quote through the service.
+    pub fn implied_vol(&self, quote: VolQuote) -> Result<f64, ServiceError> {
+        match self.call(ServiceRequest::ImpliedVol(quote))? {
+            ServiceResponse::ImpliedVol(v) => Ok(v),
+            other => unreachable!("implied-vol request answered with {other:?}"),
+        }
+    }
+
+    /// Requests currently in flight on this handle.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.load(Ordering::Acquire)
+    }
+}
+
+/// A pending response; resolve it with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<Slot>,
+}
+
+impl Ticket {
+    /// Blocks until the coalesced batch containing this request has
+    /// executed and returns the request's own result.
+    pub fn wait(self) -> ServiceResult {
+        self.slot.wait()
+    }
+}
+
+/// One worker: adopt the queue head, coalesce to deadline or size, drain,
+/// execute, repeat — until shutdown *and* an empty queue.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            // Phase 1: wait for work (or exit once shut down and drained).
+            loop {
+                if !state.queue.is_empty() {
+                    break;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            // Phase 2: coalesce until the batch is full or the head's
+            // deadline passes.  Shutdown flushes immediately: latency no
+            // longer matters, only draining does.
+            let deadline = state.queue.front().expect("non-empty").enqueued + shared.cfg.max_wait;
+            while state.queue.len() < shared.cfg.max_batch && !state.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (s, _timeout) = shared
+                    .work
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = s;
+                if state.queue.is_empty() {
+                    // Another worker drained the queue while this one slept;
+                    // nothing left to coalesce around.
+                    break;
+                }
+            }
+            if state.queue.is_empty() {
+                continue;
+            }
+            // Phase 3: drain up to max_batch entries in arrival order.
+            let take = state.queue.len().min(shared.cfg.max_batch);
+            state.queue.drain(..take).collect::<Vec<_>>()
+        };
+        execute(shared, batch);
+    }
+}
+
+/// Executes one drained batch: group by request kind, run each group
+/// through its batch-native driver over the shared pricer, scatter results
+/// into the slots.
+fn execute(shared: &Shared, batch: Vec<Pending>) {
+    let c = &shared.counters;
+    c.batches.fetch_add(1, Ordering::Relaxed);
+    c.batch_hist[BatchHistogram::bucket_of(batch.len())].fetch_add(1, Ordering::Relaxed);
+
+    // Group by request kind, tracking batch indices only — the request
+    // payloads are cloned exactly once, into the driver's input slice.
+    let mut prices: Vec<usize> = Vec::new();
+    let mut greeks: Vec<usize> = Vec::new();
+    let mut vols: Vec<usize> = Vec::new();
+    for (i, pending) in batch.iter().enumerate() {
+        match &pending.request {
+            ServiceRequest::Price(_) => prices.push(i),
+            ServiceRequest::Greeks(_) => greeks.push(i),
+            ServiceRequest::ImpliedVol(_) => vols.push(i),
+        }
+    }
+
+    let complete = |i: usize, result: ServiceResult| {
+        // Count *before* filling: the fill wakes the waiter, and a stats
+        // read right after `Ticket::wait` must already see this completion.
+        c.completed.fetch_add(1, Ordering::Relaxed);
+        batch[i].slot.fill(result);
+    };
+
+    if !prices.is_empty() {
+        let requests: Vec<PricingRequest> = prices
+            .iter()
+            .map(|&i| match &batch[i].request {
+                ServiceRequest::Price(req) => req.clone(),
+                _ => unreachable!("grouped as a price request"),
+            })
+            .collect();
+        let results = shared.pricer.price_batch(&requests);
+        for (&i, result) in prices.iter().zip(results) {
+            complete(i, result.map(ServiceResponse::Price).map_err(ServiceError::from));
+        }
+    }
+    if !greeks.is_empty() {
+        let requests: Vec<PricingRequest> = greeks
+            .iter()
+            .map(|&i| match &batch[i].request {
+                ServiceRequest::Greeks(req) => req.clone(),
+                _ => unreachable!("grouped as a greeks request"),
+            })
+            .collect();
+        let results = batch_greeks::greeks(&shared.pricer, &requests);
+        for (&i, result) in greeks.iter().zip(results) {
+            complete(i, result.map(ServiceResponse::Greeks).map_err(ServiceError::from));
+        }
+    }
+    if !vols.is_empty() {
+        let quotes: Vec<VolQuote> = vols
+            .iter()
+            .map(|&i| match &batch[i].request {
+                ServiceRequest::ImpliedVol(quote) => quote.clone(),
+                _ => unreachable!("grouped as an implied-vol request"),
+            })
+            .collect();
+        let results = implied_vol_surface(&shared.pricer, &quotes);
+        for (&i, result) in vols.iter().zip(results) {
+            complete(i, result.map(ServiceResponse::ImpliedVol).map_err(ServiceError::from));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amopt_core::batch::ModelKind;
+    use amopt_core::{EngineConfig, OptionParams, OptionType};
+    use std::time::Duration;
+
+    fn p() -> OptionParams {
+        OptionParams::paper_defaults()
+    }
+
+    fn price_req(strike: f64, steps: usize) -> PricingRequest {
+        PricingRequest::american(
+            ModelKind::Bopm,
+            OptionType::Call,
+            OptionParams { strike, ..p() },
+            steps,
+        )
+    }
+
+    #[test]
+    fn coalesced_prices_are_bitwise_identical_to_direct_batch_pricing() {
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let book: Vec<PricingRequest> = (0..24).map(|i| price_req(90.0 + i as f64, 128)).collect();
+        let tickets: Vec<Ticket> =
+            book.iter().map(|r| client.submit(ServiceRequest::Price(r.clone())).unwrap()).collect();
+        let got: Vec<f64> = tickets
+            .into_iter()
+            .map(|t| match t.wait().unwrap() {
+                ServiceResponse::Price(p) => p,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        let direct = BatchPricer::new(EngineConfig::default());
+        let want = direct.price_batch(&book);
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g.to_bits(), w.as_ref().unwrap().to_bits());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.submitted, 24);
+        assert_eq!(stats.completed, 24);
+        assert!(stats.batches >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn batches_flush_at_max_batch_before_the_deadline() {
+        // A long max_wait with a tiny max_batch: the only way the calls
+        // below return promptly is the size trigger.
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 4,
+            max_wait: Duration::from_secs(3600),
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| client.submit(ServiceRequest::Price(price_req(100.0 + i as f64, 32))).unwrap())
+            .collect();
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let stats = service.stats();
+        assert_eq!(stats.batches, 1, "4 submits at max_batch 4 must flush as one batch");
+        assert_eq!(stats.batch_sizes.non_empty(), vec![(4, 1)]);
+        service.shutdown();
+    }
+
+    #[test]
+    fn lone_request_flushes_at_the_deadline() {
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 1024,
+            max_wait: Duration::from_millis(5),
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let t0 = Instant::now();
+        let price = client.price(price_req(110.0, 32)).unwrap();
+        assert!(price > 0.0);
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "deadline flush must not wait for max_batch"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn queue_overflow_rejects_with_overloaded_and_loses_nothing_in_flight() {
+        // One worker, long wait, tiny queue: fill it, then overflow.
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 2,
+            max_wait: Duration::from_millis(20),
+            queue_depth: 4,
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let mut tickets = Vec::new();
+        let mut rejected = 0usize;
+        for i in 0..64 {
+            match client.submit(ServiceRequest::Price(price_req(80.0 + i as f64, 64))) {
+                Ok(t) => tickets.push(t),
+                Err(ServiceError::Overloaded { what }) => {
+                    assert_eq!(what, "submission queue full");
+                    rejected += 1;
+                }
+                Err(e) => panic!("unexpected rejection {e}"),
+            }
+        }
+        assert!(rejected > 0, "64 fast submits into a depth-4 queue must shed load");
+        let accepted = tickets.len();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "accepted requests must all be answered");
+        }
+        let stats = service.stats();
+        assert_eq!(stats.completed as usize, accepted);
+        assert_eq!(stats.rejected_queue_full as usize, rejected);
+        service.shutdown();
+    }
+
+    #[test]
+    fn inflight_cap_rejects_the_overcommitted_client_only() {
+        let service = QuoteService::start(ServiceConfig {
+            per_conn_inflight: 2,
+            max_batch: 1024,
+            max_wait: Duration::from_millis(50),
+            ..ServiceConfig::default()
+        });
+        let greedy = service.client();
+        let t1 = greedy.submit(ServiceRequest::Price(price_req(100.0, 64))).unwrap();
+        let t2 = greedy.submit(ServiceRequest::Price(price_req(101.0, 64))).unwrap();
+        let rejected = greedy.submit(ServiceRequest::Price(price_req(102.0, 64)));
+        assert!(
+            matches!(
+                rejected,
+                Err(ServiceError::Overloaded { what: "per-connection in-flight cap" })
+            ),
+            "{rejected:?}"
+        );
+        // A fresh client has its own budget.
+        let other = service.client();
+        let t3 = other.submit(ServiceRequest::Price(price_req(103.0, 64))).unwrap();
+        for t in [t1, t2, t3] {
+            assert!(t.wait().is_ok());
+        }
+        // Budgets are released on completion.
+        assert_eq!(greedy.in_flight(), 0);
+        assert!(greedy.submit(ServiceRequest::Price(price_req(104.0, 64))).is_ok());
+        let stats = service.stats();
+        assert_eq!(stats.rejected_inflight, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests_and_rejects_new_ones() {
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 4,
+            max_wait: Duration::from_secs(3600), // only shutdown can flush a partial batch
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let tickets: Vec<Ticket> = (0..3)
+            .map(|i| client.submit(ServiceRequest::Price(price_req(95.0 + i as f64, 32))).unwrap())
+            .collect();
+        service.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "in-flight requests must be answered during drain");
+        }
+        assert!(matches!(
+            client.submit(ServiceRequest::Price(price_req(99.0, 32))),
+            Err(ServiceError::ShuttingDown)
+        ));
+        assert_eq!(service.stats().rejected_shutdown, 1);
+    }
+
+    #[test]
+    fn mixed_request_kinds_resolve_to_their_own_variants() {
+        let service = QuoteService::start(ServiceConfig::default());
+        let client = service.client();
+        let price = client.price(price_req(120.0, 128)).unwrap();
+        assert!(price > 0.0);
+        let g = client.greeks(price_req(120.0, 128)).unwrap();
+        assert!(g.delta > 0.0 && g.vega > 0.0);
+        let market = price;
+        let vol = client
+            .implied_vol(VolQuote::new(OptionParams { strike: 120.0, ..p() }, 128, market))
+            .unwrap();
+        assert!((vol - p().volatility).abs() < 1e-6, "round-trip vol {vol}");
+        // Pricing errors come back in their own slot, not as a panic.
+        let bad = PricingRequest::american(
+            ModelKind::Bopm,
+            OptionType::Call,
+            OptionParams { spot: -1.0, ..p() },
+            64,
+        );
+        assert!(matches!(client.price(bad), Err(ServiceError::Pricing(_))));
+        service.shutdown();
+    }
+
+    #[test]
+    fn memo_is_shared_across_batches_and_reported_in_stats() {
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        let req = price_req(115.0, 96);
+        let a = client.price(req.clone()).unwrap();
+        let b = client.price(req).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+        let stats = service.stats();
+        assert!(stats.memo.hits >= 1, "second quote must be a memo hit: {stats:?}");
+        assert!(stats.memo_hit_rate() > 0.0);
+        service.shutdown();
+    }
+}

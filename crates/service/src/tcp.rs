@@ -1,0 +1,355 @@
+//! TCP front door: a listener speaking the line-delimited JSON protocol of
+//! [`wire`](crate::wire), one connection per client, responses in request
+//! order.
+//!
+//! Each connection runs a **reader** (parse a line, submit to the shared
+//! coalescing queue, forward the ticket) and a **writer** (resolve tickets
+//! in order, write one response line each).  The channel between them is
+//! bounded at the connection's in-flight cap, so a connection that stops
+//! reading its responses eventually stalls its own reader — TCP
+//! backpressure — while rejected submissions (queue full, in-flight cap)
+//! are answered immediately with `"kind":"overloaded"` error lines and
+//! never occupy queue space.
+
+use crate::queue::{Client, QuoteService, Ticket};
+use crate::wire::{self, WireRequest};
+use crate::ServiceConfig;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// One line the writer thread owes the socket.
+enum Outgoing {
+    /// Already-encoded response (errors, stats).
+    Ready(String),
+    /// A pending submission: wait, then encode.
+    Pending {
+        /// Echoed request id (compact JSON).
+        id: String,
+        /// Resolves to the response when the coalesced batch executes.
+        ticket: Ticket,
+    },
+}
+
+/// A [`QuoteService`] listening on a TCP socket.
+///
+/// ```no_run
+/// use amopt_service::{QuoteServer, ServiceConfig, TcpQuoteClient};
+///
+/// let server = QuoteServer::bind("127.0.0.1:0", ServiceConfig::default()).unwrap();
+/// let mut client = TcpQuoteClient::connect(server.local_addr()).unwrap();
+/// let reply = client
+///     .roundtrip(r#"{"id":1,"op":"price","spot":127.62,"strike":130,"vol":0.2,"rate":0.00163,"div":0.0163,"steps":252}"#)
+///     .unwrap();
+/// assert!(reply.contains("\"ok\":true"));
+/// server.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct QuoteServer {
+    service: Arc<QuoteService>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl QuoteServer {
+    /// Starts a [`QuoteService`] with `cfg` and listens on `addr`
+    /// (`127.0.0.1:0` picks a free port; see [`local_addr`]).
+    ///
+    /// [`local_addr`]: QuoteServer::local_addr
+    pub fn bind(addr: impl ToSocketAddrs, cfg: ServiceConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let service = Arc::new(QuoteService::start(cfg));
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("amopt-service-accept".to_string())
+                .spawn(move || accept_loop(&listener, &service, &stop))
+                .expect("spawn accept thread")
+        };
+        Ok(QuoteServer { service, addr, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The underlying service (stats, in-process clients).
+    pub fn service(&self) -> &QuoteService {
+        &self.service
+    }
+
+    /// Stops accepting connections, then drains and stops the service
+    /// ([`QuoteService::shutdown`] semantics).  Established connections are
+    /// answered for everything already accepted; their threads exit when
+    /// the peers disconnect.
+    pub fn shutdown(&self) {
+        if !self.stop.swap(true, Ordering::AcqRel) {
+            // Wake the blocking accept with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+        self.service.shutdown();
+    }
+}
+
+impl Drop for QuoteServer {
+    fn drop(&mut self) {
+        self.shutdown();
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, service: &Arc<QuoteService>, stop: &Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let client = service.client();
+        let service = Arc::clone(service);
+        // The channel bound mirrors the per-connection in-flight cap so
+        // completed-but-unwritten responses stay bounded too.
+        let channel_bound = service.config().per_conn_inflight;
+        let _ = std::thread::Builder::new()
+            .name("amopt-service-conn".to_string())
+            .spawn(move || handle_connection(stream, &service, client, channel_bound));
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    service: &Arc<QuoteService>,
+    client: Client,
+    channel_bound: usize,
+) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let (tx, rx) = mpsc::sync_channel::<Outgoing>(channel_bound.max(1));
+    let writer = std::thread::Builder::new()
+        .name("amopt-service-conn-writer".to_string())
+        .spawn(move || {
+            let mut out = BufWriter::new(write_half);
+            while let Ok(msg) = rx.recv() {
+                let line = match msg {
+                    Outgoing::Ready(line) => line,
+                    Outgoing::Pending { id, ticket } => wire::encode_result(&id, &ticket.wait()),
+                };
+                if out.write_all(line.as_bytes()).is_err()
+                    || out.write_all(b"\n").is_err()
+                    || out.flush().is_err()
+                {
+                    return;
+                }
+            }
+        })
+        .expect("spawn connection writer");
+
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF or broken pipe
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (id, decoded) = wire::decode_request(trimmed);
+        let outgoing = match decoded {
+            Err(e) => Outgoing::Ready(wire::encode_error(&id, "parse", &e)),
+            Ok(WireRequest::Stats) => Outgoing::Ready(wire::encode_stats(&id, &service.stats())),
+            Ok(WireRequest::Submit(request)) => match client.submit(request) {
+                Ok(ticket) => Outgoing::Pending { id, ticket },
+                Err(e) => Outgoing::Ready(wire::encode_result(&id, &Err(e))),
+            },
+        };
+        if tx.send(outgoing).is_err() {
+            break; // writer died (peer stopped reading)
+        }
+    }
+    drop(tx); // writer drains the channel, then exits
+    let _ = writer.join();
+}
+
+/// Blocking line-protocol client, for load generators, examples, and tests.
+///
+/// Requests can be pipelined: [`send`](TcpQuoteClient::send) any number of
+/// lines, then [`recv`](TcpQuoteClient::recv) the response lines in order.
+#[derive(Debug)]
+pub struct TcpQuoteClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl TcpQuoteClient {
+    /// Connects to a [`QuoteServer`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(TcpQuoteClient { reader, writer: BufWriter::new(stream) })
+    }
+
+    /// Sends one request line (newline appended) without waiting.
+    pub fn send(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives the next response line.
+    pub fn recv(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// One request, one response.
+    pub fn roundtrip(&mut self, line: &str) -> io::Result<String> {
+        self.send(line)?;
+        self.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{encode_pricing_request, parse, JsonValue};
+    use amopt_core::batch::{BatchPricer, ModelKind, PricingRequest};
+    use amopt_core::{EngineConfig, OptionParams, OptionType};
+    use std::time::Duration;
+
+    fn server() -> QuoteServer {
+        QuoteServer::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                max_batch: 16,
+                max_wait: Duration::from_millis(1),
+                ..ServiceConfig::default()
+            },
+        )
+        .expect("bind loopback")
+    }
+
+    #[test]
+    fn wire_price_is_bitwise_the_direct_batch_price() {
+        let server = server();
+        let mut client = TcpQuoteClient::connect(server.local_addr()).unwrap();
+        let req = PricingRequest::american(
+            ModelKind::Bopm,
+            OptionType::Call,
+            OptionParams::paper_defaults(),
+            252,
+        );
+        let reply = client.roundtrip(&encode_pricing_request(1, "price", &req)).unwrap();
+        let doc = parse(&reply).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)), "{reply}");
+        let got = doc.get("price").unwrap().as_f64().unwrap();
+        let want = BatchPricer::new(EngineConfig::default()).price_one(&req).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        server.shutdown();
+    }
+
+    #[test]
+    fn pipelined_requests_answer_in_order() {
+        let server = server();
+        let mut client = TcpQuoteClient::connect(server.local_addr()).unwrap();
+        for i in 0..10u64 {
+            let req = PricingRequest::american(
+                ModelKind::Bopm,
+                OptionType::Call,
+                OptionParams { strike: 100.0 + i as f64, ..OptionParams::paper_defaults() },
+                64,
+            );
+            client.send(&encode_pricing_request(i, "price", &req)).unwrap();
+        }
+        for i in 0..10u64 {
+            let doc = parse(&client.recv().unwrap()).unwrap();
+            assert_eq!(doc.get("id").unwrap().as_f64(), Some(i as f64), "in-order ids");
+            assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn parse_errors_and_stats_answer_inline() {
+        let server = server();
+        let mut client = TcpQuoteClient::connect(server.local_addr()).unwrap();
+        let reply = client.roundtrip("{\"op\":\"price\"}").unwrap();
+        let doc = parse(&reply).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("parse"));
+
+        let reply = client.roundtrip("{\"id\":9,\"op\":\"stats\"}").unwrap();
+        let doc = parse(&reply).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)));
+        assert!(doc.get("queue_depth").is_some(), "{reply}");
+        assert!(doc.get("memo_hit_rate").is_some(), "{reply}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn greeks_and_implied_vol_round_trip_over_the_wire() {
+        let server = server();
+        let mut client = TcpQuoteClient::connect(server.local_addr()).unwrap();
+        let req = PricingRequest::american(
+            ModelKind::Bopm,
+            OptionType::Call,
+            OptionParams::paper_defaults(),
+            128,
+        );
+        let reply = client.roundtrip(&encode_pricing_request(1, "greeks", &req)).unwrap();
+        let doc = parse(&reply).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)), "{reply}");
+        assert!(doc.get("delta").unwrap().as_f64().unwrap() > 0.0);
+
+        // Manufacture an exactly attainable quote, then invert it.
+        let price_reply = client.roundtrip(&encode_pricing_request(2, "price", &req)).unwrap();
+        let market = parse(&price_reply).unwrap().get("price").unwrap().as_f64().unwrap();
+        let vol_line = format!(
+            "{{\"id\":3,\"op\":\"implied_vol\",\"spot\":{},\"strike\":{},\"rate\":{},\
+             \"div\":{},\"steps\":128,\"market_price\":{}}}",
+            OptionParams::paper_defaults().spot,
+            OptionParams::paper_defaults().strike,
+            OptionParams::paper_defaults().rate,
+            OptionParams::paper_defaults().dividend_yield,
+            market
+        );
+        let reply = client.roundtrip(&vol_line).unwrap();
+        let doc = parse(&reply).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)), "{reply}");
+        let vol = doc.get("implied_vol").unwrap().as_f64().unwrap();
+        assert!((vol - 0.2).abs() < 1e-6, "round-trip vol {vol}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_then_connect_is_refused_or_closed() {
+        let server = server();
+        let addr = server.local_addr();
+        server.shutdown();
+        // After shutdown the accept loop is gone: either the connect fails
+        // outright or the next request gets no response.
+        if let Ok(mut client) = TcpQuoteClient::connect(addr) {
+            let req = PricingRequest::american(
+                ModelKind::Bopm,
+                OptionType::Call,
+                OptionParams::paper_defaults(),
+                32,
+            );
+            let _ = client.send(&encode_pricing_request(1, "price", &req));
+            assert!(client.recv().is_err(), "a post-shutdown connection must not be served");
+        }
+    }
+}

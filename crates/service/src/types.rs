@@ -1,0 +1,177 @@
+//! Typed request/response surface of the quote service.
+
+use amopt_core::batch::surface::VolQuote;
+use amopt_core::batch::{MemoStats, PricingRequest};
+use amopt_core::greeks::Greeks;
+use amopt_core::PricingError;
+use std::fmt;
+
+/// One quote a client can submit to the service.
+///
+/// Every variant rides the same submission queue and coalesces into the
+/// same batches; the executor groups a drained batch by variant and runs
+/// each group through its batch-native driver
+/// ([`price_batch`](amopt_core::batch::BatchPricer::price_batch), the
+/// [greeks ladder](amopt_core::batch::greeks::greeks), the
+/// [lockstep surface inversion](amopt_core::batch::surface::implied_vol_surface)),
+/// so requests of the same kind share dedup and lockstep rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceRequest {
+    /// Price one contract (any model × type × style the batch layer routes).
+    Price(PricingRequest),
+    /// Full finite-difference greeks ladder for one contract.
+    Greeks(PricingRequest),
+    /// Invert one implied-volatility quote (American BOPM call or put).
+    ImpliedVol(VolQuote),
+}
+
+/// The successful answer to a [`ServiceRequest`], variant-matched to it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceResponse {
+    /// Price of the requested contract.
+    Price(f64),
+    /// Greeks of the requested contract.
+    Greeks(Greeks),
+    /// Implied volatility reproducing the quoted market price.
+    ImpliedVol(f64),
+}
+
+/// Why a submission failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The service shed this request: the bounded submission queue was full
+    /// or the connection exceeded its in-flight cap.  The request was *not*
+    /// enqueued; retry with backoff.
+    Overloaded {
+        /// Which limit rejected the request.
+        what: &'static str,
+    },
+    /// The service is draining for shutdown and accepts no new requests.
+    ShuttingDown,
+    /// The request was executed and the pricer rejected it (invalid
+    /// parameters, unsupported combination, no convergence, …).
+    Pricing(PricingError),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Overloaded { what } => write!(f, "overloaded: {what}"),
+            ServiceError::ShuttingDown => write!(f, "service is shutting down"),
+            ServiceError::Pricing(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<PricingError> for ServiceError {
+    fn from(e: PricingError) -> Self {
+        ServiceError::Pricing(e)
+    }
+}
+
+/// Number of power-of-two buckets in the batch-size histogram (bucket `i`
+/// counts flushed batches of size in `[2^i, 2^{i+1})`; sizes beyond the
+/// last bucket land in it).
+pub const BATCH_HIST_BUCKETS: usize = 16;
+
+/// Histogram of flushed batch sizes in power-of-two buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchHistogram(pub [u64; BATCH_HIST_BUCKETS]);
+
+impl BatchHistogram {
+    /// Bucket index for a batch of `size` requests.
+    pub fn bucket_of(size: usize) -> usize {
+        ((usize::BITS - 1 - size.max(1).leading_zeros()) as usize).min(BATCH_HIST_BUCKETS - 1)
+    }
+
+    /// Total batches recorded.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+
+    /// `(lower bound, count)` for every non-empty bucket.
+    pub fn non_empty(&self) -> Vec<(usize, u64)> {
+        self.0.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (1usize << i, c)).collect()
+    }
+}
+
+/// Point-in-time service counters, from
+/// [`QuoteService::stats`](crate::QuoteService::stats).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Requests currently waiting in the submission queue.
+    pub queue_depth: usize,
+    /// Requests accepted into the queue since start.
+    pub submitted: u64,
+    /// Requests answered (successfully or with a pricing error).
+    pub completed: u64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_queue_full: u64,
+    /// Submissions rejected by a per-connection in-flight cap.
+    pub rejected_inflight: u64,
+    /// Submissions rejected during shutdown.
+    pub rejected_shutdown: u64,
+    /// Batches flushed to the executor.
+    pub batches: u64,
+    /// Sizes of those batches, power-of-two bucketed.
+    pub batch_sizes: BatchHistogram,
+    /// Memo counters of the shared `BatchPricer`.
+    pub memo: MemoStats,
+}
+
+impl ServiceStats {
+    /// Memo hit rate over the service's lifetime (`0.0` before any probe).
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo.hits + self.memo.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo.hits as f64 / total as f64
+        }
+    }
+
+    /// Mean flushed batch size (`0.0` before any flush).
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.completed as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        assert_eq!(BatchHistogram::bucket_of(1), 0);
+        assert_eq!(BatchHistogram::bucket_of(2), 1);
+        assert_eq!(BatchHistogram::bucket_of(3), 1);
+        assert_eq!(BatchHistogram::bucket_of(4), 2);
+        assert_eq!(BatchHistogram::bucket_of(255), 7);
+        assert_eq!(BatchHistogram::bucket_of(256), 8);
+        // Zero is clamped into the first bucket rather than panicking.
+        assert_eq!(BatchHistogram::bucket_of(0), 0);
+    }
+
+    #[test]
+    fn histogram_accumulates_and_reports() {
+        let mut h = BatchHistogram::default();
+        for size in [1usize, 1, 2, 3, 300] {
+            h.0[BatchHistogram::bucket_of(size)] += 1;
+        }
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.non_empty(), vec![(1, 2), (2, 2), (256, 1)]);
+    }
+
+    #[test]
+    fn error_display_names_the_limit() {
+        let e = ServiceError::Overloaded { what: "submission queue full" };
+        assert!(e.to_string().contains("queue full"));
+        assert!(ServiceError::ShuttingDown.to_string().contains("shutting down"));
+    }
+}

@@ -1,0 +1,656 @@
+//! Line-delimited JSON wire codec — hand-rolled, zero dependencies.
+//!
+//! One request per line, one response line per request, in request order.
+//! Numbers are encoded with Rust's shortest-round-trip `f64` formatting and
+//! decoded with `str::parse::<f64>`, so a price survives the wire
+//! **bit-exactly** — the end-to-end tests rely on this.
+//!
+//! ## Requests
+//!
+//! ```json
+//! {"id": 1, "op": "price", "model": "bopm", "type": "call",
+//!  "style": "american", "spot": 127.62, "strike": 130.0, "rate": 0.00163,
+//!  "vol": 0.2, "div": 0.0163, "expiry": 1.0, "steps": 252}
+//! ```
+//!
+//! * `op` — `"price"`, `"greeks"`, `"implied_vol"`, or `"stats"`.
+//! * `id` — any JSON scalar, echoed verbatim in the response (optional).
+//! * `model` — `"bopm"` (default), `"topm"`, `"bsm"`.
+//! * `type` — `"call"` (default) or `"put"`.
+//! * `style` — `"american"` (default), `"european"`, or `"bermudan"`
+//!   (the latter requires `"dates": [step, …]`).
+//! * `spot`, `strike` — required for pricing ops; `vol` is required for
+//!   `price`/`greeks`; `rate`/`div` default to `0`, `expiry` to `1`,
+//!   `steps` to `252` (capped at [`MAX_WIRE_STEPS`] = 2²⁰).
+//! * `implied_vol` additionally requires `"market_price"` and accepts
+//!   `type` to invert put quotes (always the BOPM lattice).
+//!
+//! ## Responses
+//!
+//! ```json
+//! {"id": 1, "ok": true, "price": 8.327021364440658}
+//! {"id": 2, "ok": true, "delta": 0.58, "gamma": 0.02, "theta": -4.1, "vega": 48.6, "rho": 61.0}
+//! {"id": 3, "ok": true, "implied_vol": 0.2}
+//! {"id": 4, "ok": false, "kind": "overloaded", "error": "overloaded: submission queue full"}
+//! ```
+//!
+//! `kind` on failures is `"overloaded"`, `"shutdown"`, `"pricing"`, or
+//! `"parse"`; overloaded submissions were never enqueued and are safe to
+//! retry with backoff.  The `stats` op answers with the counters of
+//! [`ServiceStats`] flattened into one object.
+
+use crate::types::{ServiceError, ServiceRequest, ServiceResponse, ServiceStats};
+use crate::ServiceResult;
+use amopt_core::batch::surface::VolQuote;
+use amopt_core::batch::{ModelKind, PricingRequest, Style};
+use amopt_core::{OptionParams, OptionType};
+use std::fmt::Write as _;
+
+/// A parsed JSON value (the subset the wire protocol uses).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Field lookup on an object (first match); `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Re-encodes the value as compact JSON (used to echo request ids).
+    pub fn encode(&self) -> String {
+        match self {
+            JsonValue::Null => "null".to_string(),
+            JsonValue::Bool(b) => b.to_string(),
+            JsonValue::Num(x) => fmt_f64(*x),
+            JsonValue::Str(s) => quote(s),
+            JsonValue::Arr(items) => {
+                let inner: Vec<String> = items.iter().map(JsonValue::encode).collect();
+                format!("[{}]", inner.join(","))
+            }
+            JsonValue::Obj(fields) => {
+                let inner: Vec<String> =
+                    fields.iter().map(|(k, v)| format!("{}:{}", quote(k), v.encode())).collect();
+                format!("{{{}}}", inner.join(","))
+            }
+        }
+    }
+}
+
+/// Shortest-round-trip JSON encoding of an `f64` (`null` for non-finite
+/// values, which JSON cannot represent).
+pub fn fmt_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string quoting with the standard escapes.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Nesting depth guard for the parser: the wire protocol never nests past
+/// 3 levels, and a hostile deeply nested line must not overflow the stack.
+const MAX_DEPTH: usize = 16;
+
+/// Largest lattice `steps` a wire request may ask for (2²⁰).  One pricing at
+/// this size is seconds of work and megabytes of rows — already generous
+/// next to the paper's largest experiments — while an uncapped value would
+/// let a single request line pin a shared worker for hours or exhaust
+/// memory.  In-process [`Client`](crate::Client) callers are trusted and
+/// uncapped; the network decoder is where the line is drawn.
+pub const MAX_WIRE_STEPS: usize = 1 << 20;
+
+/// Parses one JSON document (a full line of the wire protocol).
+pub fn parse(input: &str) -> Result<JsonValue, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing characters at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<JsonValue, String> {
+    if depth > MAX_DEPTH {
+        return Err(format!("nesting deeper than {MAX_DEPTH}"));
+    }
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let JsonValue::Str(key) = parse_value(bytes, pos, depth + 1)? else {
+                    return Err(format!("object key at byte {pos} is not a string"));
+                };
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos, depth + 1)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos, depth + 1)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(JsonValue::Num)
+        .map_err(|_| format!("invalid number `{text}` at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(JsonValue::Str(out));
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("bad escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8: copy the whole scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request decoding (server side)
+// ---------------------------------------------------------------------------
+
+/// A decoded wire request: a service submission or the stats query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireRequest {
+    /// Submit to the coalescing queue.
+    Submit(ServiceRequest),
+    /// Answer immediately with the service counters.
+    Stats,
+}
+
+/// Decodes one request line.  Returns the echoed `id` (compact JSON,
+/// `null` when absent) alongside the decoded request or a parse error.
+pub fn decode_request(line: &str) -> (String, Result<WireRequest, String>) {
+    let doc = match parse(line) {
+        Ok(doc) => doc,
+        Err(e) => return ("null".to_string(), Err(e)),
+    };
+    let id = doc.get("id").map(JsonValue::encode).unwrap_or_else(|| "null".to_string());
+    (id, decode_request_body(&doc))
+}
+
+fn decode_request_body(doc: &JsonValue) -> Result<WireRequest, String> {
+    let op = doc.get("op").and_then(JsonValue::as_str).ok_or("missing `op`")?;
+    if op == "stats" {
+        return Ok(WireRequest::Stats);
+    }
+    let num = |key: &str| doc.get(key).and_then(JsonValue::as_f64);
+    let required = |key: &str| num(key).ok_or_else(|| format!("missing number `{key}`"));
+    let steps = match doc.get("steps") {
+        None => 252usize,
+        Some(v) => {
+            let x = v.as_f64().ok_or("`steps` must be a number")?;
+            if !(x.is_finite() && (1.0..=MAX_WIRE_STEPS as f64).contains(&x) && x.fract() == 0.0) {
+                return Err(format!(
+                    "`steps` must be a positive integer up to {MAX_WIRE_STEPS}, got {x}"
+                ));
+            }
+            x as usize
+        }
+    };
+    let option_type = match doc.get("type").and_then(JsonValue::as_str) {
+        None | Some("call") => OptionType::Call,
+        Some("put") => OptionType::Put,
+        Some(other) => return Err(format!("unknown option type `{other}`")),
+    };
+    let params = OptionParams {
+        spot: required("spot")?,
+        strike: required("strike")?,
+        rate: num("rate").unwrap_or(0.0),
+        // `implied_vol` ignores the volatility field; give it a harmless
+        // positive placeholder so the parameters validate.
+        volatility: num("vol").unwrap_or(if op == "implied_vol" { 0.2 } else { f64::NAN }),
+        dividend_yield: num("div").unwrap_or(0.0),
+        expiry: num("expiry").unwrap_or(1.0),
+    };
+    if op == "implied_vol" {
+        let market = required("market_price")?;
+        let quote = if option_type == OptionType::Put {
+            VolQuote::put(params, steps, market)
+        } else {
+            VolQuote::new(params, steps, market)
+        };
+        return Ok(WireRequest::Submit(ServiceRequest::ImpliedVol(quote)));
+    }
+    if !params.volatility.is_finite() {
+        return Err("missing number `vol`".to_string());
+    }
+    let model = match doc.get("model").and_then(JsonValue::as_str) {
+        None | Some("bopm") => ModelKind::Bopm,
+        Some("topm") => ModelKind::Topm,
+        Some("bsm") => ModelKind::Bsm,
+        Some(other) => return Err(format!("unknown model `{other}`")),
+    };
+    let style = match doc.get("style").and_then(JsonValue::as_str) {
+        None | Some("american") => Style::American,
+        Some("european") => Style::European,
+        Some("bermudan") => {
+            let JsonValue::Arr(items) =
+                doc.get("dates").ok_or("bermudan style requires `dates`")?
+            else {
+                return Err("`dates` must be an array of steps".to_string());
+            };
+            let mut dates = Vec::with_capacity(items.len());
+            for item in items {
+                let x = item.as_f64().ok_or("`dates` entries must be numbers")?;
+                if !(x.is_finite() && x >= 0.0 && x.fract() == 0.0) {
+                    return Err(format!("`dates` entry {x} is not a lattice step"));
+                }
+                dates.push(x as usize);
+            }
+            Style::Bermudan(dates)
+        }
+        Some(other) => return Err(format!("unknown style `{other}`")),
+    };
+    let request = PricingRequest { model, option_type, style, params, steps };
+    match op {
+        "price" => Ok(WireRequest::Submit(ServiceRequest::Price(request))),
+        "greeks" => Ok(WireRequest::Submit(ServiceRequest::Greeks(request))),
+        other => Err(format!("unknown op `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Response encoding (server side)
+// ---------------------------------------------------------------------------
+
+/// Encodes the response line for one resolved submission.
+pub fn encode_result(id: &str, result: &ServiceResult) -> String {
+    match result {
+        Ok(ServiceResponse::Price(p)) => {
+            format!("{{\"id\":{id},\"ok\":true,\"price\":{}}}", fmt_f64(*p))
+        }
+        Ok(ServiceResponse::Greeks(g)) => format!(
+            "{{\"id\":{id},\"ok\":true,\"delta\":{},\"gamma\":{},\"theta\":{},\"vega\":{},\
+             \"rho\":{}}}",
+            fmt_f64(g.delta),
+            fmt_f64(g.gamma),
+            fmt_f64(g.theta),
+            fmt_f64(g.vega),
+            fmt_f64(g.rho)
+        ),
+        Ok(ServiceResponse::ImpliedVol(v)) => {
+            format!("{{\"id\":{id},\"ok\":true,\"implied_vol\":{}}}", fmt_f64(*v))
+        }
+        Err(e) => {
+            let kind = match e {
+                ServiceError::Overloaded { .. } => "overloaded",
+                ServiceError::ShuttingDown => "shutdown",
+                ServiceError::Pricing(_) => "pricing",
+            };
+            encode_error(id, kind, &e.to_string())
+        }
+    }
+}
+
+/// Encodes an error response line (also used for parse failures).
+pub fn encode_error(id: &str, kind: &str, message: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":false,\"kind\":{},\"error\":{}}}", quote(kind), quote(message))
+}
+
+/// Encodes the stats response line.
+pub fn encode_stats(id: &str, stats: &ServiceStats) -> String {
+    let hist: Vec<String> =
+        stats.batch_sizes.non_empty().into_iter().map(|(lo, n)| format!("[{lo},{n}]")).collect();
+    format!(
+        "{{\"id\":{id},\"ok\":true,\"queue_depth\":{},\"submitted\":{},\"completed\":{},\
+         \"rejected_queue_full\":{},\"rejected_inflight\":{},\"rejected_shutdown\":{},\
+         \"batches\":{},\"batch_size_hist\":[{}],\"mean_batch_size\":{},\"memo_hits\":{},\
+         \"memo_misses\":{},\"memo_hit_rate\":{},\"memo_entries\":{}}}",
+        stats.queue_depth,
+        stats.submitted,
+        stats.completed,
+        stats.rejected_queue_full,
+        stats.rejected_inflight,
+        stats.rejected_shutdown,
+        stats.batches,
+        hist.join(","),
+        fmt_f64(stats.mean_batch_size()),
+        stats.memo.hits,
+        stats.memo.misses,
+        fmt_f64(stats.memo_hit_rate()),
+        stats.memo.entries,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Request encoding (client side)
+// ---------------------------------------------------------------------------
+
+/// Encodes a [`PricingRequest`] as a `price` (or `greeks`) request line.
+pub fn encode_pricing_request(id: u64, op: &str, req: &PricingRequest) -> String {
+    let model = match req.model {
+        ModelKind::Bopm => "bopm",
+        ModelKind::Topm => "topm",
+        ModelKind::Bsm => "bsm",
+    };
+    let ty = match req.option_type {
+        OptionType::Call => "call",
+        OptionType::Put => "put",
+    };
+    let p = &req.params;
+    let mut line = format!(
+        "{{\"id\":{id},\"op\":{},\"model\":{},\"type\":{},\"spot\":{},\"strike\":{},\
+         \"rate\":{},\"vol\":{},\"div\":{},\"expiry\":{},\"steps\":{}",
+        quote(op),
+        quote(model),
+        quote(ty),
+        fmt_f64(p.spot),
+        fmt_f64(p.strike),
+        fmt_f64(p.rate),
+        fmt_f64(p.volatility),
+        fmt_f64(p.dividend_yield),
+        fmt_f64(p.expiry),
+        req.steps,
+    );
+    match &req.style {
+        Style::American => line.push_str(",\"style\":\"american\""),
+        Style::European => line.push_str(",\"style\":\"european\""),
+        Style::Bermudan(dates) => {
+            let dates: Vec<String> = dates.iter().map(usize::to_string).collect();
+            let _ = write!(line, ",\"style\":\"bermudan\",\"dates\":[{}]", dates.join(","));
+        }
+    }
+    line.push('}');
+    line
+}
+
+/// Encodes a [`VolQuote`] as an `implied_vol` request line.
+pub fn encode_vol_request(id: u64, quote_req: &VolQuote) -> String {
+    let ty = match quote_req.option_type {
+        OptionType::Call => "call",
+        OptionType::Put => "put",
+    };
+    let p = &quote_req.params;
+    format!(
+        "{{\"id\":{id},\"op\":\"implied_vol\",\"type\":{},\"spot\":{},\"strike\":{},\
+         \"rate\":{},\"div\":{},\"expiry\":{},\"steps\":{},\"market_price\":{}}}",
+        quote(ty),
+        fmt_f64(p.spot),
+        fmt_f64(p.strike),
+        fmt_f64(p.rate),
+        fmt_f64(p.dividend_yield),
+        fmt_f64(p.expiry),
+        quote_req.steps,
+        fmt_f64(quote_req.market_price),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-1.5e3").unwrap(), JsonValue::Num(-1500.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), JsonValue::Str("a\nb".into()));
+        let doc = parse("{\"a\": [1, 2], \"b\": {\"c\": \"d\"}}").unwrap();
+        assert_eq!(
+            doc.get("a").unwrap(),
+            &JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.0)])
+        );
+        assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["", "{", "[1,", "{\"a\" 1}", "{\"a\":1} extra", "\"unterminated", "tru"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+        // Hostile nesting depth fails cleanly rather than overflowing.
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for x in [8.327021364440658f64, 1.0 / 3.0, f64::MIN_POSITIVE, -0.0, 1e300] {
+            let encoded = fmt_f64(x);
+            let JsonValue::Num(back) = parse(&encoded).unwrap() else { panic!() };
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {encoded}");
+        }
+    }
+
+    #[test]
+    fn pricing_request_round_trips_through_the_codec() {
+        let req = PricingRequest::american(
+            ModelKind::Topm,
+            OptionType::Put,
+            OptionParams::paper_defaults(),
+            300,
+        );
+        let line = encode_pricing_request(7, "price", &req);
+        let (id, decoded) = decode_request(&line);
+        assert_eq!(id, "7");
+        assert_eq!(decoded.unwrap(), WireRequest::Submit(ServiceRequest::Price(req)));
+
+        let bermudan =
+            PricingRequest::bermudan_put(OptionParams::paper_defaults(), 128, vec![32, 64, 128]);
+        let line = encode_pricing_request(8, "greeks", &bermudan);
+        let (_, decoded) = decode_request(&line);
+        assert_eq!(decoded.unwrap(), WireRequest::Submit(ServiceRequest::Greeks(bermudan)));
+    }
+
+    #[test]
+    fn vol_request_round_trips_including_put_side() {
+        let quote = VolQuote::put(OptionParams::paper_defaults(), 252, 9.25);
+        let line = encode_vol_request(3, &quote);
+        let (id, decoded) = decode_request(&line);
+        assert_eq!(id, "3");
+        let WireRequest::Submit(ServiceRequest::ImpliedVol(back)) = decoded.unwrap() else {
+            panic!()
+        };
+        assert_eq!(back.option_type, OptionType::Put);
+        assert_eq!(back.market_price, 9.25);
+        assert_eq!(back.steps, 252);
+        assert_eq!(back.params.spot, quote.params.spot);
+    }
+
+    #[test]
+    fn defaults_and_missing_fields() {
+        let (_, decoded) = decode_request(r#"{"op":"price","spot":100,"strike":100,"vol":0.2}"#);
+        let WireRequest::Submit(ServiceRequest::Price(req)) = decoded.unwrap() else { panic!() };
+        assert_eq!(req.steps, 252);
+        assert_eq!(req.model, ModelKind::Bopm);
+        assert_eq!(req.style, Style::American);
+        assert_eq!(req.params.expiry, 1.0);
+
+        let (_, decoded) = decode_request(r#"{"op":"price","spot":100,"strike":100}"#);
+        assert!(decoded.unwrap_err().contains("vol"));
+        // A hostile steps value is rejected at the codec, before any
+        // lattice is built.
+        let (_, decoded) =
+            decode_request(r#"{"op":"price","spot":100,"strike":100,"vol":0.2,"steps":999999999}"#);
+        assert!(decoded.unwrap_err().contains("steps"));
+        let (_, decoded) = decode_request(r#"{"op":"nope","spot":1,"strike":1,"vol":0.2}"#);
+        assert!(decoded.is_err());
+        let (id, decoded) = decode_request("not json at all");
+        assert_eq!(id, "null");
+        assert!(decoded.is_err());
+        let (_, stats) = decode_request(r#"{"op":"stats"}"#);
+        assert_eq!(stats.unwrap(), WireRequest::Stats);
+    }
+
+    #[test]
+    fn responses_encode_to_parseable_lines() {
+        let line = encode_result("42", &Ok(ServiceResponse::Price(8.5)));
+        let doc = parse(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(doc.get("price").unwrap().as_f64(), Some(8.5));
+        assert_eq!(doc.get("id").unwrap().as_f64(), Some(42.0));
+
+        let line = encode_result(
+            "\"abc\"",
+            &Err(ServiceError::Overloaded { what: "submission queue full" }),
+        );
+        let doc = parse(&line).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(false)));
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("overloaded"));
+        assert_eq!(doc.get("id").unwrap().as_str(), Some("abc"));
+    }
+}

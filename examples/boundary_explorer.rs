@@ -1,7 +1,8 @@
 //! Early-exercise boundary explorer: extract and print the critical-price
-//! frontier of a small contract set — BSM put, binomial call, and binomial
-//! put (left-cone engine) — in one batch-native call (the red–green divider
-//! of the paper, §2.2/§4.2).
+//! frontier of a small contract set — BSM put, binomial call/put, and
+//! trinomial call/put — in one batch-native call (the red–green divider of
+//! the paper, §2.2/§4.2).  Every frontier comes from a fast-engine pricing
+//! pass, including the trinomial ones (previously dense-only, `Θ(T²)`).
 //!
 //! ```sh
 //! cargo run --release --example boundary_explorer
@@ -20,6 +21,8 @@ fn main() {
         BoundaryRequest::new(ModelKind::Bsm, OptionType::Put, zero_div, 8192, 16),
         BoundaryRequest::new(ModelKind::Bopm, OptionType::Call, base, 8192, 16),
         BoundaryRequest::new(ModelKind::Bopm, OptionType::Put, base, 8192, 16),
+        BoundaryRequest::new(ModelKind::Topm, OptionType::Call, base, 8192, 16),
+        BoundaryRequest::new(ModelKind::Topm, OptionType::Put, base, 8192, 16),
     ];
     let frontiers = exercise_boundaries(&pricer, &book);
 
@@ -27,6 +30,8 @@ fn main() {
         "American put, BSM grid (exercise when the asset falls below)",
         "American call, binomial lattice (exercise when the asset rises above)",
         "American put, binomial lattice (left-cone engine)",
+        "American call, trinomial lattice",
+        "American put, trinomial lattice (left-cone engine)",
     ];
     for (title, frontier) in titles.iter().zip(frontiers) {
         let frontier = frontier.expect("valid contract");

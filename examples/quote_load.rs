@@ -1,0 +1,143 @@
+//! `quote_load` — load generator for a running `quote_server`.
+//!
+//! Opens `conns` TCP connections, keeps a `window`-deep pipeline of price
+//! requests on each (a deterministic dedup-heavy book), and reports
+//! throughput, latency percentiles, and error counts.  Overloaded
+//! responses are counted separately — under deliberate over-capacity they
+//! are the service working as designed, not a failure.
+//!
+//! ```sh
+//! cargo run --release --example quote_server -- serve 127.0.0.1:7878 &
+//! cargo run --release --example quote_load -- 127.0.0.1:7878 2048 4 16
+//! #                                            addr          n    conns window
+//! ```
+//!
+//! Exits non-zero on protocol-level failures (parse errors, disconnects,
+//! pricing errors on the valid book) — overload shedding alone never fails
+//! the run.
+
+use american_option_pricing::prelude::*;
+use american_option_pricing::service::wire;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+fn book(n: usize, steps: usize) -> Vec<PricingRequest> {
+    let base = OptionParams::paper_defaults();
+    (0..n)
+        .map(|i| {
+            let params = OptionParams { strike: 90.0 + (i % 64) as f64, ..base };
+            PricingRequest::american(ModelKind::Bopm, OptionType::Call, params, steps)
+        })
+        .collect()
+}
+
+struct ConnReport {
+    latencies_us: Vec<f64>,
+    priced: usize,
+    overloaded: usize,
+    failures: usize,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(addr) = args.first().cloned() else {
+        eprintln!("usage: quote_load <addr> [n] [conns] [window]");
+        std::process::exit(2);
+    };
+    let n: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(2048);
+    let conns: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4).max(1);
+    let window: usize = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(16).max(1);
+    let requests = book(n, 252);
+
+    let chunk = requests.len().div_ceil(conns);
+    let t0 = Instant::now();
+    let reports: Vec<ConnReport> = std::thread::scope(|scope| {
+        requests
+            .chunks(chunk)
+            .enumerate()
+            .map(|(w, slice)| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client =
+                        TcpQuoteClient::connect(&*addr).expect("connect to quote_server");
+                    let mut report = ConnReport {
+                        latencies_us: Vec::with_capacity(slice.len()),
+                        priced: 0,
+                        overloaded: 0,
+                        failures: 0,
+                    };
+                    let mut sent_at: VecDeque<Instant> = VecDeque::new();
+                    let mut next = 0usize;
+                    let mut done = 0usize;
+                    while done < slice.len() {
+                        while next < slice.len() && sent_at.len() < window {
+                            let id = (w * chunk + next) as u64;
+                            let line = wire::encode_pricing_request(id, "price", &slice[next]);
+                            client.send(&line).expect("send");
+                            sent_at.push_back(Instant::now());
+                            next += 1;
+                        }
+                        let Ok(reply) = client.recv() else {
+                            report.failures += slice.len() - done;
+                            break;
+                        };
+                        let us = sent_at.pop_front().unwrap().elapsed().as_secs_f64() * 1e6;
+                        done += 1;
+                        match wire::parse(&reply) {
+                            Ok(doc) => match doc.get("ok") {
+                                Some(wire::JsonValue::Bool(true)) => {
+                                    report.priced += 1;
+                                    report.latencies_us.push(us);
+                                }
+                                _ if doc.get("kind").and_then(wire::JsonValue::as_str)
+                                    == Some("overloaded") =>
+                                {
+                                    report.overloaded += 1;
+                                }
+                                _ => {
+                                    eprintln!("failure response: {reply}");
+                                    report.failures += 1;
+                                }
+                            },
+                            Err(e) => {
+                                eprintln!("unparseable response ({e}): {reply}");
+                                report.failures += 1;
+                            }
+                        }
+                    }
+                    report
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("load thread must not panic"))
+            .collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut latencies: Vec<f64> = reports.iter().flat_map(|r| r.latencies_us.clone()).collect();
+    latencies.sort_by(f64::total_cmp);
+    let priced: usize = reports.iter().map(|r| r.priced).sum();
+    let overloaded: usize = reports.iter().map(|r| r.overloaded).sum();
+    let failures: usize = reports.iter().map(|r| r.failures).sum();
+    let pct = |q: f64| -> f64 {
+        if latencies.is_empty() {
+            f64::NAN
+        } else {
+            latencies[((latencies.len() - 1) as f64 * q) as usize]
+        }
+    };
+    println!("quote_load: {n} requests over {conns} connections (window {window})");
+    println!("  priced: {priced}  overloaded: {overloaded}  failures: {failures}");
+    println!("  wall: {secs:.3}s  throughput: {:.0} options/s", priced as f64 / secs);
+    println!(
+        "  latency us: p50 {:.0}  p90 {:.0}  p99 {:.0}  max {:.0}",
+        pct(0.5),
+        pct(0.9),
+        pct(0.99),
+        pct(1.0)
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,166 @@
+//! `quote_server` — run the batch-coalescing quote service over TCP, or
+//! smoke-test it end to end.
+//!
+//! ```sh
+//! # Serve the line-JSON protocol (see amopt_service::wire) until killed:
+//! cargo run --release --example quote_server -- serve 127.0.0.1:7878
+//!
+//! # CI smoke: spin up a loopback server, drive N requests through
+//! # concurrent TCP connections, and verify zero errors and bitwise
+//! # equality against direct BatchPricer pricing (exit 1 on any failure):
+//! cargo run --release --example quote_server -- smoke 512
+//! ```
+
+use american_option_pricing::prelude::*;
+use american_option_pricing::service::wire;
+use std::time::Duration;
+
+/// Deterministic mixed smoke book: strike ladder × {BOPM, TOPM} ×
+/// {call, put}, with duplicates every fourth request (the dedup path).
+fn smoke_book(n: usize, steps: usize) -> Vec<PricingRequest> {
+    let base = OptionParams::paper_defaults();
+    (0..n)
+        .map(|i| {
+            let k = if i % 4 == 3 { i - 1 } else { i };
+            let params = OptionParams {
+                strike: 90.0 + 2.0 * (k % 40) as f64,
+                expiry: 0.5 + 0.125 * ((k / 40) % 8) as f64,
+                ..base
+            };
+            let model = if k % 2 == 0 { ModelKind::Bopm } else { ModelKind::Topm };
+            let ty = if (k / 2) % 2 == 0 { OptionType::Call } else { OptionType::Put };
+            PricingRequest::american(model, ty, params, steps)
+        })
+        .collect()
+}
+
+fn serve(addr: &str) {
+    let server = QuoteServer::bind(addr, ServiceConfig::default())
+        .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
+    println!("quote_server listening on {}", server.local_addr());
+    println!("protocol: one JSON request per line; try:");
+    println!(
+        "  {{\"id\":1,\"op\":\"price\",\"spot\":127.62,\"strike\":130,\"rate\":0.00163,\
+         \"vol\":0.2,\"div\":0.0163,\"steps\":252}}"
+    );
+    loop {
+        std::thread::sleep(Duration::from_secs(30));
+        let s = server.service().stats();
+        println!(
+            "[stats] queue={} submitted={} completed={} rejected={} batches={} mean_batch={:.1} \
+             memo_hit_rate={:.3}",
+            s.queue_depth,
+            s.submitted,
+            s.completed,
+            s.rejected_queue_full + s.rejected_inflight,
+            s.batches,
+            s.mean_batch_size(),
+            s.memo_hit_rate()
+        );
+    }
+}
+
+fn smoke(n: usize) {
+    let server = QuoteServer::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            max_batch: 64,
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let book = smoke_book(n, 96);
+
+    // Reference: the whole book through one direct BatchPricer call.
+    let want: Vec<f64> = BatchPricer::new(EngineConfig::default())
+        .price_batch(&book)
+        .into_iter()
+        .map(|r| r.expect("smoke book is valid"))
+        .collect();
+
+    // Drive it over 4 concurrent pipelined TCP connections.
+    let conns = 4;
+    let chunk = book.len().div_ceil(conns);
+    let results: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
+        book.chunks(chunk)
+            .enumerate()
+            .map(|(w, slice)| {
+                scope.spawn(move || {
+                    // Bounded pipeline window: keeps the connection well
+                    // under its in-flight cap and off TCP-buffer deadlocks
+                    // however large `smoke N` is.
+                    const WINDOW: usize = 64;
+                    let mut client = TcpQuoteClient::connect(addr).expect("connect");
+                    let mut out: Vec<(usize, f64)> = Vec::with_capacity(slice.len());
+                    let mut next = 0usize;
+                    let mut in_flight = 0usize;
+                    while out.len() < slice.len() {
+                        while next < slice.len() && in_flight < WINDOW {
+                            let id = (w * chunk + next) as u64;
+                            client
+                                .send(&wire::encode_pricing_request(id, "price", &slice[next]))
+                                .expect("send");
+                            next += 1;
+                            in_flight += 1;
+                        }
+                        let reply = client.recv().expect("response line");
+                        in_flight -= 1;
+                        let doc = wire::parse(&reply).expect("valid response JSON");
+                        let ok = matches!(doc.get("ok"), Some(wire::JsonValue::Bool(true)));
+                        assert!(ok, "error response: {reply}");
+                        let id = doc.get("id").unwrap().as_f64().unwrap() as usize;
+                        let price = doc.get("price").unwrap().as_f64().unwrap();
+                        out.push((id, price));
+                    }
+                    out
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("connection thread must not panic"))
+            .collect()
+    });
+
+    let mut seen = vec![false; book.len()];
+    let mut mismatches = 0usize;
+    for (id, price) in results.into_iter().flatten() {
+        assert!(!seen[id], "response {id} delivered twice");
+        seen[id] = true;
+        if price.to_bits() != want[id].to_bits() {
+            eprintln!("MISMATCH request {id}: wire {price} vs direct {}", want[id]);
+            mismatches += 1;
+        }
+    }
+    let unanswered = seen.iter().filter(|&&s| !s).count();
+    let stats = server.service().stats();
+    println!(
+        "smoke: {} requests, {} batches (mean size {:.1}), memo hit rate {:.3}, \
+         {mismatches} mismatches, {unanswered} unanswered",
+        book.len(),
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.memo_hit_rate()
+    );
+    server.shutdown();
+    if mismatches > 0 || unanswered > 0 {
+        std::process::exit(1);
+    }
+    println!("smoke OK: every wire response bitwise-equal to direct BatchPricer pricing");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7878")),
+        Some("smoke") => {
+            let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(512);
+            smoke(n);
+        }
+        _ => {
+            eprintln!("usage: quote_server serve [addr] | quote_server smoke [n]");
+            std::process::exit(2);
+        }
+    }
+}

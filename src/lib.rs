@@ -16,6 +16,10 @@
 //!   subsystem (`core::batch`: dedup + sharded memo + parallel fan-out over
 //!   heterogeneous books, batch-native greeks ladders, and lockstep
 //!   implied-vol surface inversion);
+//! * [`service`] — the batch-coalescing quote service: a bounded submission
+//!   queue with deadline/size coalescing, backpressure, and a line-JSON TCP
+//!   front end, turning independent incoming quotes into `BatchPricer`
+//!   batches;
 //! * [`cachesim`] — cache-hierarchy and energy simulation (the PAPI/RAPL
 //!   substitute used to regenerate the paper's Figures 6/7/10).
 //!
@@ -51,6 +55,7 @@ pub use amopt_cachesim as cachesim;
 pub use amopt_core as core;
 pub use amopt_fft as fft;
 pub use amopt_parallel as parallel;
+pub use amopt_service as service;
 pub use amopt_stencil as stencil;
 
 /// Most-used items in one import.
@@ -66,5 +71,9 @@ pub mod prelude {
     pub use amopt_core::{
         analytic, bermudan, exercise_boundary, greeks, implied_vol, EngineConfig, ExerciseStyle,
         OptionParams, OptionType, PricingError,
+    };
+    pub use amopt_service::{
+        QuoteServer, QuoteService, ServiceConfig, ServiceError, ServiceRequest, ServiceResponse,
+        ServiceStats, TcpQuoteClient,
     };
 }

@@ -172,4 +172,76 @@ proptest! {
             other => prop_assert!(false, "{other:?}"),
         }
     }
+
+    /// Put-side surface coverage cross-checked through the exact discrete
+    /// put–call symmetry of the CRR lattice: `P(S, K, R, Y) = C(K, S, Y, R)`.
+    /// A put quote manufactured from a call price of the reflected contract
+    /// must invert through the put surface to the same volatility the call
+    /// surface recovers for the reflected quote.
+    #[test]
+    fn put_surface_agrees_with_the_reflected_call_surface(
+        params in arb_params(),
+        true_vol in 0.12..0.5f64,
+        steps in 48usize..160,
+    ) {
+        let cfg = EngineConfig::default();
+        let reflected = OptionParams {
+            spot: params.strike,
+            strike: params.spot,
+            rate: params.dividend_yield,
+            dividend_yield: params.rate,
+            ..params
+        };
+        let quoted = OptionParams { volatility: true_vol, ..params };
+        let market_put = match BopmModel::new(quoted, steps) {
+            Ok(m) => bopm_fast::price_american_put(&m, &cfg),
+            Err(_) => return Ok(()),
+        };
+        let market_call = {
+            let m = BopmModel::new(OptionParams { volatility: true_vol, ..reflected }, steps)
+                .unwrap();
+            bopm_fast::price_american_call(&m, &cfg)
+        };
+        // The symmetry is exact on the lattice, so the two quotes are the
+        // same number up to float rounding of the two engine paths.
+        prop_assert!(
+            (market_put - market_call).abs() <= 1e-9 * market_put.abs().max(1.0),
+            "put {market_put} vs reflected call {market_call}"
+        );
+        let pricer = BatchPricer::new(cfg);
+        let quotes = [
+            VolQuote::put(params, steps, market_put),
+            VolQuote::new(reflected, steps, market_call),
+        ];
+        let out = implied_vol_surface(&pricer, &quotes);
+        match (&out[0], &out[1]) {
+            (Ok(p_vol), Ok(c_vol)) => {
+                // The hard contract: the recovered vol must reproduce the
+                // quote to the shared 1e-10 tolerance.
+                let reprice = |vol: f64| {
+                    let p = OptionParams { volatility: vol, ..params };
+                    bopm_fast::price_american_put(&BopmModel::new(p, steps).unwrap(), &cfg)
+                };
+                let residual = (reprice(*p_vol) - market_put).abs();
+                prop_assert!(residual < 1e-10, "put vol {p_vol} residual {residual:e}");
+                // Vol proximity is only meaningful when the quote responds
+                // to volatility: deep-ITM immediate-exercise quotes are flat
+                // (price = intrinsic over a wide vol band) and any vol in the
+                // band is a legitimate answer on both sides.
+                let h = 1e-3;
+                let vega = (reprice(true_vol + h) - reprice(true_vol - h)) / (2.0 * h);
+                if vega > 1e-3 {
+                    prop_assert!((p_vol - c_vol).abs() < 1e-2, "put {p_vol} vs call {c_vol}");
+                    prop_assert!(
+                        (p_vol - true_vol).abs() < 1e-2,
+                        "put {p_vol} vs true {true_vol}"
+                    );
+                }
+            }
+            // Flat-vega quotes may be rejected; the symmetry demands the
+            // rejection happen on both sides together.
+            (Err(_), Err(_)) => {}
+            other => prop_assert!(false, "{other:?}"),
+        }
+    }
 }
