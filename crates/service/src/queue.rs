@@ -67,7 +67,7 @@ impl Slot {
 }
 
 /// Releases one unit of a client's in-flight budget when the request
-/// completes (dropped by the worker after filling the slot, or by the
+/// completes (dropped by the worker *before* filling the slot, or by the
 /// submit path on rejection).
 #[derive(Debug)]
 struct InflightPermit(Arc<AtomicUsize>);
@@ -365,61 +365,59 @@ fn execute(shared: &Shared, batch: Vec<Pending>) {
     c.batches.fetch_add(1, Ordering::Relaxed);
     c.batch_hist[BatchHistogram::bucket_of(batch.len())].fetch_add(1, Ordering::Relaxed);
 
-    // Group by request kind, tracking batch indices only — the request
-    // payloads are cloned exactly once, into the driver's input slice.
+    // Group by request kind, tracking batch indices alongside the driver
+    // input slices — the request payloads are cloned exactly once.
     let mut prices: Vec<usize> = Vec::new();
+    let mut price_reqs: Vec<PricingRequest> = Vec::new();
     let mut greeks: Vec<usize> = Vec::new();
+    let mut greek_reqs: Vec<PricingRequest> = Vec::new();
     let mut vols: Vec<usize> = Vec::new();
+    let mut vol_quotes: Vec<VolQuote> = Vec::new();
     for (i, pending) in batch.iter().enumerate() {
         match &pending.request {
-            ServiceRequest::Price(_) => prices.push(i),
-            ServiceRequest::Greeks(_) => greeks.push(i),
-            ServiceRequest::ImpliedVol(_) => vols.push(i),
+            ServiceRequest::Price(req) => {
+                prices.push(i);
+                price_reqs.push(req.clone());
+            }
+            ServiceRequest::Greeks(req) => {
+                greeks.push(i);
+                greek_reqs.push(req.clone());
+            }
+            ServiceRequest::ImpliedVol(quote) => {
+                vols.push(i);
+                vol_quotes.push(quote.clone());
+            }
         }
     }
 
-    let complete = |i: usize, result: ServiceResult| {
+    // Each entry is consumed at completion so its in-flight permit drops
+    // *before* the slot fill wakes the waiter: a client that has observed
+    // its response always has that unit of budget back, and an `in_flight`
+    // read after `Ticket::wait` is never stale.
+    let mut batch: Vec<Option<Pending>> = batch.into_iter().map(Some).collect();
+    let mut complete = |i: usize, result: ServiceResult| {
+        let Pending { slot, _permit, .. } = batch[i].take().expect("each entry completes once");
+        drop(_permit);
         // Count *before* filling: the fill wakes the waiter, and a stats
         // read right after `Ticket::wait` must already see this completion.
         c.completed.fetch_add(1, Ordering::Relaxed);
-        batch[i].slot.fill(result);
+        slot.fill(result);
     };
 
-    if !prices.is_empty() {
-        let requests: Vec<PricingRequest> = prices
-            .iter()
-            .map(|&i| match &batch[i].request {
-                ServiceRequest::Price(req) => req.clone(),
-                _ => unreachable!("grouped as a price request"),
-            })
-            .collect();
-        let results = shared.pricer.price_batch(&requests);
+    if !price_reqs.is_empty() {
+        let results = shared.pricer.price_batch(&price_reqs);
         for (&i, result) in prices.iter().zip(results) {
             complete(i, result.map(ServiceResponse::Price).map_err(ServiceError::from));
         }
     }
-    if !greeks.is_empty() {
-        let requests: Vec<PricingRequest> = greeks
-            .iter()
-            .map(|&i| match &batch[i].request {
-                ServiceRequest::Greeks(req) => req.clone(),
-                _ => unreachable!("grouped as a greeks request"),
-            })
-            .collect();
-        let results = batch_greeks::greeks(&shared.pricer, &requests);
+    if !greek_reqs.is_empty() {
+        let results = batch_greeks::greeks(&shared.pricer, &greek_reqs);
         for (&i, result) in greeks.iter().zip(results) {
             complete(i, result.map(ServiceResponse::Greeks).map_err(ServiceError::from));
         }
     }
-    if !vols.is_empty() {
-        let quotes: Vec<VolQuote> = vols
-            .iter()
-            .map(|&i| match &batch[i].request {
-                ServiceRequest::ImpliedVol(quote) => quote.clone(),
-                _ => unreachable!("grouped as an implied-vol request"),
-            })
-            .collect();
-        let results = implied_vol_surface(&shared.pricer, &quotes);
+    if !vol_quotes.is_empty() {
+        let results = implied_vol_surface(&shared.pricer, &vol_quotes);
         for (&i, result) in vols.iter().zip(results) {
             complete(i, result.map(ServiceResponse::ImpliedVol).map_err(ServiceError::from));
         }
@@ -581,6 +579,30 @@ mod tests {
         assert!(greedy.submit(ServiceRequest::Price(price_req(104.0, 64))).is_ok());
         let stats = service.stats();
         assert_eq!(stats.rejected_inflight, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn budget_is_back_the_moment_the_response_is_observable() {
+        // The permit must drop before the slot fill wakes the waiter, so a
+        // client at its cap can always resubmit right after `wait` returns.
+        // Run at cap 1 in a tight loop: any release-after-wake ordering
+        // turns into a spurious Overloaded rejection here.
+        let service = QuoteService::start(ServiceConfig {
+            per_conn_inflight: 1,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        });
+        let client = service.client();
+        for i in 0..100 {
+            let ticket = client
+                .submit(ServiceRequest::Price(price_req(90.0 + (i % 8) as f64, 32)))
+                .unwrap_or_else(|e| panic!("iteration {i} spuriously rejected: {e}"));
+            assert!(ticket.wait().is_ok());
+            assert_eq!(client.in_flight(), 0, "budget still held after wait (iteration {i})");
+        }
+        assert_eq!(service.stats().rejected_inflight, 0);
         service.shutdown();
     }
 

@@ -14,7 +14,7 @@
 use crate::queue::{Client, QuoteService, Ticket};
 use crate::wire::{self, WireRequest};
 use crate::ServiceConfig;
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read as _, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -152,11 +152,45 @@ fn handle_connection(
 
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
+    // Set when a line was rejected (too long or not UTF-8) and a final
+    // error response is queued: the close must then be graceful enough for
+    // the peer to actually receive it (see the drain below).
+    let mut rejected_line = false;
     loop {
         line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break, // EOF or broken pipe
-            Ok(_) => {}
+        // Read through a `take` so a newline-free line cannot grow the
+        // buffer past the codec's cap; a line that fills the cap without a
+        // terminating newline is hostile (or hopelessly malformed) — answer
+        // once and drop the connection.
+        let n = match (&mut reader).take(wire::MAX_LINE_BYTES as u64).read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Not UTF-8: hostile bytes, or the cap landed mid-character
+                // on an oversized line.  Either way it cannot parse — keep
+                // the documented contract (answer once, then drop) instead
+                // of closing silently.
+                let _ = tx.send(Outgoing::Ready(wire::encode_error(
+                    "null",
+                    "parse",
+                    &format!(
+                        "request line is not valid UTF-8 or exceeds {} bytes",
+                        wire::MAX_LINE_BYTES
+                    ),
+                )));
+                rejected_line = true;
+                break;
+            }
+            Err(_) => break, // broken pipe
+        };
+        if n >= wire::MAX_LINE_BYTES && !line.ends_with('\n') {
+            let _ = tx.send(Outgoing::Ready(wire::encode_error(
+                "null",
+                "parse",
+                &format!("request line exceeds {} bytes", wire::MAX_LINE_BYTES),
+            )));
+            rejected_line = true;
+            break;
         }
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -177,6 +211,26 @@ fn handle_connection(
     }
     drop(tx); // writer drains the channel, then exits
     let _ = writer.join();
+    if rejected_line {
+        // The peer may still be mid-send (e.g. the rest of an oversized
+        // line).  Closing now, with unread bytes pending, elicits a TCP RST
+        // that can discard the error line the writer just flushed.  Signal
+        // end-of-responses, then swallow the leftover input — bounded in
+        // both bytes and time so a hostile peer cannot pin the thread —
+        // before dropping the socket.
+        let stream = reader.get_ref();
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let mut scratch = [0u8; 8192];
+        let mut budget: usize = 64 << 20;
+        while budget > 0 && std::time::Instant::now() < deadline {
+            match reader.get_mut().read(&mut scratch) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => budget = budget.saturating_sub(n),
+            }
+        }
+    }
 }
 
 /// Blocking line-protocol client, for load generators, examples, and tests.
@@ -331,6 +385,47 @@ mod tests {
         assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)), "{reply}");
         let vol = doc.get("implied_vol").unwrap().as_f64().unwrap();
         assert!((vol - 0.2).abs() < 1e-6, "round-trip vol {vol}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected_and_the_connection_dropped() {
+        let server = server();
+        let mut client = TcpQuoteClient::connect(server.local_addr()).unwrap();
+        // A newline-free line past the cap must not buffer unboundedly: the
+        // server answers once with a parse error and closes the connection.
+        let huge = "x".repeat(wire::MAX_LINE_BYTES + 1024);
+        client.send(&huge).unwrap();
+        let reply = client.recv().unwrap();
+        let doc = parse(&reply).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(false)), "{reply}");
+        assert_eq!(doc.get("kind").unwrap().as_str(), Some("parse"));
+        assert!(client.recv().is_err(), "oversized line must close the connection");
+        // The cap splitting a multi-byte character still answers before the
+        // drop (read_line surfaces that as InvalidData, not as a clean cap
+        // hit), as does outright non-UTF-8 input.
+        for tail in [&[0xF0u8, 0x9F, 0x98, 0x80][..], &[0xFFu8, 0xFE][..]] {
+            let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+            let mut payload = vec![b'x'; wire::MAX_LINE_BYTES - 2];
+            payload.extend_from_slice(tail);
+            payload.push(b'\n');
+            raw.write_all(&payload).unwrap();
+            let mut reply = String::new();
+            BufReader::new(&raw).read_line(&mut reply).unwrap();
+            let doc = parse(reply.trim()).unwrap();
+            assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(false)), "{reply}");
+            assert_eq!(doc.get("kind").unwrap().as_str(), Some("parse"));
+        }
+        // A fresh connection still works: the cap is per line, not global.
+        let mut client = TcpQuoteClient::connect(server.local_addr()).unwrap();
+        let req = PricingRequest::american(
+            ModelKind::Bopm,
+            OptionType::Call,
+            OptionParams::paper_defaults(),
+            32,
+        );
+        let reply = client.roundtrip(&encode_pricing_request(1, "price", &req)).unwrap();
+        assert!(reply.contains("\"ok\":true"), "{reply}");
         server.shutdown();
     }
 

@@ -151,6 +151,14 @@ const MAX_DEPTH: usize = 16;
 /// uncapped; the network decoder is where the line is drawn.
 pub const MAX_WIRE_STEPS: usize = 1 << 20;
 
+/// Largest request line (in bytes) the TCP front door will buffer (2²⁰).
+/// Every legitimate request — even a Bermudan ladder with thousands of
+/// exercise dates — fits in a fraction of this, while an unbounded
+/// `read_line` would let a peer stream a newline-free line and grow server
+/// memory without limit.  Oversized lines are answered with a parse error
+/// and the connection is dropped.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
 /// Parses one JSON document (a full line of the wire protocol).
 pub fn parse(input: &str) -> Result<JsonValue, String> {
     let bytes = input.as_bytes();
@@ -263,6 +271,16 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
         .map_err(|_| format!("invalid number `{text}` at byte {start}"))
 }
 
+/// Four hex digits of a `\u` escape starting at byte `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    if !hex.iter().all(u8::is_ascii_hexdigit) {
+        return Err("bad \\u escape".to_string());
+    }
+    let hex = std::str::from_utf8(hex).expect("ascii hex digits");
+    u32::from_str_radix(hex, 16).map_err(|e| e.to_string())
+}
+
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     *pos += 1; // opening quote
     let mut out = String::new();
@@ -285,24 +303,49 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .ok_or("truncated \\u escape")?;
-                        let code = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        let c = match code {
+                            // A high surrogate must be followed by a low
+                            // one: JSON encodes non-BMP characters as a
+                            // `\uD800-\uDBFF` + `\uDC00-\uDFFF` pair.
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1) != Some(&b'\\')
+                                    || bytes.get(*pos + 2) != Some(&b'u')
+                                {
+                                    return Err("unpaired surrogate in \\u escape".to_string());
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err("unpaired surrogate in \\u escape".to_string());
+                                }
+                                *pos += 6;
+                                let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(scalar).expect("surrogate pairs combine to a char")
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err("unpaired surrogate in \\u escape".to_string())
+                            }
+                            _ => char::from_u32(code).expect("non-surrogate BMP code point"),
+                        };
+                        out.push(c);
                     }
                     _ => return Err("bad escape".to_string()),
                 }
                 *pos += 1;
             }
             Some(_) => {
-                // Multi-byte UTF-8: copy the whole scalar.
-                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
-                let c = rest.chars().next().expect("non-empty");
-                out.push(c);
-                *pos += c.len_utf8();
+                // Bulk-copy the run up to the next quote or backslash in
+                // one UTF-8 validation — per-character re-validation of the
+                // remaining input would make a megabyte-scale line
+                // (MAX_LINE_BYTES is 2²⁰) quadratic, a cheap way to pin a
+                // worker.
+                let start = *pos;
+                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                    *pos += 1;
+                }
+                let run = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                out.push_str(run);
             }
         }
     }
@@ -555,6 +598,48 @@ mod tests {
             &JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.0)])
         );
         assert_eq!(doc.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_supplementary_characters() {
+        // `\ud83d\ude00` is U+1F600 (😀); the pair must combine, not
+        // decode half-by-half into replacement characters.
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), JsonValue::Str("\u{1F600}".into()));
+        assert_eq!(parse(r#""a\ud834\udd1eb""#).unwrap(), JsonValue::Str("a\u{1D11E}b".into()));
+        // Raw (unescaped) non-BMP UTF-8 passes through untouched.
+        assert_eq!(parse("\"\u{1F600}\"").unwrap(), JsonValue::Str("\u{1F600}".into()));
+        // An id holding an escaped pair echoes back the original character.
+        let (id, _) = decode_request(r#"{"id":"\ud83d\ude00","op":"stats"}"#);
+        assert_eq!(id, quote("\u{1F600}"));
+        // Unpaired or malformed surrogates are parse errors, not U+FFFD.
+        for bad in [
+            r#""\ud83d""#,       // lone high surrogate
+            r#""\ud83dx""#,      // high surrogate then a literal char
+            r#""\ud83d\n""#,     // high surrogate then a non-\u escape
+            r#""\ud83d\u0041""#, // high surrogate then a BMP escape
+            r#""\ude00""#,       // lone low surrogate
+            r#""\ud83d\ud83d""#, // high surrogate twice
+            r#""\u12g4""#,       // non-hex digit
+            r#""\u+123""#,       // sign accepted by from_str_radix, not JSON
+        ] {
+            assert!(parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn cap_sized_strings_parse_in_linear_time() {
+        // A MAX_LINE_BYTES-scale string value must parse with one bulk
+        // UTF-8 validation per run, not one per character — the quadratic
+        // version takes minutes here and hangs the suite.
+        let body = "x".repeat(MAX_LINE_BYTES - 2);
+        let line = format!("\"{body}\"");
+        assert_eq!(parse(&line).unwrap(), JsonValue::Str(body));
+        // Runs broken up by escapes and multi-byte characters still stitch
+        // together correctly.
+        let mixed = format!("\"{}\\n{}é\"", "a".repeat(70_000), "b".repeat(70_000));
+        let JsonValue::Str(s) = parse(&mixed).unwrap() else { panic!() };
+        assert_eq!(s.len(), 140_000 + 1 + 'é'.len_utf8());
+        assert!(s.ends_with("bé") && s.contains('\n'));
     }
 
     #[test]
