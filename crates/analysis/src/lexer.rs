@@ -1,0 +1,400 @@
+//! A span-tracked Rust lexer — the token layer every lint works on.
+//!
+//! This is deliberately *not* a parser: the lints need token identity,
+//! adjacency, and brace structure, none of which require an AST.  The lexer
+//! must however be exact about the things that would otherwise corrupt
+//! token identity — string literals (including raw and byte strings),
+//! char-vs-lifetime disambiguation, nested block comments, and float
+//! literals — so that `bytes[pos]` inside a string is never mistaken for an
+//! index expression and `1.0 == x` is never mistaken for an integer.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `r#match`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Integer literal (`42`, `0xFF`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `1e-5`, `2f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Line comment, including doc comments (`//`, `///`, `//!`).
+    LineComment,
+    /// Block comment, possibly nested (`/* … */`).
+    BlockComment,
+    /// Punctuation, maximal-munch joined (`==`, `::`, `->`, `{`, …).
+    Punct,
+}
+
+/// One token: a kind plus its byte span in the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// Multi-character operators, longest first so maximal munch is a linear
+/// scan.  Single characters fall through to a one-byte `Punct`.
+const JOINED: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=",
+    "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>", "..",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `text`.  Unterminated literals and comments are tolerated (the
+/// remainder of the file becomes one token) — the linter must keep walking
+/// a workspace even when one file mid-edit does not lex.
+pub fn lex(text: &str) -> Vec<Token> {
+    Lexer { text, bytes: text.as_bytes(), pos: 0, tokens: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    text: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let c = self.cur_char();
+            if c.is_whitespace() {
+                self.pos += c.len_utf8();
+            } else if self.starts_with("//") {
+                self.line_comment(start);
+            } else if self.starts_with("/*") {
+                self.block_comment(start);
+            } else if let Some(len) = self.string_prefix() {
+                self.string_literal(start, len);
+            } else if c == '\'' {
+                self.char_or_lifetime(start);
+            } else if c.is_ascii_digit() {
+                self.number(start);
+            } else if is_ident_start(c) {
+                self.ident(start);
+            } else {
+                self.punct(start);
+            }
+        }
+        self.tokens
+    }
+
+    fn cur_char(&self) -> char {
+        self.text[self.pos..].chars().next().unwrap_or('\0')
+    }
+
+    fn peek_char_at(&self, at: usize) -> Option<char> {
+        self.text.get(at..).and_then(|s| s.chars().next())
+    }
+
+    fn starts_with(&self, pat: &str) -> bool {
+        self.bytes[self.pos..].starts_with(pat.as_bytes())
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        self.tokens.push(Token { kind, start, end: self.pos });
+    }
+
+    fn line_comment(&mut self, start: usize) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start);
+    }
+
+    fn block_comment(&mut self, start: usize) {
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.starts_with("/*") {
+                depth += 1;
+                self.pos += 2;
+            } else if self.starts_with("*/") {
+                depth -= 1;
+                self.pos += 2;
+            } else {
+                self.pos += self.cur_char().len_utf8();
+            }
+        }
+        self.push(TokenKind::BlockComment, start);
+    }
+
+    /// If the cursor sits on a string-literal prefix (`"`, `r"`, `r#"`,
+    /// `b"`, `br#"` …), returns the number of `#`s in the raw guard, or
+    /// `None` when this is not a string start.  `r#ident` (raw identifier)
+    /// is *not* a string and returns `None`.
+    fn string_prefix(&self) -> Option<usize> {
+        let rest = &self.bytes[self.pos..];
+        let after = match rest {
+            [b'"', ..] => return Some(0),
+            [b'b', b'"', ..] => return Some(0),
+            [b'r', tail @ ..] | [b'b', b'r', tail @ ..] => tail,
+            _ => return None,
+        };
+        let hashes = after.iter().take_while(|&&b| b == b'#').count();
+        (after.get(hashes) == Some(&b'"')).then_some(hashes)
+    }
+
+    fn string_literal(&mut self, start: usize, hashes: usize) {
+        let raw = self.bytes[self.pos] == b'r'
+            || (self.bytes[self.pos] == b'b' && self.bytes.get(self.pos + 1) == Some(&b'r'));
+        // Skip the prefix up to and including the opening quote.
+        while self.bytes.get(self.pos) != Some(&b'"') {
+            self.pos += 1;
+        }
+        self.pos += 1;
+        if raw {
+            let close: Vec<u8> =
+                std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+            while self.pos < self.bytes.len() {
+                if self.bytes[self.pos..].starts_with(&close) {
+                    self.pos += close.len();
+                    break;
+                }
+                self.pos += self.cur_char().len_utf8();
+            }
+        } else {
+            while self.pos < self.bytes.len() {
+                match self.bytes[self.pos] {
+                    b'\\' => self.pos += 2,
+                    b'"' => {
+                        self.pos += 1;
+                        break;
+                    }
+                    _ => self.pos += self.cur_char().len_utf8(),
+                }
+            }
+        }
+        self.push(TokenKind::Str, start);
+    }
+
+    fn char_or_lifetime(&mut self, start: usize) {
+        // `'` then: escape → char literal; ident-start then `'` → char
+        // literal (`'a'`); ident-start otherwise → lifetime (`'a`, `'static`).
+        self.pos += 1;
+        match self.peek_char_at(self.pos) {
+            Some('\\') => {
+                self.pos += 1;
+                if self.pos < self.bytes.len() {
+                    self.pos += self.cur_char().len_utf8();
+                }
+                // Consume to the closing quote (covers `\u{…}`).
+                while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\'' {
+                    self.pos += self.cur_char().len_utf8();
+                }
+                self.pos += 1;
+                self.push(TokenKind::Char, start);
+            }
+            Some(c) if is_ident_start(c) => {
+                let after = self.pos + c.len_utf8();
+                if self.peek_char_at(after) == Some('\'') {
+                    self.pos = after + 1;
+                    self.push(TokenKind::Char, start);
+                } else {
+                    self.pos = after;
+                    while self.peek_char_at(self.pos).map(is_ident_continue).unwrap_or(false) {
+                        self.pos += self.cur_char().len_utf8();
+                    }
+                    self.push(TokenKind::Lifetime, start);
+                }
+            }
+            Some(c) if c != '\'' => {
+                // Non-ident char literal: `'+'`, `'é'`.
+                self.pos += c.len_utf8();
+                if self.bytes.get(self.pos) == Some(&b'\'') {
+                    self.pos += 1;
+                }
+                self.push(TokenKind::Char, start);
+            }
+            _ => {
+                self.push(TokenKind::Punct, start);
+            }
+        }
+    }
+
+    fn number(&mut self, start: usize) {
+        let mut kind = TokenKind::Int;
+        if self.starts_with("0x") || self.starts_with("0b") || self.starts_with("0o") {
+            self.pos += 2;
+            while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+            {
+                self.pos += 1;
+            }
+            self.push(kind, start);
+            return;
+        }
+        let digits = |b: &u8| b.is_ascii_digit() || *b == b'_';
+        while self.bytes.get(self.pos).is_some_and(digits) {
+            self.pos += 1;
+        }
+        // Fractional part: `1.0` is a float, but `1..2` is an int + range
+        // and `1.max(2)` is an int + method call.
+        if self.bytes.get(self.pos) == Some(&b'.') {
+            let after = self.peek_char_at(self.pos + 1);
+            let is_fraction = match after {
+                Some(c) => c.is_ascii_digit() || !(c == '.' || is_ident_start(c)),
+                None => true,
+            };
+            if is_fraction {
+                kind = TokenKind::Float;
+                self.pos += 1;
+                while self.bytes.get(self.pos).is_some_and(digits) {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Exponent.
+        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
+            let mut look = self.pos + 1;
+            if matches!(self.bytes.get(look), Some(b'+' | b'-')) {
+                look += 1;
+            }
+            if self.bytes.get(look).is_some_and(u8::is_ascii_digit) {
+                kind = TokenKind::Float;
+                self.pos = look;
+                while self.bytes.get(self.pos).is_some_and(digits) {
+                    self.pos += 1;
+                }
+            }
+        }
+        // Suffix (`u64`, `f64`, …) — an `f32`/`f64` suffix floats the token.
+        let suffix_start = self.pos;
+        while self.peek_char_at(self.pos).map(is_ident_continue).unwrap_or(false) {
+            self.pos += self.cur_char().len_utf8();
+        }
+        if matches!(&self.text[suffix_start..self.pos], "f32" | "f64") {
+            kind = TokenKind::Float;
+        }
+        self.push(kind, start);
+    }
+
+    fn ident(&mut self, start: usize) {
+        // `r#keyword` raw identifiers lex as one Ident token.
+        if self.starts_with("r#")
+            && self.peek_char_at(self.pos + 2).map(is_ident_start) == Some(true)
+        {
+            self.pos += 2;
+        }
+        while self.peek_char_at(self.pos).map(is_ident_continue).unwrap_or(false) {
+            self.pos += self.cur_char().len_utf8();
+        }
+        self.push(TokenKind::Ident, start);
+    }
+
+    fn punct(&mut self, start: usize) {
+        for op in JOINED {
+            if self.starts_with(op) {
+                self.pos += op.len();
+                self.push(TokenKind::Punct, start);
+                return;
+            }
+        }
+        self.pos += self.cur_char().len_utf8();
+        self.push(TokenKind::Punct, start);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, &src[t.start..t.end])).collect()
+    }
+
+    #[test]
+    fn floats_ints_ranges_and_method_calls_disambiguate() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("1.0 1..2 1.max(2) 1e5 1.5e-3 0xFF 2f64 1_000u32"),
+            vec![
+                (Float, "1.0"),
+                (Int, "1"),
+                (Punct, ".."),
+                (Int, "2"),
+                (Int, "1"),
+                (Punct, "."),
+                (Ident, "max"),
+                (Punct, "("),
+                (Int, "2"),
+                (Punct, ")"),
+                (Float, "1e5"),
+                (Float, "1.5e-3"),
+                (Int, "0xFF"),
+                (Float, "2f64"),
+                (Int, "1_000u32"),
+            ]
+        );
+    }
+
+    #[test]
+    fn chars_lifetimes_and_strings_disambiguate() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r##"'a' 'static '\n' "x[i]" r#"raw "q" "# b"by" 'é'"##),
+            vec![
+                (Char, "'a'"),
+                (Lifetime, "'static"),
+                (Char, r"'\n'"),
+                (Str, "\"x[i]\""),
+                (Str, "r#\"raw \"q\" \"#"),
+                (Str, "b\"by\""),
+                (Char, "'é'"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_nest_and_operators_join() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a == b // trail\n/* o /* i */ o */ c != 1.0"),
+            vec![
+                (Ident, "a"),
+                (Punct, "=="),
+                (Ident, "b"),
+                (LineComment, "// trail"),
+                (BlockComment, "/* o /* i */ o */"),
+                (Ident, "c"),
+                (Punct, "!="),
+                (Float, "1.0"),
+            ]
+        );
+    }
+
+    #[test]
+    fn index_brackets_inside_strings_are_not_tokens() {
+        let toks = kinds(r#"let s = "bytes[pos]"; v[i]"#);
+        let brackets: Vec<&str> = toks
+            .iter()
+            .filter(|(k, t)| *k == TokenKind::Punct && *t == "[")
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(brackets.len(), 1, "only the real index: {toks:?}");
+    }
+
+    #[test]
+    fn unterminated_input_still_lexes() {
+        assert!(!lex("let s = \"open").is_empty());
+        assert!(!lex("/* open").is_empty());
+        assert!(!lex("'x").is_empty());
+    }
+}

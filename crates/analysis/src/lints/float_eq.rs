@@ -1,0 +1,194 @@
+//! **float-eq** — no `==`/`!=` between float-typed expressions in the
+//! numeric crates.
+//!
+//! The repo's headline identity — batch-of-one is *bitwise* identical to
+//! the serial path — survives only because float comparison is disciplined:
+//! identity checks go through `to_bits()`, tolerance checks through
+//! `(a - b).abs() < eps`.  A raw `x == y` on floats is either a disguised
+//! identity check (write `to_bits`) or an accidental tolerance bug.
+//!
+//! Without type inference the lint is a token heuristic: a `==`/`!=` is
+//! flagged when either operand *visibly* involves floats — a float literal
+//! (`0.0`, `1e-5`), an `as f64`/`as f32` cast, or an `f64::`/`f32::` path.
+//! Exact structural zero/sentinel checks (`rate == 0.0` short-circuits
+//! that are documented identities, not tolerance checks) carry allow
+//! markers.  Integer comparisons (`to_bits() == to_bits()`, `span == 1`)
+//! never fire.
+
+use super::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Tokens that delimit a comparison operand when scanning outward from the
+/// operator at bracket-depth 0.
+const STOPPERS: &[&str] = &[
+    ",",
+    ";",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "=>",
+    "->",
+    "<",
+    ">",
+    "<=",
+    ">=",
+    "return",
+    "if",
+    "while",
+    "match",
+    "assert",
+    "debug_assert",
+    "let",
+    "else",
+    "in",
+];
+
+/// Runs the lint over one file, appending findings.
+pub fn float_eq(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for (i, tok) in toks.iter().enumerate() {
+        if tok.kind != TokenKind::Punct
+            || !matches!(file.tok(i), "==" | "!=")
+            || file.in_test(tok.start)
+        {
+            continue;
+        }
+        let op = file.tok(i).to_string();
+        if operand_is_floaty(file, i, false) || operand_is_floaty(file, i, true) {
+            findings.push(Finding::at(
+                "float-eq",
+                file,
+                tok.start,
+                format!(
+                    "`{op}` between float-typed expressions; compare `to_bits()` for identity \
+                     or an explicit tolerance, or annotate the exact-value invariant"
+                ),
+            ));
+        }
+    }
+}
+
+/// Walks outward from the comparison operator at token `op` (left when
+/// `forward` is false, right when true) until an operand boundary, and
+/// reports whether the operand slice shows float evidence.
+fn operand_is_floaty(file: &SourceFile, op: usize, forward: bool) -> bool {
+    let mut depth = 0i64;
+    let mut j = op;
+    let mut prev_ident: Option<String> = None;
+    loop {
+        let next = if forward { file.next_code(j) } else { file.prev_code(j) };
+        let Some(n) = next else { return false };
+        let text = file.tok(n);
+        if file.tokens[n].kind == TokenKind::Punct {
+            // Bracket tracking: scanning left, a closer *opens* a nested
+            // group; scanning right, an opener does.
+            let (opens, closes) = if forward { ("([", ")]") } else { (")]", "([") };
+            if opens.contains(text) {
+                depth += 1;
+            } else if closes.contains(text) {
+                if depth == 0 {
+                    return false; // operand boundary
+                }
+                depth -= 1;
+            } else if depth == 0 && STOPPERS.contains(&text) {
+                return false;
+            }
+        } else if depth == 0 && STOPPERS.contains(&text) {
+            return false;
+        }
+        match file.tokens[n].kind {
+            TokenKind::Float => return true,
+            TokenKind::Ident => {
+                let t = text;
+                // `as f64` / `f64::NAN` / `f32::…`.
+                if matches!(t, "f32" | "f64") {
+                    let prior = prev_ident.as_deref();
+                    let cast = if forward {
+                        // moving right: `as` was seen just before `f64`
+                        prior == Some("as")
+                    } else {
+                        // moving left: we see `f64` first; confirm `as`
+                        // precedes it in source order
+                        file.prev_code(n).map(|p| file.tok(p)) == Some("as")
+                    };
+                    let path = file.next_code(n).map(|m| file.tok(m)) == Some("::");
+                    if cast || path {
+                        return true;
+                    }
+                }
+                prev_ident = Some(t.to_string());
+            }
+            _ => {}
+        }
+        j = n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let file = SourceFile::new(Path::new("t.rs"), src.to_string(), &mut findings);
+        float_eq(&file, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_float_literal_comparisons_both_sides() {
+        assert_eq!(run("fn f(x: f64) -> bool { x == 0.0 }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { 1.5 != x }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { x.fract() == 0.0 }").len(), 1);
+    }
+
+    #[test]
+    fn flags_casts_and_float_paths() {
+        assert_eq!(run("fn f(n: usize, x: f64) -> bool { x == n as f64 }").len(), 1);
+        assert_eq!(run("fn f(x: f64) -> bool { x == f64::MAX }").len(), 1);
+    }
+
+    #[test]
+    fn integer_and_enum_comparisons_pass() {
+        let src = "\
+fn f(a: u64, b: u64, span: usize, dir: bool) -> f64 {
+    if a.to_bits() == b.to_bits() { return 1.0; }
+    let q = if span == 1 { 2.0 } else { 1.0 };
+    if dir == true { q } else { 0.0 }
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t(x: f64) { assert!(x == 0.0); }
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn operand_scan_stops_at_boundaries() {
+        // The float literal lives in a *different* argument/statement than
+        // the comparison; the scan must not leak across `,` or `;`.
+        assert!(run("fn f(a: i32) { g(a == 1, 2.0); }").is_empty());
+        assert!(run("fn f(a: i32) { let x = 2.0; let y = a == 1; }").is_empty());
+        // Inside a call on the operand side, floats still count.
+        assert_eq!(run("fn f(a: f64) -> bool { a.max(0.0) == a }").len(), 1);
+    }
+}

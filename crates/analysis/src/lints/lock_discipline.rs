@@ -1,0 +1,404 @@
+//! **lock-discipline** — a `MutexGuard` must not live across a channel
+//! send, blocking I/O, or a condvar wait that is not taken through it.
+//!
+//! The service's liveness rests on a simple discipline: the queue lock is
+//! held for queue surgery only.  Holding a guard across a bounded-channel
+//! `send` (which blocks when the peer stalls), a socket read/write, or a
+//! thread join turns backpressure into a lock convoy — every other client
+//! stalls behind one slow peer.  A condvar wait is the one *sanctioned*
+//! block-while-holding, and only when the wait consumes that same guard
+//! (`cv.wait(guard)` / `wait_unpoisoned(&cv, guard)`).
+//!
+//! Guard recognition is lexical: a `let` binding whose initialiser either
+//! calls the project's `lock_unpoisoned(…)` helper or ends in a
+//! `.lock()`-then-unwrap chain.  The guard's scope runs to the end of its
+//! enclosing block, or to an explicit `drop(guard)`.
+
+use super::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+/// Method names that block on a channel peer.
+const CHANNEL_OPS: &[&str] = &["send", "recv", "send_timeout", "recv_timeout"];
+/// Method names that block on I/O or another thread.
+const BLOCKING_OPS: &[&str] = &[
+    "read",
+    "read_line",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write",
+    "write_all",
+    "flush",
+    "accept",
+    "connect",
+    "join",
+    "sleep",
+];
+/// Condvar waits (method and helper form).
+const WAIT_OPS: &[&str] =
+    &["wait", "wait_timeout", "wait_while", "wait_unpoisoned", "wait_timeout_unpoisoned"];
+
+/// Runs the lint over one file, appending findings.
+pub fn lock_discipline(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind != TokenKind::Ident || file.tok(i) != "let" || file.in_test(toks[i].start) {
+            continue;
+        }
+        // `let [mut] NAME = init ;` — anything fancier (tuple patterns,
+        // types) is not how guards are bound in this codebase.
+        let Some(mut j) = file.next_code(i) else { continue };
+        if file.tok(j) == "mut" {
+            let Some(n) = file.next_code(j) else { continue };
+            j = n;
+        }
+        if toks[j].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.tok(j).to_string();
+        let Some(eq) = file.next_code(j) else { continue };
+        if file.tok(eq) != "=" {
+            continue;
+        }
+        // Initialiser: tokens to the statement's `;` at bracket depth 0.
+        let Some(semi) = stmt_end(file, eq) else { continue };
+        if !init_is_guard(file, eq + 1, semi) {
+            continue;
+        }
+        // Guard scope: from the `;` to the end of the enclosing block or an
+        // explicit `drop(name)`.
+        let scope_close = file.scope_end(i);
+        scan_guard_scope(file, &name, semi, scope_close, findings);
+    }
+}
+
+/// Token index of the `;` ending the statement whose `=` is at `eq`.
+fn stmt_end(file: &SourceFile, eq: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut j = eq;
+    while let Some(n) = file.next_code(j) {
+        let t = file.tok(n);
+        if file.tokens[n].kind == TokenKind::Punct {
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => depth -= 1,
+                ";" if depth == 0 => return Some(n),
+                _ => {}
+            }
+        }
+        j = n;
+    }
+    None
+}
+
+/// Whether the initialiser tokens in `(from..to)` produce a live guard:
+/// a `lock_unpoisoned(…)` call, or a `.lock()` chain whose only following
+/// methods are unwrap-flavoured (a `.lock().map(…)` that consumes the
+/// guard inside the closure is *not* a guard binding).
+fn init_is_guard(file: &SourceFile, from: usize, to: usize) -> bool {
+    // A block or closure initialiser is never itself a guard binding: a
+    // guard acquired inside lives (and dies) in its own scope.  The rare
+    // guard-returning block `let g = { m.lock().unwrap() };` is accepted as
+    // a false negative — the codebase never binds guards that way.
+    let mut first = from;
+    while first < to
+        && matches!(file.tokens[first].kind, TokenKind::LineComment | TokenKind::BlockComment)
+    {
+        first += 1;
+    }
+    if first < to && matches!(file.tok(first), "{" | "|" | "||" | "move") {
+        return false;
+    }
+    let mut saw_lock_at = None;
+    for j in from..to {
+        if file.tokens[j].kind != TokenKind::Ident {
+            continue;
+        }
+        match file.tok(j) {
+            "lock_unpoisoned" if file.next_code(j).map(|n| file.tok(n)) == Some("(") => {
+                // The binding holds the guard only when the call *is* the
+                // initialiser: passed inline into another call — e.g.
+                // `std::mem::take(&mut *lock_unpoisoned(&m))` — the
+                // temporary guard dies at the statement's `;`.
+                return call_spans_init(file, j, from, to);
+            }
+            "lock"
+                if file.prev_code(j).map(|p| file.tok(p)) == Some(".")
+                    && file.next_code(j).map(|n| file.tok(n)) == Some("(") =>
+            {
+                saw_lock_at = Some(j);
+            }
+            _ => {}
+        }
+    }
+    let Some(lock_at) = saw_lock_at else { return false };
+    // Every method call after `.lock()` must be unwrap-flavoured for the
+    // binding to still be the guard itself.
+    for j in lock_at + 1..to {
+        if file.tokens[j].kind == TokenKind::Ident
+            && file.prev_code(j).map(|p| file.tok(p)) == Some(".")
+            && file.next_code(j).map(|n| file.tok(n)) == Some("(")
+            && !matches!(file.tok(j), "unwrap" | "expect" | "unwrap_or_else")
+        {
+            return false;
+        }
+    }
+    true
+}
+
+/// Whether the call whose name token is at `name_tok` makes up the whole
+/// initialiser `(from..to)`: only a path prefix (`crate::sync::` …) before
+/// the name, and the call's closing `)` is the initialiser's last token.
+fn call_spans_init(file: &SourceFile, name_tok: usize, from: usize, to: usize) -> bool {
+    // Before the name: idents and `::` only.
+    let mut j = from;
+    while j < name_tok {
+        match file.tokens[j].kind {
+            TokenKind::Ident => {}
+            TokenKind::Punct if file.tok(j) == "::" => {}
+            TokenKind::LineComment | TokenKind::BlockComment => {}
+            _ => return false,
+        }
+        j += 1;
+    }
+    // After the name: the matching `)` must close right before `to`.
+    let Some(open) = file.next_code(name_tok) else { return false };
+    let mut depth = 0i64;
+    let mut k = open;
+    loop {
+        if file.tokens[k].kind == TokenKind::Punct {
+            match file.tok(k) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return file.next_code(k) == Some(to);
+                    }
+                }
+                _ => {}
+            }
+        }
+        match file.next_code(k) {
+            Some(n) if n < to => k = n,
+            _ => return false,
+        }
+    }
+}
+
+/// Scans a guard's live range for blocking operations.
+fn scan_guard_scope(
+    file: &SourceFile,
+    guard: &str,
+    from_tok: usize,
+    scope_close_byte: usize,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &file.tokens;
+    let mut j = from_tok;
+    while let Some(n) = file.next_code(j) {
+        j = n;
+        if toks[n].start >= scope_close_byte {
+            return;
+        }
+        if toks[n].kind != TokenKind::Ident {
+            continue;
+        }
+        let name = file.tok(n);
+        let next_is_call = file.next_code(n).map(|m| file.tok(m)) == Some("(");
+        if !next_is_call {
+            continue;
+        }
+        // `drop(guard)` ends the live range.
+        if name == "drop" && first_args_contain(file, n, guard) {
+            return;
+        }
+        let is_method = file.prev_code(n).map(|p| file.tok(p)) == Some(".");
+        if WAIT_OPS.contains(&name) && first_args_contain(file, n, guard) {
+            // Sanctioned: the wait consumes and re-acquires this guard.
+            continue;
+        }
+        if WAIT_OPS.contains(&name) && (is_method || name.ends_with("_unpoisoned")) {
+            findings.push(Finding::at(
+                "lock-discipline",
+                file,
+                toks[n].start,
+                format!(
+                    "condvar `{name}` while `{guard}` is held but not passed to it; a wait \
+                     that does not release the guard deadlocks its waker"
+                ),
+            ));
+            continue;
+        }
+        if is_method && CHANNEL_OPS.contains(&name) {
+            findings.push(Finding::at(
+                "lock-discipline",
+                file,
+                toks[n].start,
+                format!(
+                    "channel `.{name}()` while `MutexGuard` `{guard}` is held; a blocked peer \
+                     turns this lock into a convoy — drop the guard first"
+                ),
+            ));
+        } else if is_method && BLOCKING_OPS.contains(&name) {
+            findings.push(Finding::at(
+                "lock-discipline",
+                file,
+                toks[n].start,
+                format!(
+                    "blocking `.{name}()` while `MutexGuard` `{guard}` is held; \
+                     drop the guard before blocking"
+                ),
+            ));
+        }
+    }
+}
+
+/// Whether the call whose name token is at `name_tok` mentions `guard`
+/// among its immediate argument tokens.
+fn first_args_contain(file: &SourceFile, name_tok: usize, guard: &str) -> bool {
+    let Some(open) = file.next_code(name_tok) else { return false };
+    let mut depth = 0i64;
+    let mut j = open;
+    loop {
+        let t = file.tok(j);
+        if file.tokens[j].kind == TokenKind::Punct {
+            match t {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return false;
+                    }
+                }
+                _ => {}
+            }
+        } else if file.tokens[j].kind == TokenKind::Ident && t == guard {
+            return true;
+        }
+        match file.next_code(j) {
+            Some(n) => j = n,
+            None => return false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let file = SourceFile::new(Path::new("t.rs"), src.to_string(), &mut findings);
+        lock_discipline(&file, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn send_and_io_under_a_guard_are_flagged() {
+        let src = "\
+fn f(m: &std::sync::Mutex<i32>, tx: &std::sync::mpsc::SyncSender<i32>) {
+    let state = m.lock().unwrap();
+    tx.send(*state).ok();
+}
+fn g(m: &std::sync::Mutex<i32>, out: &mut dyn std::io::Write) {
+    let state = lock_unpoisoned(m);
+    out.flush().ok();
+}
+";
+        let findings = run(src);
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert!(findings[0].message.contains("send"));
+        assert!(findings[1].message.contains("flush"));
+    }
+
+    #[test]
+    fn wait_through_the_guard_is_sanctioned_wait_past_it_is_not() {
+        let src = "\
+fn ok(m: &std::sync::Mutex<i32>, cv: &std::sync::Condvar) {
+    let mut state = m.lock().unwrap();
+    state = cv.wait(state).unwrap();
+    let _ = state;
+}
+fn bad(m: &std::sync::Mutex<i32>, cv: &std::sync::Condvar, other: std::sync::MutexGuard<i32>) {
+    let state = m.lock().unwrap();
+    let _ = cv.wait(other);
+    let _ = state;
+}
+";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("not passed"));
+    }
+
+    #[test]
+    fn dropping_the_guard_ends_its_scope() {
+        let src = "\
+fn f(m: &std::sync::Mutex<i32>, tx: &std::sync::mpsc::SyncSender<i32>) {
+    let state = m.lock().unwrap();
+    drop(state);
+    tx.send(1).ok();
+}
+fn block_scoped(m: &std::sync::Mutex<i32>, tx: &std::sync::mpsc::SyncSender<i32>) {
+    {
+        let state = m.lock().unwrap();
+        let _ = *state;
+    }
+    tx.send(1).ok();
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn inline_lock_unpoisoned_consumed_by_another_call_is_not_a_binding() {
+        let src = "\
+fn f(m: &std::sync::Mutex<Vec<std::thread::JoinHandle<()>>>) {
+    let drained = std::mem::take(&mut *lock_unpoisoned(m));
+    for handle in drained {
+        let _ = handle.join();
+    }
+}
+fn g(m: &std::sync::Mutex<i32>, out: &mut dyn std::io::Write) {
+    let guard = crate::sync::lock_unpoisoned(m);
+    out.flush().ok();
+    let _ = guard;
+}
+";
+        let findings = run(src);
+        // `g`'s path-qualified binding is still a guard; `f`'s inline
+        // temporary dies at the `;` and must not be.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("flush"));
+    }
+
+    #[test]
+    fn block_and_closure_initialisers_are_not_guard_bindings() {
+        let src = "\
+fn f(m: &std::sync::Mutex<i32>, tx: &std::sync::mpsc::SyncSender<i32>) {
+    let snapshot = {
+        let state = m.lock().unwrap();
+        *state
+    };
+    tx.send(snapshot).ok();
+}
+fn g(m: &'static std::sync::Mutex<i32>, tx: &std::sync::mpsc::SyncSender<i32>) {
+    let read = move || *m.lock().unwrap();
+    tx.send(read()).ok();
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn consuming_lock_chains_are_not_guard_bindings() {
+        let src = "\
+fn f(m: &std::sync::Mutex<Vec<i32>>, tx: &std::sync::mpsc::SyncSender<usize>) {
+    let depth = m.lock().map(|q| q.len()).unwrap_or_default();
+    tx.send(depth).ok();
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+}

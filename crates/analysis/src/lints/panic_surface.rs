@@ -1,0 +1,170 @@
+//! **panic-surface** — no reachable panics in the service layer.
+//!
+//! `crates/service` is the front door under traffic: a panic in a worker or
+//! connection thread silently drops every request behind it.  Non-test
+//! service code may not use:
+//!
+//! * `.unwrap()` / `.expect(…)` (`unwrap_or_else` and friends are fine)
+//! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`
+//! * slice/array index expressions `x[i]` (use `.get(…)` or carry an allow
+//!   marker whose reason names the bounds guarantee)
+//!
+//! Lock-poison handling goes through the documented
+//! `sync::lock_unpoisoned` helper rather than per-site `.unwrap()`.
+
+use super::Finding;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the lint over one file, appending findings.
+pub fn panic_surface(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for i in 0..toks.len() {
+        let t = toks[i];
+        if file.in_test(t.start) {
+            continue;
+        }
+        match t.kind {
+            TokenKind::Ident => {
+                let name = file.tok(i);
+                let next = file.next_code(i).map(|j| file.tok(j));
+                if matches!(name, "unwrap" | "expect")
+                    && file.prev_code(i).map(|p| file.tok(p)) == Some(".")
+                    && next == Some("(")
+                {
+                    findings.push(Finding::at(
+                        "panic-surface",
+                        file,
+                        t.start,
+                        format!(
+                            "`.{name}()` can panic a service thread; return the error \
+                             (`ServiceError`/`io::Error`) or annotate the invariant"
+                        ),
+                    ));
+                } else if PANIC_MACROS.contains(&name) && next == Some("!") {
+                    findings.push(Finding::at(
+                        "panic-surface",
+                        file,
+                        t.start,
+                        format!("`{name}!` in service code panics the worker; return an error"),
+                    ));
+                }
+            }
+            TokenKind::Punct if file.tok(i) == "[" => {
+                // Index expression: `[` directly following a value-ish
+                // token.  Array literals (`= [0; 8]`), types (`: [u8; 4]`),
+                // attributes (`#[…]`) and macro brackets (`vec![…]`) all
+                // follow non-value tokens and are not flagged.
+                let Some(p) = file.prev_code(i) else { continue };
+                let prev = &toks[p];
+                let value_ish = match prev.kind {
+                    TokenKind::Ident => {
+                        // An ident directly before `[` is a value unless it
+                        // is a keyword (`return [`, `in [`, …).
+                        !matches!(
+                            file.tok(p),
+                            "return"
+                                | "in"
+                                | "if"
+                                | "else"
+                                | "match"
+                                | "break"
+                                | "mut"
+                                | "dyn"
+                                | "pub"
+                                | "const"
+                                | "static"
+                        )
+                    }
+                    TokenKind::Punct => matches!(file.tok(p), ")" | "]" | "?"),
+                    // Tuple-field indexing: `pair.0[i]`.
+                    TokenKind::Int | TokenKind::Str => true,
+                    _ => false,
+                };
+                if value_ish {
+                    findings.push(Finding::at(
+                        "panic-surface",
+                        file,
+                        t.start,
+                        "index expression can panic on out-of-bounds; use `.get(…)` or \
+                         annotate the bounds guarantee"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        let file = SourceFile::new(Path::new("t.rs"), src.to_string(), &mut findings);
+        panic_surface(&file, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn flags_unwrap_expect_macros_and_indexing() {
+        let src = "\
+fn f(v: Vec<i32>, m: std::collections::HashMap<i32, i32>) -> i32 {
+    let a = v.first().unwrap();
+    let b = m.get(&1).expect(\"present\");
+    if v.is_empty() { panic!(\"empty\"); }
+    match *a { 0 => unreachable!(), _ => {} }
+    v[0]
+}
+";
+        let lints: Vec<&str> = run(src).iter().map(|f| f.lint).collect();
+        assert_eq!(lints.len(), 5, "{:?}", run(src));
+    }
+
+    #[test]
+    fn non_panicking_lookalikes_pass() {
+        let src = "\
+fn f(v: Vec<i32>) -> i32 {
+    let a = v.first().copied().unwrap_or(0);
+    let b = v.first().copied().unwrap_or_else(|| 1);
+    let cable: [i32; 2] = [0; 2];
+    let s = &v[..];
+    let t: &[i32] = &[1, 2];
+    a + b + s.first().copied().unwrap_or_default()
+}
+";
+        let findings = run(src);
+        // `&v[..]` is a real index expression (it can panic for ranges) —
+        // everything else passes.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("index"));
+    }
+
+    #[test]
+    fn tests_are_exempt() {
+        let src = "\
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { Some(1).unwrap(); panic!(\"boom\"); }
+}
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+
+    #[test]
+    fn attributes_array_types_and_macro_brackets_pass() {
+        let src = "\
+#[derive(Debug)]
+struct S { a: [u8; 4] }
+pub struct Hist(pub [u64; 16]);
+fn f() -> Vec<i32> { vec![1, 2] }
+";
+        assert!(run(src).is_empty(), "{:?}", run(src));
+    }
+}

@@ -1,0 +1,409 @@
+//! One lexed source file plus the span bookkeeping every lint needs:
+//! line/column mapping, brace depths, `#[cfg(test)]` regions, and the
+//! `// amopt-lint:` marker grammar (hot-path regions and allow sites).
+
+use crate::lexer::{self, Token, TokenKind};
+use crate::lints::{Finding, LINT_NAMES};
+use std::path::{Path, PathBuf};
+
+/// How far an [`Allow`] marker reaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllowScope {
+    /// Exactly one source line (the marker's own, or the next code line for
+    /// a standalone marker).
+    Line(u32),
+    /// A byte range: from the marker to the end of its enclosing brace
+    /// scope (`allow-scope`).
+    Range(usize, usize),
+}
+
+/// One parsed `// amopt-lint: allow(...)` marker.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Lint names this marker silences.
+    pub lints: Vec<String>,
+    /// The written justification (after `--`).
+    pub reason: String,
+    /// Where the marker applies.
+    pub scope: AllowScope,
+    /// Line the marker itself sits on (for unused-marker reporting).
+    pub marker_line: u32,
+}
+
+/// A lexed file with its lint context.
+pub struct SourceFile {
+    /// Path as reported in findings (workspace-relative when walked).
+    pub path: PathBuf,
+    /// Full source text.
+    pub text: String,
+    /// Token stream.
+    pub tokens: Vec<Token>,
+    /// Brace depth *before* each token (`{` at depth d leaves its contents
+    /// at d+1).
+    pub depth: Vec<u32>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items.
+    pub test_regions: Vec<(usize, usize)>,
+    /// Byte ranges annotated `// amopt-lint: hot-path`.
+    pub hot_regions: Vec<(usize, usize)>,
+    /// Parsed allow markers.
+    pub allows: Vec<Allow>,
+    line_starts: Vec<usize>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and computes the full context.  Marker-grammar errors
+    /// are appended to `findings` (they are findings like any other: a
+    /// reasonless allow must fail the gate, not silently allow).
+    pub fn new(path: &Path, text: String, findings: &mut Vec<Finding>) -> Self {
+        let tokens = lexer::lex(&text);
+        let mut line_starts = vec![0usize];
+        line_starts
+            .extend(text.bytes().enumerate().filter(|(_, b)| *b == b'\n').map(|(i, _)| i + 1));
+        let depth = compute_depths(&tokens, &text);
+        let mut file = SourceFile {
+            path: path.to_path_buf(),
+            text,
+            tokens,
+            depth,
+            test_regions: Vec::new(),
+            hot_regions: Vec::new(),
+            allows: Vec::new(),
+            line_starts,
+        };
+        file.test_regions = find_test_regions(&file);
+        file.parse_markers(findings);
+        file
+    }
+
+    /// Token text.
+    pub fn tok(&self, i: usize) -> &str {
+        &self.text[self.tokens[i].start..self.tokens[i].end]
+    }
+
+    /// 1-based `(line, column)` of a byte offset.
+    pub fn line_col(&self, offset: usize) -> (u32, u32) {
+        let line = self.line_starts.partition_point(|&s| s <= offset);
+        let col = offset - self.line_starts[line - 1];
+        (line as u32, col as u32 + 1)
+    }
+
+    /// 1-based line of a byte offset.
+    pub fn line_of(&self, offset: usize) -> u32 {
+        self.line_col(offset).0
+    }
+
+    /// Whether a byte offset falls inside a `#[cfg(test)]`/`#[test]` item.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_regions.iter().any(|&(s, e)| (s..e).contains(&offset))
+    }
+
+    /// Whether a byte offset falls inside a `hot-path` region.
+    pub fn in_hot(&self, offset: usize) -> bool {
+        self.hot_regions.iter().any(|&(s, e)| (s..e).contains(&offset))
+    }
+
+    /// Index of the next non-comment token after `i`, if any.
+    pub fn next_code(&self, i: usize) -> Option<usize> {
+        self.tokens[i + 1..]
+            .iter()
+            .position(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+            .map(|off| i + 1 + off)
+    }
+
+    /// Index of the previous non-comment token before `i`, if any.
+    pub fn prev_code(&self, i: usize) -> Option<usize> {
+        self.tokens[..i]
+            .iter()
+            .rposition(|t| !matches!(t.kind, TokenKind::LineComment | TokenKind::BlockComment))
+    }
+
+    /// End (exclusive byte offset) of the brace scope enclosing token `i`:
+    /// the closing `}` of that scope, or EOF for file scope.  Note a
+    /// closing brace is recorded at its *body's* depth, so the enclosing
+    /// close is the first `}` at `depth[i]` (nested closes sit deeper).
+    pub fn scope_end(&self, i: usize) -> usize {
+        let d = self.depth[i];
+        for (j, t) in self.tokens.iter().enumerate().skip(i + 1) {
+            if t.kind == TokenKind::Punct && self.tok(j) == "}" && self.depth[j] <= d {
+                return t.end;
+            }
+        }
+        self.text.len()
+    }
+
+    /// Byte end of the `}` matching the `{` at token index `open`.
+    pub fn brace_match(&self, open: usize) -> usize {
+        let mut depth = 0i64;
+        for t in self.tokens.iter().skip(open) {
+            if t.kind == TokenKind::Punct {
+                match &self.text[t.start..t.end] {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return t.end;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.text.len()
+    }
+
+    /// Parses every `// amopt-lint:` comment into hot regions and allows,
+    /// reporting grammar errors as `marker` findings.
+    fn parse_markers(&mut self, findings: &mut Vec<Finding>) {
+        let mut bad = |file: &SourceFile, offset: usize, msg: String| {
+            let (line, col) = file.line_col(offset);
+            findings.push(Finding {
+                lint: "marker",
+                path: file.path.clone(),
+                line,
+                col,
+                message: msg,
+            });
+        };
+        for i in 0..self.tokens.len() {
+            if self.tokens[i].kind != TokenKind::LineComment {
+                continue;
+            }
+            let start = self.tokens[i].start;
+            let body = self.tok(i).trim_start_matches('/').trim();
+            let Some(directive) = body.strip_prefix("amopt-lint:") else { continue };
+            let directive = directive.trim();
+            if directive == "hot-path" {
+                let end = self.scope_end(i);
+                self.hot_regions.push((start, end));
+                continue;
+            }
+            let (scoped, rest) = if let Some(r) = directive.strip_prefix("allow-scope(") {
+                (true, r)
+            } else if let Some(r) = directive.strip_prefix("allow(") {
+                (false, r)
+            } else {
+                bad(self, start, format!("unknown amopt-lint directive `{directive}`"));
+                continue;
+            };
+            let Some((names, tail)) = rest.split_once(')') else {
+                bad(self, start, "unclosed lint list in allow marker".to_string());
+                continue;
+            };
+            let mut lints = Vec::new();
+            for name in names.split(',').map(str::trim) {
+                if LINT_NAMES.contains(&name) {
+                    lints.push(name.to_string());
+                } else {
+                    bad(self, start, format!("unknown lint `{name}` in allow marker"));
+                }
+            }
+            let reason = match tail.trim().strip_prefix("--") {
+                Some(r) if !r.trim().is_empty() => r.trim().to_string(),
+                _ => {
+                    bad(
+                        self,
+                        start,
+                        "allow marker needs a written reason: `-- <why this is sound>`".to_string(),
+                    );
+                    continue;
+                }
+            };
+            if lints.is_empty() {
+                continue;
+            }
+            let marker_line = self.line_of(start);
+            let scope = if scoped {
+                AllowScope::Range(start, self.scope_end(i))
+            } else {
+                // Trailing marker: silences its own line.  Standalone
+                // marker (nothing but whitespace before it on the line):
+                // silences the line of the next code token.
+                let line_start = self.text[..start].rfind('\n').map(|p| p + 1).unwrap_or(0);
+                let standalone = self.text[line_start..start].trim().is_empty();
+                if standalone {
+                    match self.next_code(i) {
+                        Some(j) => AllowScope::Line(self.line_of(self.tokens[j].start)),
+                        None => AllowScope::Line(marker_line),
+                    }
+                } else {
+                    AllowScope::Line(marker_line)
+                }
+            };
+            self.allows.push(Allow { lints, reason, scope, marker_line });
+        }
+    }
+}
+
+/// Brace depth before each token.
+fn compute_depths(tokens: &[Token], text: &str) -> Vec<u32> {
+    let mut depths = Vec::with_capacity(tokens.len());
+    let mut d: u32 = 0;
+    for t in tokens {
+        let s = &text[t.start..t.end];
+        depths.push(d);
+        if t.kind == TokenKind::Punct {
+            match s {
+                "{" => d += 1,
+                "}" => d = d.saturating_sub(1),
+                _ => {}
+            }
+        }
+    }
+    depths
+}
+
+/// Byte ranges of items behind `#[cfg(test)]` or `#[test]` attributes: from
+/// the attribute to the end of the following braced item (or its `;`).
+fn find_test_regions(file: &SourceFile) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let toks = &file.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        let is_hash = toks[i].kind == TokenKind::Punct && file.tok(i) == "#";
+        if !is_hash || file.next_code(i).map(|j| file.tok(j)) != Some("[") {
+            i += 1;
+            continue;
+        }
+        // Collect the attribute's tokens up to the matching `]`.
+        let open = file.next_code(i).unwrap_or(i);
+        let mut j = open;
+        let mut bracket_depth = 0i32;
+        let mut is_test_attr = false;
+        let mut saw_cfg = false;
+        loop {
+            match file.tok(j) {
+                "[" => bracket_depth += 1,
+                "]" => {
+                    bracket_depth -= 1;
+                    if bracket_depth == 0 {
+                        break;
+                    }
+                }
+                "cfg" => saw_cfg = true,
+                "test" => is_test_attr = true,
+                _ => {}
+            }
+            j = match file.next_code(j) {
+                Some(n) => n,
+                None => break,
+            };
+        }
+        // `#[test]` (bare) or `#[cfg(test)]` / `#[cfg(all(test, …))]`.
+        let bare_test = is_test_attr && !saw_cfg && {
+            // exactly `[ test ]`
+            file.next_code(open).map(|k| file.tok(k)) == Some("test")
+        };
+        if is_test_attr && (saw_cfg || bare_test) {
+            // The region runs to the end of the next braced item, or to the
+            // terminating `;` for brace-less items.
+            let mut k = j;
+            let mut end = toks[j].end;
+            while let Some(n) = file.next_code(k) {
+                let t = file.tok(n);
+                if t == "{" {
+                    end = file.brace_match(n);
+                    break;
+                }
+                if t == ";" {
+                    end = toks[n].end;
+                    break;
+                }
+                k = n;
+            }
+            regions.push((toks[i].start, end));
+            i = j + 1;
+            continue;
+        }
+        i = j + 1;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> (SourceFile, Vec<Finding>) {
+        let mut findings = Vec::new();
+        let f = SourceFile::new(Path::new("test.rs"), src.to_string(), &mut findings);
+        (f, findings)
+    }
+
+    #[test]
+    fn line_col_is_one_based() {
+        let (f, _) = file("ab\ncd\n");
+        assert_eq!(f.line_col(0), (1, 1));
+        assert_eq!(f.line_col(3), (2, 1));
+        assert_eq!(f.line_col(4), (2, 2));
+    }
+
+    #[test]
+    fn cfg_test_region_covers_the_module() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let (f, _) = file(src);
+        assert_eq!(f.test_regions.len(), 1);
+        assert!(f.in_test(src.find("unwrap").unwrap()));
+        assert!(!f.in_test(src.find("fn a").unwrap()));
+        assert!(!f.in_test(src.find("fn c").unwrap()));
+    }
+
+    #[test]
+    fn bare_test_attribute_is_a_region_but_cfg_not_test_is_not() {
+        let src =
+            "#[test]\nfn t() { y.unwrap(); }\n#[cfg(feature = \"x\")]\nfn f() { z.unwrap(); }\n";
+        let (f, _) = file(src);
+        assert!(f.in_test(src.find("y.unwrap").unwrap()));
+        assert!(!f.in_test(src.find("z.unwrap").unwrap()));
+    }
+
+    #[test]
+    fn hot_path_marker_covers_rest_of_scope() {
+        let src = "fn cold() { alloc(); }\nfn hot() {\n  // amopt-lint: hot-path\n  a();\n}\nfn after() {}\n";
+        let (f, _) = file(src);
+        assert_eq!(f.hot_regions.len(), 1);
+        assert!(f.in_hot(src.find("a()").unwrap()));
+        assert!(!f.in_hot(src.find("alloc").unwrap()));
+        assert!(!f.in_hot(src.find("after").unwrap()));
+    }
+
+    #[test]
+    fn file_level_hot_path_covers_everything_after_it() {
+        let src = "// amopt-lint: hot-path\nfn a() {}\nfn b() {}\n";
+        let (f, _) = file(src);
+        assert!(f.in_hot(src.find("fn b").unwrap()));
+    }
+
+    #[test]
+    fn allow_markers_parse_with_scopes() {
+        let src = "\
+fn f() {
+    x.unwrap(); // amopt-lint: allow(panic-surface) -- checked above
+    // amopt-lint: allow(float-eq) -- exact zero sentinel
+    let z = a == 0.0;
+    // amopt-lint: allow-scope(hot-path-alloc) -- setup, not per-step
+    let v = Vec::new();
+}
+";
+        let (f, findings) = file(src);
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(f.allows.len(), 3);
+        assert_eq!(f.allows[0].scope, AllowScope::Line(2));
+        assert_eq!(f.allows[0].reason, "checked above");
+        assert_eq!(f.allows[1].scope, AllowScope::Line(4));
+        assert!(matches!(f.allows[2].scope, AllowScope::Range(..)));
+    }
+
+    #[test]
+    fn marker_grammar_errors_are_findings() {
+        let cases = [
+            "// amopt-lint: allow(panic-surface)\nfn f() {}\n", // no reason
+            "// amopt-lint: allow(no-such-lint) -- why\nfn f() {}\n", // unknown lint
+            "// amopt-lint: frobnicate\nfn f() {}\n",           // unknown directive
+        ];
+        for src in cases {
+            let (_, findings) = file(src);
+            assert_eq!(findings.len(), 1, "{src}: {findings:?}");
+            assert_eq!(findings[0].lint, "marker");
+        }
+    }
+}

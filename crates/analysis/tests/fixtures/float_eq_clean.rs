@@ -1,0 +1,20 @@
+//! Fixture: disciplined float comparison — `to_bits` identity, explicit
+//! tolerance, integer comparisons, and one annotated exact-zero sentinel.
+//! Expected: no findings.
+
+pub fn f(a: f64, b: f64, span: usize) -> f64 {
+    if a.to_bits() == b.to_bits() {
+        return 1.0;
+    }
+    if (a - b).abs() < 1e-12 {
+        return 2.0;
+    }
+    if span == 1 {
+        return 3.0;
+    }
+    // amopt-lint: allow(float-eq) -- exact structural zero is a documented identity, not a tolerance check
+    if a == 0.0 {
+        return 4.0;
+    }
+    0.0
+}

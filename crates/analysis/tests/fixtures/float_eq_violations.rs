@@ -1,0 +1,9 @@
+//! Fixture: raw float comparisons in numeric code.
+//! Expected: 3 `float-eq` findings.
+
+pub fn f(x: f64, n: usize) -> bool {
+    let zero = x == 0.0;
+    let cast = x != n as f64;
+    let path = x == f64::MAX;
+    zero || cast || path
+}

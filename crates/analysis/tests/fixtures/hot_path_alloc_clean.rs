@@ -1,0 +1,24 @@
+//! Fixture: allocation outside hot regions, allowed sites inside them, and
+//! test code are all exempt.  Expected: no findings, no unused allows.
+
+pub fn cold(xs: &[f64]) -> Vec<f64> {
+    xs.to_vec()
+}
+
+// amopt-lint: hot-path
+pub fn hot(xs: &[f64]) -> Vec<f64> {
+    let mut acc = 0.0;
+    for v in xs {
+        acc += v;
+    }
+    // amopt-lint: allow(hot-path-alloc) -- single output vector per call, kept by the caller
+    xs.iter().map(|v| v / acc).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    // amopt-lint: hot-path
+    fn scratch() -> Vec<u8> {
+        Vec::new()
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: sanctioned guard usage — waits that consume the guard, explicit
+//! drops before blocking, block scoping, and consuming lock chains.
+//! Expected: no findings.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub fn wait_through_guard(m: &Mutex<i32>, cv: &Condvar) {
+    let mut state = m.lock().unwrap();
+    while *state == 0 {
+        state = cv.wait(state).unwrap();
+    }
+}
+
+pub fn drop_before_send(m: &Mutex<i32>, tx: &std::sync::mpsc::SyncSender<i32>) {
+    let state = m.lock().unwrap();
+    let snapshot = *state;
+    drop(state);
+    tx.send(snapshot).ok();
+}
+
+pub fn block_scoped(m: &Mutex<i32>, tx: &std::sync::mpsc::SyncSender<i32>) {
+    let snapshot = {
+        let state = m.lock().unwrap();
+        *state
+    };
+    tx.send(snapshot).ok();
+}
+
+pub fn consuming_chain(m: &Mutex<Vec<i32>>, tx: &std::sync::mpsc::SyncSender<usize>) {
+    let depth = m.lock().map(|q| q.len()).unwrap_or_default();
+    tx.send(depth).ok();
+}
+
+fn _keep(_g: MutexGuard<'_, i32>) {}

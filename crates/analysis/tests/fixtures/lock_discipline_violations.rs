@@ -1,0 +1,25 @@
+//! Fixture: MutexGuards held across blocking operations.
+//! Expected: 3 `lock-discipline` findings.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+pub fn send_under_guard(m: &Mutex<i32>, tx: &std::sync::mpsc::SyncSender<i32>) {
+    let state = m.lock().unwrap();
+    tx.send(*state).ok();
+}
+
+pub fn io_under_guard(m: &Mutex<i32>, out: &mut dyn std::io::Write) {
+    let state = lock_unpoisoned(m);
+    out.flush().ok();
+    let _ = state;
+}
+
+pub fn wait_past_guard(m: &Mutex<i32>, cv: &Condvar, other: MutexGuard<'_, i32>) {
+    let state = m.lock().unwrap();
+    let _ = cv.wait(other);
+    let _ = state;
+}
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

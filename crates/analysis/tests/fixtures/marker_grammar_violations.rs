@@ -1,0 +1,11 @@
+//! Fixture: malformed amopt-lint markers.
+//! Expected: 3 non-allowable `marker` findings.
+
+// amopt-lint: allow(panic-surface)
+pub fn missing_reason() {}
+
+// amopt-lint: allow(no-such-lint) -- the lint name does not exist
+pub fn unknown_lint() {}
+
+// amopt-lint: frobnicate
+pub fn unknown_directive() {}

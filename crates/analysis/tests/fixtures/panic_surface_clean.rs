@@ -1,0 +1,18 @@
+//! Fixture: panic-free service idioms pass, tests are exempt, and an
+//! annotated invariant index survives.  Expected: no findings.
+
+pub fn f(v: Vec<i32>) -> i32 {
+    let a = v.first().copied().unwrap_or(0);
+    let b = v.first().copied().unwrap_or_else(|| 1);
+    // amopt-lint: allow(panic-surface) -- index 0 guarded by the is_empty check above
+    let c = if v.is_empty() { 0 } else { v[0] };
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: the reachable-panic idioms banned from service code.
+//! Expected: 5 `panic-surface` findings.
+
+pub fn f(v: Vec<i32>, m: std::collections::HashMap<i32, i32>) -> i32 {
+    let a = v.first().unwrap();
+    let b = m.get(&1).expect("present");
+    if v.is_empty() {
+        panic!("empty");
+    }
+    match *a {
+        0 => unreachable!(),
+        _ => {}
+    }
+    v[0] + *b
+}

@@ -115,7 +115,7 @@ fn main() {
 
     // --- In-process service, closed-loop submitters ---
     let (inproc_secs, inproc_lat) = {
-        let service = amopt_service::QuoteService::start(service_config());
+        let service = amopt_service::QuoteService::start(service_config()).expect("start service");
         let chunk = book.len().div_ceil(INPROC_THREADS);
         let t0 = Instant::now();
         let lat: Vec<Vec<(usize, f64, f64)>> = std::thread::scope(|scope| {

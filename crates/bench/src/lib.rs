@@ -1,6 +1,8 @@
 //! Shared measurement helpers for the benchmark harness that regenerates
 //! the paper's tables and figures (see `src/bin/paper_figures.rs`).
 
+#![forbid(unsafe_code)]
+
 use amopt_core::batch::surface::VolQuote;
 use amopt_core::batch::{BatchPricer, ModelKind, PricingRequest, Style};
 use amopt_core::bopm::{self, BopmModel};

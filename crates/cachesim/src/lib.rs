@@ -15,6 +15,8 @@
 //! Together these regenerate the *shape* of the paper's Figures 6, 7 and 10;
 //! DESIGN.md documents the substitution rationale.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod energy;
 pub mod kernels;

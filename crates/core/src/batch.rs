@@ -471,6 +471,8 @@ impl BatchPricer {
     /// parameters, unstable discretisations, unsupported combinations) are
     /// confined to their own slots and never cached.
     pub fn price_batch(&self, requests: &[PricingRequest]) -> Vec<Result<f64>> {
+        // amopt-lint: hot-path
+        // amopt-lint: allow-scope(hot-path-alloc) -- dedup/scatter fan-out buffers are O(batch), amortised across the coalesced batch; per-step pricing work draws on pooled scratch
         // Phase 1 (serial): normalise and deduplicate.  `jobs` keeps the
         // first-occurrence request index alongside the normalised key.
         let mut unique: HashMap<MemoKey, usize> = HashMap::new();
@@ -573,6 +575,7 @@ impl BatchPricer {
     /// otherwise).  Adds no arithmetic of its own: a batch of one is bitwise
     /// identical to the direct call.
     fn route(&self, req: &PricingRequest, dates: &[usize]) -> Result<f64> {
+        // amopt-lint: hot-path
         let unsupported = || {
             Err(PricingError::Unsupported {
                 what: format!(

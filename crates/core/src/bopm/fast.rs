@@ -108,6 +108,7 @@ fn first_step_row(model: &BopmModel) -> RedRow {
 /// American call price via the FFT trapezoid decomposition
 /// (`fft-bopm` in the paper's plots).
 pub fn price_american_call(model: &BopmModel, cfg: &EngineConfig) -> f64 {
+    // amopt-lint: allow(float-eq) -- Y = 0.0 exactly routes calls to the European fast path (Merton); any nonzero yield prices American
     if model.params().dividend_yield == 0.0 {
         // Merton: American call on a non-dividend stock ≡ European.
         return price_european_fft(model, OptionType::Call);
@@ -136,6 +137,7 @@ pub fn price_with_boundary_samples(
     let t_total = model.steps() as u64;
     let mut samples = Vec::with_capacity(rows + 2);
     samples.push((model.steps(), model.leaf_call_boundary()));
+    // amopt-lint: allow(float-eq) -- Y = 0.0 exactly is the Merton no-dividend sentinel, not a tolerance check
     if model.params().dividend_yield == 0.0 || t_total == 1 {
         let price = price_american_call(model, cfg);
         return (price, samples);
@@ -209,6 +211,7 @@ fn first_step_put_row(model: &BopmModel) -> GreenPrefixRow {
 /// American put price via the left-cone FFT trapezoid decomposition —
 /// `O(T log² T)` work and `O(T)` span, same complexity class as the calls.
 pub fn price_american_put(model: &BopmModel, cfg: &EngineConfig) -> f64 {
+    // amopt-lint: allow(float-eq) -- R = 0.0 exactly routes puts to the European fast path; any nonzero rate prices American
     if model.params().rate == 0.0 {
         // With no interest on the strike, early exercise of a put never
         // pays: continuation ≥ K·e^{−RΔt} − S·e^{−YΔt} = K − S·e^{−YΔt}
@@ -241,6 +244,7 @@ pub fn price_put_with_boundary_samples(
     let t_total = model.steps() as u64;
     let mut samples = Vec::with_capacity(rows + 2);
     samples.push((model.steps(), model.leaf_call_boundary()));
+    // amopt-lint: allow(float-eq) -- R = 0.0 exactly is the no-early-exercise sentinel for puts, not a tolerance check
     if model.params().rate == 0.0 || t_total == 1 {
         let price = price_american_put(model, cfg);
         return (price, samples);

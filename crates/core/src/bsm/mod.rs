@@ -65,6 +65,7 @@ impl BsmModel {
     /// `dividend_yield` is rejected to avoid silently mispricing.
     pub fn new(params: OptionParams, steps: usize) -> Result<Self> {
         let params = params.validated()?;
+        // amopt-lint: allow(float-eq) -- exact Y = 0.0 is a validation gate: the paper's BSM model is dividend-free by construction
         if params.dividend_yield != 0.0 {
             return Err(PricingError::InvalidParams {
                 field: "dividend_yield",

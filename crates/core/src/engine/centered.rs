@@ -79,6 +79,7 @@ fn step_once<G>(kernel: &StencilKernel, green: &G, row: &GreenLeftRow) -> GreenL
 where
     G: Fn(u64, i64) -> f64 + Sync,
 {
+    // amopt-lint: hot-path
     let f = row.boundary;
     let hi = row.hi;
     let t_next = row.t + 1;
@@ -87,6 +88,7 @@ where
             t: t_next,
             boundary: f - 1,
             hi: hi - 1,
+            // amopt-lint: allow(hot-path-alloc) -- empty-support result; `vec![]` never touches the heap
             reds: Segment::new(f, vec![]),
         };
     }
@@ -130,10 +132,12 @@ pub fn advance_green_left<G>(
 where
     G: Fn(u64, i64) -> f64 + Sync,
 {
+    // amopt-lint: hot-path
     assert_eq!(kernel.anchor(), -1, "centered engine requires anchor -1");
     assert_eq!(kernel.span(), 2, "centered engine requires a 3-point kernel");
     row.assert_consistent();
 
+    // amopt-lint: allow(hot-path-alloc) -- one working row per advance call; iterations replace it via the stitch
     let mut cur = row.clone();
     let mut remaining = h;
     while remaining > 0 {
@@ -146,6 +150,7 @@ where
                 t: cur.t + remaining,
                 boundary: cur.boundary - r,
                 hi: cur.hi - r,
+                // amopt-lint: allow(hot-path-alloc) -- empty-support result; `vec![]` never touches the heap
                 reds: Segment::new(cur.boundary - r + 1, vec![]),
             };
         }
@@ -192,6 +197,7 @@ where
             if bulk_len >= 1 {
                 advance(&cur.reds, kernel, h1, cfg.backend)
             } else {
+                // amopt-lint: allow(hot-path-alloc) -- empty-support result; `vec![]` never touches the heap
                 Segment::new(f + h1 as i64 + 1, vec![])
             }
         };

@@ -166,6 +166,7 @@ fn step_once<G>(kernel: &StencilKernel, green: &G, row: &GreenPrefixRow) -> Gree
 where
     G: Fn(u64, i64) -> f64 + Sync,
 {
+    // amopt-lint: hot-path
     let span = kernel.span() as i64;
     let f = row.boundary;
     let hi1 = row.hi - span;
@@ -186,6 +187,7 @@ where
         tail.push(lin(c));
     }
     // Downward scan from the last in-view boundary candidate.
+    // amopt-lint: allow(hot-path-alloc) -- scan buffer sized by the boundary's actual drift, O(σT) summed over a pricing
     let mut head: Vec<f64> = Vec::new(); // cells (boundary, min(f, hi1)], reversed
     let mut boundary = -1i64;
     let mut c = f.min(hi1);
@@ -213,6 +215,7 @@ fn advance_all_red(
     h: u64,
     cfg: &EngineConfig,
 ) -> GreenPrefixRow {
+    // amopt-lint: hot-path
     debug_assert!(row.boundary < 0);
     let span = kernel.span() as i64;
     let hi1 = row.hi - span * h as i64;
@@ -222,6 +225,7 @@ fn advance_all_red(
             t: t1,
             boundary: row.boundary,
             hi: hi1,
+            // amopt-lint: allow(hot-path-alloc) -- empty-support result; `vec![]` never touches the heap
             reds: Segment::new(row.reds.start, vec![]),
         };
     }
@@ -248,11 +252,13 @@ fn advance_certified(
     hi_new: i64,
     cfg: &EngineConfig,
 ) -> Segment {
+    // amopt-lint: hot-path
     let span = kernel.span() as i64;
     let f = row.boundary;
     let support_end = row.reds.end() - 1; // last stored column; f when empty
     let out_hi = support_end.min(hi_new);
     if out_hi < f + 1 {
+        // amopt-lint: allow(hot-path-alloc) -- empty-support result; `vec![]` never touches the heap
         return Segment::new(f + 1, vec![]);
     }
     let in_hi = out_hi + span * h as i64;
@@ -288,11 +294,13 @@ pub fn advance_green_prefix<G>(
 where
     G: Fn(u64, i64) -> f64 + Sync,
 {
+    // amopt-lint: hot-path
     assert_eq!(kernel.anchor(), 0, "left-cone engine requires anchor 0");
     assert!(kernel.span() >= 1, "left-cone engine requires at least two taps");
     row.assert_consistent();
 
     let span = kernel.span() as i64;
+    // amopt-lint: allow(hot-path-alloc) -- one working row per advance call; iterations replace it via the stitch
     let mut cur = row.clone();
     let mut remaining = h;
     while remaining > 0 {
@@ -310,6 +318,7 @@ where
                 t: cur.t + remaining,
                 boundary: f - span * r,
                 hi: hi - span * r,
+                // amopt-lint: allow(hot-path-alloc) -- empty-support result; `vec![]` never touches the heap
                 reds: Segment::new(f - span * r + 1, vec![]),
             };
         }

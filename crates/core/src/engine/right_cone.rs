@@ -62,6 +62,7 @@ fn advance_premium_row(
     h: u64,
     cfg: &EngineConfig,
 ) -> Segment {
+    // amopt-lint: hot-path
     debug_assert!(lo >= reds.start, "requested columns below the stored window");
     with_scratch(|s| {
         let staging = &mut s.staging;
@@ -80,9 +81,11 @@ fn base_naive<P>(kernel: &StencilKernel, obstacle: &ExpObstacle<P>, row: &RedRow
 where
     P: Fn(u64, i64) -> f64 + Sync,
 {
+    // amopt-lint: hot-path
     let a = row.reds.start;
     let weights = kernel.weights();
     let (da, db) = obstacle.drift_coeffs(1);
+    // amopt-lint: allow(hot-path-alloc) -- one working copy per base case; per-step rows replace it in place
     let mut vals = row.reds.values.clone();
     let mut boundary = row.boundary;
     let mut t = row.t;
@@ -147,11 +150,13 @@ pub fn advance_red_row<P>(
 where
     P: Fn(u64, i64) -> f64 + Sync,
 {
+    // amopt-lint: hot-path
     assert_eq!(kernel.anchor(), 0, "right-cone engine requires anchor 0");
     assert!(kernel.span() >= 1, "right-cone engine requires at least two taps");
     row.assert_consistent();
 
     let span = kernel.span();
+    // amopt-lint: allow(hot-path-alloc) -- one working row per advance call; iterations replace it via the stitch
     let mut cur = row.clone();
     let mut remaining = h;
 

@@ -22,6 +22,7 @@
 //! `ARCHITECTURE.md` for the full paper-section → module map and the batch
 //! request lifecycle.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analytic;

@@ -86,6 +86,7 @@ fn first_step_row(model: &TopmModel) -> RedRow {
 /// American call price via the FFT trapezoid decomposition
 /// (`fft-topm` in the paper's plots).
 pub fn price_american_call(model: &TopmModel, cfg: &EngineConfig) -> f64 {
+    // amopt-lint: allow(float-eq) -- Y = 0.0 exactly routes calls to the European fast path (Merton); any nonzero yield prices American
     if model.params().dividend_yield == 0.0 {
         return price_european_fft(model, OptionType::Call);
     }
@@ -115,6 +116,7 @@ pub fn price_with_boundary_samples(
     let t_total = model.steps() as u64;
     let mut samples = Vec::with_capacity(rows + 2);
     samples.push((model.steps(), model.leaf_call_boundary()));
+    // amopt-lint: allow(float-eq) -- Y = 0.0 exactly is the Merton no-dividend sentinel, not a tolerance check
     if model.params().dividend_yield == 0.0 || t_total == 1 {
         let price = price_american_call(model, cfg);
         return (price, samples);
@@ -184,6 +186,7 @@ fn first_step_put_row(model: &TopmModel) -> GreenPrefixRow {
 /// American put price via the left-cone FFT trapezoid decomposition —
 /// `O(T log² T)` work and `O(T)` span.
 pub fn price_american_put(model: &TopmModel, cfg: &EngineConfig) -> f64 {
+    // amopt-lint: allow(float-eq) -- R = 0.0 exactly routes puts to the European fast path; any nonzero rate prices American
     if model.params().rate == 0.0 {
         // Zero rate ⇒ no early-exercise premium for puts (continuation
         // ≥ K·e^{−RΔt} − φ·e^{−YΔt} = K − φ·e^{−YΔt} ≥ K − φ node by node).
@@ -214,6 +217,7 @@ pub fn price_put_with_boundary_samples(
     let t_total = model.steps() as u64;
     let mut samples = Vec::with_capacity(rows + 2);
     samples.push((model.steps(), model.leaf_call_boundary()));
+    // amopt-lint: allow(float-eq) -- R = 0.0 exactly is the no-early-exercise sentinel for puts, not a tolerance check
     if model.params().rate == 0.0 || t_total == 1 {
         let price = price_american_put(model, cfg);
         return (price, samples);

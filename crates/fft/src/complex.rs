@@ -97,6 +97,7 @@ impl Complex64 {
             return self;
         }
         let r = self.abs();
+        // amopt-lint: allow(float-eq) -- exact zero modulus short-circuits ln(); 0.0f64 == is an identity test on a computed abs
         if r == 0.0 {
             return Self::ZERO;
         }

@@ -89,8 +89,10 @@ pub fn correlate_power_valid_with(
     h: u64,
     scratch: &mut FftScratch,
 ) -> Vec<f64> {
+    // amopt-lint: hot-path
     assert!(!kernel.is_empty(), "kernel must have at least one tap");
     if h == 0 {
+        // amopt-lint: allow(hot-path-alloc) -- h = 0 identity returns a fresh copy; this is the output the caller keeps
         return x.to_vec();
     }
     let w_len = power_kernel_len(kernel.len(), h);
@@ -104,6 +106,7 @@ pub fn correlate_power_valid_with(
 
     if kernel.len() == 1 {
         let s = kernel[0].powi(h.min(i32::MAX as u64) as i32);
+        // amopt-lint: allow(hot-path-alloc) -- single output vector per correlation, kept by the caller
         return x[..out_len].iter().map(|&v| v * s).collect();
     }
 
@@ -127,12 +130,14 @@ pub fn correlate_power_valid_with(
         *xv *= kv.conj().powu(h);
     }
     plan.inverse(buf);
+    // amopt-lint: allow(hot-path-alloc) -- single output vector per correlation, kept by the caller; transform buffers come from FftScratch
     buf[..out_len].iter().map(|v| v.re).collect()
 }
 
 /// Direct evaluation of the length-`n` DFT of a short real kernel:
 /// `K[k] = Σ_m w_m e^{−2πi k m / n}`, written into a reusable buffer.
 fn kernel_spectrum_into(kernel: &[f64], n: usize, out: &mut Vec<Complex64>) {
+    // amopt-lint: hot-path
     let step = -2.0 * std::f64::consts::PI / n as f64;
     out.clear();
     out.extend((0..n).map(|k| {

@@ -17,6 +17,8 @@
 //! Everything is `f64`; transforms of the sizes used by the pricer
 //! (`≤ 2²¹`) keep relative error around `1e-13 · log n`.
 
+#![forbid(unsafe_code)]
+
 pub mod bluestein;
 pub mod complex;
 pub mod convolve;

@@ -69,6 +69,7 @@ impl Fft {
 
     /// In-place transform in the given direction.
     pub fn transform(&self, buf: &mut [Complex64], dir: Direction) {
+        // amopt-lint: hot-path
         assert_eq!(buf.len(), self.n, "buffer length {} != plan size {}", buf.len(), self.n);
         if self.n <= 1 {
             return;
@@ -134,6 +135,7 @@ fn butterfly_block(
     stride: usize,
     inverse: bool,
 ) {
+    // amopt-lint: hot-path
     let (lo, hi) = b.split_at_mut(len);
     for j in 0..len {
         let mut w = tw[j * stride];
@@ -155,6 +157,7 @@ fn par_butterfly_block(
     stride: usize,
     inverse: bool,
 ) {
+    // amopt-lint: hot-path
     fn zip(
         lo: &mut [Complex64],
         hi: &mut [Complex64],
@@ -191,6 +194,7 @@ fn par_butterfly_block(
 
 /// In-place bit-reversal permutation (size must be a power of two).
 fn bit_reverse_permute(buf: &mut [Complex64]) {
+    // amopt-lint: hot-path
     let n = buf.len();
     let mut j = 0usize;
     for i in 1..n {

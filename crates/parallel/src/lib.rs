@@ -15,6 +15,8 @@
 //! [`parallel_for`], chunked mutable-slice iteration [`for_each_chunk_mut`],
 //! and pool management.
 
+#![forbid(unsafe_code)]
+
 #[cfg(feature = "rayon-backend")]
 mod backend {
     /// Runs both closures, potentially in parallel, returning both results.

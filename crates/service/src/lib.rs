@@ -34,7 +34,7 @@
 //! use amopt_core::batch::{ModelKind, PricingRequest};
 //! use amopt_core::{OptionParams, OptionType};
 //!
-//! let service = QuoteService::start(ServiceConfig::default());
+//! let service = QuoteService::start(ServiceConfig::default()).expect("spawn workers");
 //! let client = service.client();
 //! let req = PricingRequest::american(
 //!     ModelKind::Bopm,
@@ -49,10 +49,12 @@
 //! service.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod config;
 mod queue;
+pub mod sync;
 mod tcp;
 mod types;
 pub mod wire;

@@ -28,6 +28,7 @@
 //! before exiting.
 
 use crate::config::ServiceConfig;
+use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
 use crate::types::{BatchHistogram, ServiceError, ServiceRequest, ServiceResponse, ServiceStats};
 use crate::ServiceResult;
 use amopt_core::batch::surface::{implied_vol_surface, VolQuote};
@@ -50,18 +51,18 @@ impl Slot {
     }
 
     fn fill(&self, result: ServiceResult) {
-        let mut done = self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut done = lock_unpoisoned(&self.done);
         *done = Some(result);
         self.ready.notify_all();
     }
 
     fn wait(&self) -> ServiceResult {
-        let mut done = self.done.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut done = lock_unpoisoned(&self.done);
         loop {
             if let Some(result) = done.take() {
                 return result;
             }
-            done = self.ready.wait(done).unwrap_or_else(std::sync::PoisonError::into_inner);
+            done = wait_unpoisoned(&self.ready, done);
         }
     }
 }
@@ -124,7 +125,10 @@ pub struct QuoteService {
 
 impl QuoteService {
     /// Starts the worker pool and returns the running service.
-    pub fn start(cfg: ServiceConfig) -> Self {
+    ///
+    /// Fails with the spawn error if the OS refuses a worker thread; any
+    /// workers already started are shut down and joined before returning.
+    pub fn start(cfg: ServiceConfig) -> std::io::Result<Self> {
         let cfg = cfg.normalised();
         let pricer = BatchPricer::with_memo_config(cfg.engine, cfg.memo_capacity, cfg.memo_shards);
         let shared = Arc::new(Shared {
@@ -134,16 +138,25 @@ impl QuoteService {
             work: Condvar::new(),
             counters: Counters::default(),
         });
-        let workers = (0..shared.cfg.workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("amopt-service-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn service worker")
-            })
-            .collect();
-        QuoteService { shared, workers: Mutex::new(workers) }
+        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        for i in 0..shared.cfg.workers {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("amopt-service-worker-{i}"))
+                .spawn(move || worker_loop(&worker_shared));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    lock_unpoisoned(&shared.state).shutdown = true;
+                    shared.work.notify_all();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(QuoteService { shared, workers: Mutex::new(workers) })
     }
 
     /// A new client handle with its own in-flight budget
@@ -184,13 +197,15 @@ impl QuoteService {
     /// accepted, and joins the workers.  Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut state =
-                self.shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut state = lock_unpoisoned(&self.shared.state);
             state.shutdown = true;
         }
         self.shared.work.notify_all();
-        let mut workers = self.workers.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-        for handle in workers.drain(..) {
+        // Take the handles under the lock, join outside it: joining with
+        // `workers` held would block every concurrent `shutdown` caller on
+        // this mutex for the full drain instead of on the join itself.
+        let drained: Vec<_> = std::mem::take(&mut *lock_unpoisoned(&self.workers));
+        for handle in drained {
             let _ = handle.join();
         }
     }
@@ -235,7 +250,7 @@ impl Client {
         let permit = InflightPermit(Arc::clone(&self.inflight));
         let slot = Slot::new();
         {
-            let mut state = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut state = lock_unpoisoned(&shared.state);
             if state.shutdown {
                 drop(state);
                 shared.counters.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
@@ -267,7 +282,7 @@ impl Client {
     pub fn price(&self, request: PricingRequest) -> Result<f64, ServiceError> {
         match self.call(ServiceRequest::Price(request))? {
             ServiceResponse::Price(p) => Ok(p),
-            other => unreachable!("price request answered with {other:?}"),
+            _ => Err(ServiceError::Internal { what: "price request answered with another kind" }),
         }
     }
 
@@ -278,7 +293,7 @@ impl Client {
     ) -> Result<amopt_core::greeks::Greeks, ServiceError> {
         match self.call(ServiceRequest::Greeks(request))? {
             ServiceResponse::Greeks(g) => Ok(g),
-            other => unreachable!("greeks request answered with {other:?}"),
+            _ => Err(ServiceError::Internal { what: "greeks request answered with another kind" }),
         }
     }
 
@@ -286,7 +301,9 @@ impl Client {
     pub fn implied_vol(&self, quote: VolQuote) -> Result<f64, ServiceError> {
         match self.call(ServiceRequest::ImpliedVol(quote))? {
             ServiceResponse::ImpliedVol(v) => Ok(v),
-            other => unreachable!("implied-vol request answered with {other:?}"),
+            _ => Err(ServiceError::Internal {
+                what: "implied-vol request answered with another kind",
+            }),
         }
     }
 
@@ -315,7 +332,7 @@ impl Ticket {
 fn worker_loop(shared: &Shared) {
     loop {
         let batch = {
-            let mut state = shared.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            let mut state = lock_unpoisoned(&shared.state);
             // Phase 1: wait for work (or exit once shut down and drained).
             loop {
                 if !state.queue.is_empty() {
@@ -324,21 +341,19 @@ fn worker_loop(shared: &Shared) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.work.wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+                state = wait_unpoisoned(&shared.work, state);
             }
             // Phase 2: coalesce until the batch is full or the head's
             // deadline passes.  Shutdown flushes immediately: latency no
             // longer matters, only draining does.
-            let deadline = state.queue.front().expect("non-empty").enqueued + shared.cfg.max_wait;
+            let Some(head) = state.queue.front() else { continue };
+            let deadline = head.enqueued + shared.cfg.max_wait;
             while state.queue.len() < shared.cfg.max_batch && !state.shutdown {
                 let now = Instant::now();
                 if now >= deadline {
                     break;
                 }
-                let (s, _timeout) = shared
-                    .work
-                    .wait_timeout(state, deadline - now)
-                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                let (s, _timeout) = wait_timeout_unpoisoned(&shared.work, state, deadline - now);
                 state = s;
                 if state.queue.is_empty() {
                     // Another worker drained the queue while this one slept;
@@ -361,9 +376,13 @@ fn worker_loop(shared: &Shared) {
 /// through its batch-native driver over the shared pricer, scatter results
 /// into the slots.
 fn execute(shared: &Shared, batch: Vec<Pending>) {
+    // amopt-lint: hot-path
+    // amopt-lint: allow-scope(hot-path-alloc) -- per-batch grouping/scatter buffers are O(batch); request payloads are cloned exactly once into the driver slices
     let c = &shared.counters;
     c.batches.fetch_add(1, Ordering::Relaxed);
-    c.batch_hist[BatchHistogram::bucket_of(batch.len())].fetch_add(1, Ordering::Relaxed);
+    if let Some(bucket) = c.batch_hist.get(BatchHistogram::bucket_of(batch.len())) {
+        bucket.fetch_add(1, Ordering::Relaxed);
+    }
 
     // Group by request kind, tracking batch indices alongside the driver
     // input slices — the request payloads are cloned exactly once.
@@ -396,7 +415,12 @@ fn execute(shared: &Shared, batch: Vec<Pending>) {
     // read after `Ticket::wait` is never stale.
     let mut batch: Vec<Option<Pending>> = batch.into_iter().map(Some).collect();
     let mut complete = |i: usize, result: ServiceResult| {
-        let Pending { slot, _permit, .. } = batch[i].take().expect("each entry completes once");
+        // The index vectors partition the batch, so every `i` is in range
+        // and completed exactly once; if that bookkeeping ever broke,
+        // skipping the entry beats panicking the worker.
+        let Some(Pending { slot, _permit, .. }) = batch.get_mut(i).and_then(Option::take) else {
+            return;
+        };
         drop(_permit);
         // Count *before* filling: the fill wakes the waiter, and a stats
         // read right after `Ticket::wait` must already see this completion.
@@ -450,7 +474,8 @@ mod tests {
             max_batch: 8,
             max_wait: Duration::from_millis(1),
             ..ServiceConfig::default()
-        });
+        })
+        .expect("start service");
         let client = service.client();
         let book: Vec<PricingRequest> = (0..24).map(|i| price_req(90.0 + i as f64, 128)).collect();
         let tickets: Vec<Ticket> =
@@ -483,7 +508,8 @@ mod tests {
             max_wait: Duration::from_secs(3600),
             workers: 1,
             ..ServiceConfig::default()
-        });
+        })
+        .expect("start service");
         let client = service.client();
         let tickets: Vec<Ticket> = (0..4)
             .map(|i| client.submit(ServiceRequest::Price(price_req(100.0 + i as f64, 32))).unwrap())
@@ -503,7 +529,8 @@ mod tests {
             max_batch: 1024,
             max_wait: Duration::from_millis(5),
             ..ServiceConfig::default()
-        });
+        })
+        .expect("start service");
         let client = service.client();
         let t0 = Instant::now();
         let price = client.price(price_req(110.0, 32)).unwrap();
@@ -524,7 +551,8 @@ mod tests {
             queue_depth: 4,
             workers: 1,
             ..ServiceConfig::default()
-        });
+        })
+        .expect("start service");
         let client = service.client();
         let mut tickets = Vec::new();
         let mut rejected = 0usize;
@@ -556,7 +584,8 @@ mod tests {
             max_batch: 1024,
             max_wait: Duration::from_millis(50),
             ..ServiceConfig::default()
-        });
+        })
+        .expect("start service");
         let greedy = service.client();
         let t1 = greedy.submit(ServiceRequest::Price(price_req(100.0, 64))).unwrap();
         let t2 = greedy.submit(ServiceRequest::Price(price_req(101.0, 64))).unwrap();
@@ -593,7 +622,8 @@ mod tests {
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             ..ServiceConfig::default()
-        });
+        })
+        .expect("start service");
         let client = service.client();
         for i in 0..100 {
             let ticket = client
@@ -613,7 +643,8 @@ mod tests {
             max_wait: Duration::from_secs(3600), // only shutdown can flush a partial batch
             workers: 1,
             ..ServiceConfig::default()
-        });
+        })
+        .expect("start service");
         let client = service.client();
         let tickets: Vec<Ticket> = (0..3)
             .map(|i| client.submit(ServiceRequest::Price(price_req(95.0 + i as f64, 32))).unwrap())
@@ -631,7 +662,7 @@ mod tests {
 
     #[test]
     fn mixed_request_kinds_resolve_to_their_own_variants() {
-        let service = QuoteService::start(ServiceConfig::default());
+        let service = QuoteService::start(ServiceConfig::default()).expect("start service");
         let client = service.client();
         let price = client.price(price_req(120.0, 128)).unwrap();
         assert!(price > 0.0);
@@ -659,7 +690,8 @@ mod tests {
             max_batch: 4,
             max_wait: Duration::from_millis(1),
             ..ServiceConfig::default()
-        });
+        })
+        .expect("start service");
         let client = service.client();
         let req = price_req(115.0, 96);
         let a = client.price(req.clone()).unwrap();

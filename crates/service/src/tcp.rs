@@ -61,15 +61,21 @@ impl QuoteServer {
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServiceConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let service = Arc::new(QuoteService::start(cfg));
+        let service = Arc::new(QuoteService::start(cfg)?);
         let stop = Arc::new(AtomicBool::new(false));
         let accept_thread = {
-            let service = Arc::clone(&service);
-            let stop = Arc::clone(&stop);
-            std::thread::Builder::new()
+            let accept_service = Arc::clone(&service);
+            let accept_stop = Arc::clone(&stop);
+            let spawned = std::thread::Builder::new()
                 .name("amopt-service-accept".to_string())
-                .spawn(move || accept_loop(&listener, &service, &stop))
-                .expect("spawn accept thread")
+                .spawn(move || accept_loop(&listener, &accept_service, &accept_stop));
+            match spawned {
+                Ok(handle) => handle,
+                Err(e) => {
+                    service.shutdown();
+                    return Err(e);
+                }
+            }
         };
         Ok(QuoteServer { service, addr, stop, accept_thread: Some(accept_thread) })
     }
@@ -131,9 +137,8 @@ fn handle_connection(
 ) {
     let Ok(write_half) = stream.try_clone() else { return };
     let (tx, rx) = mpsc::sync_channel::<Outgoing>(channel_bound.max(1));
-    let writer = std::thread::Builder::new()
-        .name("amopt-service-conn-writer".to_string())
-        .spawn(move || {
+    let spawned = std::thread::Builder::new().name("amopt-service-conn-writer".to_string()).spawn(
+        move || {
             let mut out = BufWriter::new(write_half);
             while let Ok(msg) = rx.recv() {
                 let line = match msg {
@@ -147,8 +152,11 @@ fn handle_connection(
                     return;
                 }
             }
-        })
-        .expect("spawn connection writer");
+        },
+    );
+    // No writer thread means no way to answer: drop the connection (the
+    // peer sees a clean close and can retry elsewhere).
+    let Ok(writer) = spawned else { return };
 
     let mut reader = BufReader::new(stream);
     let mut line = String::new();

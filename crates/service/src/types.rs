@@ -51,6 +51,13 @@ pub enum ServiceError {
     /// The request was executed and the pricer rejected it (invalid
     /// parameters, unsupported combination, no convergence, …).
     Pricing(PricingError),
+    /// The service's own bookkeeping broke — e.g. a response of the wrong
+    /// kind for the request.  A bug, surfaced as an error instead of a
+    /// worker panic so one bad request cannot take the service down.
+    Internal {
+        /// What went wrong.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -59,6 +66,7 @@ impl fmt::Display for ServiceError {
             ServiceError::Overloaded { what } => write!(f, "overloaded: {what}"),
             ServiceError::ShuttingDown => write!(f, "service is shutting down"),
             ServiceError::Pricing(e) => write!(f, "{e}"),
+            ServiceError::Internal { what } => write!(f, "internal service error: {what}"),
         }
     }
 }

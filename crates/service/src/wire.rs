@@ -172,7 +172,7 @@ pub fn parse(input: &str) -> Result<JsonValue, String> {
 }
 
 fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+    while matches!(bytes.get(*pos), Some(&(b' ' | b'\t' | b'\n' | b'\r'))) {
         *pos += 1;
     }
 }
@@ -250,7 +250,7 @@ fn parse_lit(
     lit: &str,
     value: JsonValue,
 ) -> Result<JsonValue, String> {
-    if bytes[*pos..].starts_with(lit.as_bytes()) {
+    if bytes.get(*pos..).is_some_and(|rest| rest.starts_with(lit.as_bytes())) {
         *pos += lit.len();
         Ok(value)
     } else {
@@ -260,12 +260,11 @@ fn parse_lit(
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     let start = *pos;
-    while *pos < bytes.len()
-        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    while matches!(bytes.get(*pos), Some(&(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))) {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    let text = std::str::from_utf8(bytes.get(start..*pos).unwrap_or_default())
+        .map_err(|e| e.to_string())?;
     text.parse::<f64>()
         .map(JsonValue::Num)
         .map_err(|_| format!("invalid number `{text}` at byte {start}"))
@@ -274,11 +273,15 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
 /// Four hex digits of a `\u` escape starting at byte `at`.
 fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
     let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
-    if !hex.iter().all(u8::is_ascii_hexdigit) {
-        return Err("bad \\u escape".to_string());
-    }
-    let hex = std::str::from_utf8(hex).expect("ascii hex digits");
-    u32::from_str_radix(hex, 16).map_err(|e| e.to_string())
+    hex.iter().try_fold(0u32, |code, &b| {
+        let digit = match b {
+            b'0'..=b'9' => b - b'0',
+            b'a'..=b'f' => b - b'a' + 10,
+            b'A'..=b'F' => b - b'A' + 10,
+            _ => return Err("bad \\u escape".to_string()),
+        };
+        Ok((code << 4) | u32::from(digit))
+    })
 }
 
 fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
@@ -321,12 +324,15 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
                                 }
                                 *pos += 6;
                                 let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
-                                char::from_u32(scalar).expect("surrogate pairs combine to a char")
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| "bad \\u escape".to_string())?
                             }
                             0xDC00..=0xDFFF => {
                                 return Err("unpaired surrogate in \\u escape".to_string())
                             }
-                            _ => char::from_u32(code).expect("non-surrogate BMP code point"),
+                            _ => {
+                                char::from_u32(code).ok_or_else(|| "bad \\u escape".to_string())?
+                            }
                         };
                         out.push(c);
                     }
@@ -341,10 +347,11 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
                 // (MAX_LINE_BYTES is 2²⁰) quadratic, a cheap way to pin a
                 // worker.
                 let start = *pos;
-                while *pos < bytes.len() && !matches!(bytes[*pos], b'"' | b'\\') {
+                while bytes.get(*pos).is_some_and(|b| !matches!(b, b'"' | b'\\')) {
                     *pos += 1;
                 }
-                let run = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+                let run = std::str::from_utf8(bytes.get(start..*pos).unwrap_or_default())
+                    .map_err(|e| e.to_string())?;
                 out.push_str(run);
             }
         }
@@ -483,6 +490,7 @@ pub fn encode_result(id: &str, result: &ServiceResult) -> String {
                 ServiceError::Overloaded { .. } => "overloaded",
                 ServiceError::ShuttingDown => "shutdown",
                 ServiceError::Pricing(_) => "pricing",
+                ServiceError::Internal { .. } => "internal",
             };
             encode_error(id, kind, &e.to_string())
         }

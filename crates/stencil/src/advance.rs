@@ -91,6 +91,7 @@ pub fn advance_values_with(
     backend: Backend,
     fft: &mut FftScratch,
 ) -> Segment {
+    // amopt-lint: hot-path
     let out_len =
         valid_output_len(values.len(), kernel, h).filter(|&l| l > 0).unwrap_or_else(|| {
             panic!(
@@ -101,6 +102,7 @@ pub fn advance_values_with(
         });
     let start = output_start(start, kernel, h);
     if h == 0 {
+        // amopt-lint: allow(hot-path-alloc) -- h = 0 identity copies the input into the output segment the caller keeps
         return Segment::new(start, values.to_vec());
     }
     let out = match backend {
@@ -117,6 +119,7 @@ pub fn advance_values_with(
             let taps = kernel.power_taps(h);
             (0..out_len)
                 .map(|c| taps.iter().enumerate().map(|(m, &w)| w * values[c + m]).sum())
+                // amopt-lint: allow(hot-path-alloc) -- ablation backend; the collect is the output row the caller keeps
                 .collect()
         }
         Backend::Stepped => stepped(values, kernel, h),

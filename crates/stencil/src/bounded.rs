@@ -34,6 +34,7 @@ pub fn advance_left_wall(
     h: u64,
     backend: Backend,
 ) -> Segment {
+    // amopt-lint: hot-path
     assert_eq!(kernel.anchor(), -1, "wall advance requires anchor −1");
     assert_eq!(kernel.span(), 2, "wall advance requires a 3-point kernel");
     assert!(
@@ -42,6 +43,7 @@ pub fn advance_left_wall(
         seg.len()
     );
     let wall = seg.start - 1;
+    // amopt-lint: allow(hot-path-alloc) -- one working copy per call; subsequent rows replace it via the stitch
     let mut cur = seg.clone();
     let mut remaining = h;
     while remaining > 0 {

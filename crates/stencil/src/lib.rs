@@ -15,6 +15,8 @@
 //! `amopt-core`; they call into this crate on regions certified to be free of
 //! the obstacle.
 
+#![forbid(unsafe_code)]
+
 pub mod advance;
 pub mod bounded;
 pub mod kernel;

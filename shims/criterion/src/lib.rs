@@ -8,6 +8,8 @@
 //! no statistical analysis, HTML report, or CLI filtering; every registered
 //! bench runs.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -11,6 +11,8 @@
 //! name and the attempt index, so failures reproduce exactly across runs.
 //! There is no shrinking — a failing case reports its attempt number.
 
+#![forbid(unsafe_code)]
+
 pub mod strategy;
 pub mod test_runner;
 

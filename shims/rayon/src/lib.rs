@@ -9,6 +9,8 @@
 //! to bound concurrency to the requested thread count and to make
 //! `current_num_threads` report the installed pool's width.
 
+#![forbid(unsafe_code)]
+
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};

@@ -51,6 +51,8 @@
 //! assert!(g.delta > 0.0 && g.vega > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use amopt_cachesim as cachesim;
 pub use amopt_core as core;
 pub use amopt_fft as fft;

@@ -121,7 +121,8 @@ fn overloaded_burst_sheds_explicitly_and_answers_every_accepted_request() {
         workers: 1,
         per_conn_inflight: 1 << 20, // queue depth is the binding limit here
         ..ServiceConfig::default()
-    });
+    })
+    .expect("start service");
     let client = service.client();
     let burst = 256;
     let mut tickets = Vec::new();
@@ -201,7 +202,8 @@ fn greeks_and_surface_requests_ride_the_same_queue() {
         max_batch: 64,
         max_wait: Duration::from_millis(2),
         ..ServiceConfig::default()
-    });
+    })
+    .expect("start service");
     let client = service.client();
     let cfg = EngineConfig::default();
     let req = PricingRequest::american(ModelKind::Bopm, OptionType::Call, base(), 128);
