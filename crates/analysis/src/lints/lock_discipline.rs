@@ -13,6 +13,12 @@
 //! calls the project's `lock_unpoisoned(…)` helper or ends in a
 //! `.lock()`-then-unwrap chain.  The guard's scope runs to the end of its
 //! enclosing block, or to an explicit `drop(guard)`.
+//!
+//! The reactor front end adds one more blocking edge: `Epoll::wait` parks
+//! the thread until the kernel reports readiness, so a guard held across
+//! `ep.wait(…)` would stall every completion callback trying to enqueue a
+//! wakeup.  The method is named `wait`, so the condvar rule covers it —
+//! the guard is never passed to it, hence it always flags.
 
 use super::Finding;
 use crate::lexer::TokenKind;
@@ -330,6 +336,27 @@ fn bad(m: &std::sync::Mutex<i32>, cv: &std::sync::Condvar, other: std::sync::Mut
         let findings = run(src);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert!(findings[0].message.contains("not passed"));
+    }
+
+    #[test]
+    fn epoll_wait_under_a_guard_is_flagged() {
+        // The reactor's event-loop shape: draining the completion ready
+        // list must not hold the list lock into the kernel wait.
+        let src = "\
+fn bad_loop(ready: &std::sync::Mutex<Vec<u64>>, ep: &Epoll, events: &mut Events) {
+    let queued = lock_unpoisoned(ready);
+    ep.wait(events, None).ok();
+    let _ = queued;
+}
+fn good_loop(ready: &std::sync::Mutex<Vec<u64>>, ep: &Epoll, events: &mut Events) {
+    let queued = std::mem::take(&mut *lock_unpoisoned(ready));
+    let _ = queued;
+    ep.wait(events, None).ok();
+}
+";
+        let findings = run(src);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("wait"));
     }
 
     #[test]

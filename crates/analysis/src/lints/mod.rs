@@ -1,4 +1,4 @@
-//! The lint catalogue: four project-specific invariant checkers plus the
+//! The lint catalogue: five project-specific invariant checkers plus the
 //! `marker` pseudo-lint for `// amopt-lint:` grammar errors.
 //!
 //! Each lint is a function over one lexed [`SourceFile`]; which files a
@@ -12,15 +12,18 @@ mod float_eq;
 mod hot_path_alloc;
 mod lock_discipline;
 mod panic_surface;
+mod unsafe_confined;
 
 pub use float_eq::float_eq;
 pub use hot_path_alloc::hot_path_alloc;
 pub use lock_discipline::lock_discipline;
 pub use panic_surface::panic_surface;
+pub use unsafe_confined::unsafe_confined;
 
 /// Every lint an allow marker may name.  `marker` itself is not allowable:
 /// a broken marker must always fail the gate.
-pub const LINT_NAMES: &[&str] = &["hot-path-alloc", "panic-surface", "float-eq", "lock-discipline"];
+pub const LINT_NAMES: &[&str] =
+    &["hot-path-alloc", "panic-surface", "float-eq", "lock-discipline", "unsafe-confined"];
 
 /// One reported violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +61,7 @@ pub fn run_lints(file: &SourceFile, lints: &[&str], findings: &mut Vec<Finding>)
             "panic-surface" => panic_surface(file, findings),
             "float-eq" => float_eq(file, findings),
             "lock-discipline" => lock_discipline(file, findings),
+            "unsafe-confined" => unsafe_confined(file, findings),
             other => unreachable!("unknown lint `{other}` requested"),
         }
     }

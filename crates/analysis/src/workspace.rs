@@ -12,6 +12,8 @@ const PANIC_SURFACE_SCOPE: &[&str] = &["crates/service/src/"];
 const LOCK_DISCIPLINE_SCOPE: &[&str] = &["crates/service/src/"];
 const FLOAT_EQ_SCOPE: &[&str] =
     &["crates/core/src/", "crates/fft/src/", "crates/stencil/src/", "crates/cachesim/src/"];
+/// The one place `unsafe` may live: everywhere *else* gets `unsafe-confined`.
+const UNSAFE_EXEMPT_SCOPE: &[&str] = &["shims/epoll/"];
 
 /// Directory names never descended into.
 const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures", ".github"];
@@ -38,6 +40,9 @@ pub fn lints_for(rel: &str) -> Vec<&'static str> {
     }
     if LOCK_DISCIPLINE_SCOPE.iter().any(|p| rel.starts_with(p)) {
         lints.push("lock-discipline");
+    }
+    if !UNSAFE_EXEMPT_SCOPE.iter().any(|p| rel.starts_with(p)) {
+        lints.push("unsafe-confined");
     }
     lints
 }
@@ -147,7 +152,20 @@ mod tests {
         assert!(!lints_for("crates/service/src/queue.rs").contains(&"float-eq"));
         assert!(lints_for("crates/core/src/bopm/fast.rs").contains(&"float-eq"));
         assert!(!lints_for("crates/core/src/bopm/fast.rs").contains(&"panic-surface"));
-        assert!(lints_for("examples/quickstart.rs") == vec!["hot-path-alloc"]);
+        assert!(lints_for("examples/quickstart.rs") == vec!["hot-path-alloc", "unsafe-confined"]);
+    }
+
+    #[test]
+    fn unsafe_confinement_exempts_only_the_epoll_shim() {
+        assert!(!lints_for("shims/epoll/src/lib.rs").contains(&"unsafe-confined"));
+        for rel in [
+            "crates/service/src/reactor.rs",
+            "crates/core/src/bopm/fast.rs",
+            "examples/quote_server.rs",
+            "shims/other/src/lib.rs",
+        ] {
+            assert!(lints_for(rel).contains(&"unsafe-confined"), "{rel}");
+        }
     }
 
     #[test]

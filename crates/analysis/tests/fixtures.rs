@@ -60,6 +60,15 @@ fn lock_discipline_fixture_pair() {
 }
 
 #[test]
+fn unsafe_confined_fixture_pair() {
+    let bad = run_fixture("unsafe_confined_violations.rs", &["unsafe-confined"]);
+    assert_all_lint(&bad, "unsafe-confined", 4, "unsafe_confined_violations");
+    let clean = run_fixture("unsafe_confined_clean.rs", &["unsafe-confined"]);
+    assert!(clean.findings.is_empty(), "{:#?}", clean.findings);
+    assert!(clean.unused_allows.is_empty(), "{:#?}", clean.unused_allows);
+}
+
+#[test]
 fn marker_grammar_errors_are_not_allowable() {
     // Run with *no* lints enabled: grammar errors must surface regardless.
     let bad = run_fixture("marker_grammar_violations.rs", &[]);
@@ -74,6 +83,8 @@ fn fixture_paths_would_route_like_their_home_crates() {
     assert!(lints_for("crates/service/src/queue.rs").contains(&"lock-discipline"));
     assert!(lints_for("crates/fft/src/convolve.rs").contains(&"float-eq"));
     assert!(lints_for("crates/stencil/src/advance.rs").contains(&"hot-path-alloc"));
+    assert!(lints_for("crates/service/src/reactor.rs").contains(&"unsafe-confined"));
+    assert!(!lints_for("shims/epoll/src/lib.rs").contains(&"unsafe-confined"));
 }
 
 #[test]

@@ -1,0 +1,26 @@
+//! Fixture: `unsafe` escaping the `shims/epoll` confinement boundary.
+//! Expected: 4 `unsafe-confined` findings.
+
+pub unsafe fn raw_entry_point(p: *const i32) -> i32 {
+    *p
+}
+
+pub struct NotActuallySync(*mut u8);
+
+unsafe impl Sync for NotActuallySync {}
+
+pub fn sneaky_block() -> i32 {
+    let x = 7i32;
+    let p = &x as *const i32;
+    unsafe { *p }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_get_no_exemption() {
+        let v = [1u8, 2];
+        let first = unsafe { *v.as_ptr() };
+        assert_eq!(first, 1);
+    }
+}

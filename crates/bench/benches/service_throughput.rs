@@ -1,7 +1,9 @@
 //! `service_throughput` — options/sec and latency percentiles of the
-//! batch-coalescing quote service vs the per-request serial baseline.
+//! batch-coalescing quote service vs the per-request serial baseline, plus
+//! the reactor front end's connection-scaling and EDF deadline-mix
+//! headline numbers.
 //!
-//! The workload is a **dedup-heavy book** ([`duplicated_book`]: 4096
+//! The base workload is a **dedup-heavy book** ([`duplicated_book`]: 4096
 //! requests cycling 64 distinct contracts at `T = 252`) — the traffic shape
 //! the service exists for: many clients quoting the same underlyings, where
 //! coalescing turns per-request lattice work into in-batch dedup and memo
@@ -13,12 +15,26 @@
 //!   clients, eight closed-loop submitter threads (each submits and waits
 //!   one request at a time), so batches form *only* from concurrency and
 //!   the deadline — nobody hands the service a pre-made batch;
-//! * `service_tcp` — the book over loopback TCP connections with a
-//!   16-request pipeline window per connection, timing each request from
-//!   send to response line.
+//! * `service_tcp` — the book over loopback TCP through the **epoll
+//!   reactor** front end, four connections with a 16-request pipeline
+//!   window each, timing each request from send to response line;
+//! * `service_tcp_threaded` — identical shape through the legacy
+//!   thread-per-connection front end: the reactor must hold a p99 no worse
+//!   than this on the same book;
+//! * `reactor_conns` / `threaded_conns` — connection scaling: one phased
+//!   single-threaded driver fanning the book over **1024** reactor
+//!   connections vs **64** threaded ones (the threaded baseline pays one
+//!   OS thread per connection; 16× fewer is already generous to it);
+//! * `deadline_mix_tagged` / `deadline_mix_bulk` — a duplicate-free book
+//!   ([`paper_book`]) flooded open-loop: one latency-sensitive connection
+//!   sends 16 quotes with a 1 ms deadline budget while seven bulk
+//!   connections flood the rest untagged against a 100 ms coalescing
+//!   default.  The EDF queue must pull the tagged class ahead of the
+//!   backlog (its fair share exceeds its arrival rate), giving it a
+//!   markedly better p99 than the bulk class it overtakes.
 //!
 //! Per-request latency percentiles (p50/p90/p99/max, in microseconds) are
-//! recorded for the two service scenarios.  The machine-readable summary
+//! recorded for every service scenario.  The machine-readable summary
 //! goes to `BENCH_service.json` (override with `BENCH_SERVICE_OUT`); schema
 //! in `crates/bench/README.md`.
 //!
@@ -26,11 +42,12 @@
 //! cargo bench -p amopt-bench --bench service_throughput
 //! ```
 
-use amopt_bench::duplicated_book;
+use amopt_bench::{duplicated_book, paper_book};
 use amopt_core::batch::{ModelKind, PricingRequest, Style};
 use amopt_core::bopm::{self, BopmModel};
 use amopt_core::{EngineConfig, OptionType};
-use amopt_service::{wire, QuoteServer, ServiceConfig, TcpQuoteClient};
+use amopt_service::{wire, FrontEnd, QuoteServer, ServiceConfig, TcpQuoteClient};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -40,6 +57,28 @@ const UNIQUE: usize = 64;
 const INPROC_THREADS: usize = 8;
 const TCP_CONNS: usize = 4;
 const TCP_WINDOW: usize = 16;
+/// Connection-scaling scenario sizes: the reactor must sustain at least an
+/// order of magnitude more connections than the thread-per-connection
+/// baseline.
+const REACTOR_CONNS: usize = 1024;
+const THREADED_CONNS: usize = 64;
+const CONN_SCALING_REQS_PER_CONN: usize = 2;
+/// Deadline-mix scenario: one latency-sensitive connection floods
+/// `MIX_URGENT` deadline-tagged quotes while `MIX_BULK_CONNS` bulk
+/// connections flood the rest of a duplicate-free book, all open-loop.
+/// The urgent class rides its own connection because the wire protocol
+/// answers each connection in request order — a tagged reply queued behind
+/// a bulk reply on the same socket would hide any scheduling win.
+const MIX_BOOK: usize = 1024;
+const MIX_URGENT: usize = 16;
+const MIX_BULK_CONNS: usize = 7;
+const MIX_BUDGET: Duration = Duration::from_millis(1);
+/// Bulk requests in the mix carry no budget, so their implicit deadline is
+/// this coalescing default.  It must dwarf the book's arrival spread
+/// (tens of ms at this size): EDF separates *deadlines*, and a bulk class
+/// that implicitly demands near-tagged latency has asked for the tie it
+/// gets.
+const MIX_MAX_WAIT: Duration = Duration::from_millis(100);
 
 struct Record {
     name: &'static str,
@@ -63,13 +102,14 @@ fn percentiles(mut lat_us: Vec<f64>) -> Latency {
     Latency { p50: at(0.5), p90: at(0.9), p99: at(0.99), max: *lat_us.last().unwrap() }
 }
 
-fn service_config() -> ServiceConfig {
+fn service_config(front_end: FrontEnd) -> ServiceConfig {
     ServiceConfig {
         max_batch: 256,
         max_wait: Duration::from_micros(500),
         queue_depth: 2 * BOOK,
         per_conn_inflight: 2 * BOOK,
         memo_capacity: 8192,
+        front_end,
         ..ServiceConfig::default()
     }
 }
@@ -90,6 +130,125 @@ fn serial_per_request(book: &[PricingRequest]) -> Vec<f64> {
             bopm::fast::price_american_call(&m, &cfg)
         })
         .collect()
+}
+
+/// Drives `slice` over one loopback connection with a `window`-deep
+/// pipeline (`usize::MAX` = open-loop), tagging *every* request with
+/// `budget` when given.  Returns `(id, price, latency_us)` per request.
+fn drive_conn(
+    addr: std::net::SocketAddr,
+    slice: &[PricingRequest],
+    base_id: usize,
+    window: usize,
+    budget: Option<Duration>,
+) -> Vec<(usize, f64, f64)> {
+    let mut client = TcpQuoteClient::connect(addr).expect("connect");
+    let mut out = Vec::with_capacity(slice.len());
+    let mut sent_at: HashMap<u64, Instant> = HashMap::new();
+    let mut next = 0usize;
+    while out.len() < slice.len() {
+        while next < slice.len() && sent_at.len() < window {
+            let id = (base_id + next) as u64;
+            let line = match budget {
+                Some(b) => wire::encode_pricing_request_with_deadline(
+                    id,
+                    "price",
+                    &slice[next],
+                    b.as_secs_f64() * 1e3,
+                ),
+                None => wire::encode_pricing_request(id, "price", &slice[next]),
+            };
+            client.send(&line).expect("send");
+            sent_at.insert(id, Instant::now());
+            next += 1;
+        }
+        let reply = client.recv().expect("response");
+        let doc = wire::parse(&reply).expect("valid json");
+        let id = doc.get("id").unwrap().as_f64().unwrap() as usize;
+        let price = doc
+            .get("price")
+            .and_then(wire::JsonValue::as_f64)
+            .unwrap_or_else(|| panic!("error response: {reply}"));
+        let sent = sent_at.remove(&(id as u64)).expect("known id");
+        out.push((id, price, sent.elapsed().as_secs_f64() * 1e6));
+    }
+    out
+}
+
+/// Drives `book` over `conns` pipelined loopback connections (one client
+/// thread each).  Returns wall seconds and per-request latencies after
+/// asserting every reply bitwise against `want`.
+fn tcp_pipelined(
+    addr: std::net::SocketAddr,
+    book: &[PricingRequest],
+    want: &[f64],
+    conns: usize,
+    window: usize,
+) -> (f64, Vec<f64>) {
+    let chunk = book.len().div_ceil(conns);
+    let t0 = Instant::now();
+    let per_conn: Vec<Vec<(usize, f64, f64)>> = std::thread::scope(|scope| {
+        book.chunks(chunk)
+            .enumerate()
+            .map(|(w, slice)| scope.spawn(move || drive_conn(addr, slice, w * chunk, window, None)))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("no panics"))
+            .collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    let mut lat = Vec::with_capacity(book.len());
+    for (id, price, us) in per_conn.into_iter().flatten() {
+        assert_eq!(price.to_bits(), want[id].to_bits(), "request {id}");
+        lat.push(us);
+    }
+    (secs, lat)
+}
+
+/// Connection-scaling driver: a single client thread fans `per_conn`
+/// requests over `conns` simultaneously open connections in two phases
+/// (write everything, then read everything), so the client side costs one
+/// thread no matter how many sockets the *server* must sustain.
+fn fan_out_conns(
+    addr: std::net::SocketAddr,
+    book: &[PricingRequest],
+    want: &[f64],
+    conns: usize,
+    per_conn: usize,
+) -> (f64, Vec<f64>) {
+    use std::io::{BufRead, BufReader, Write};
+    let t0 = Instant::now();
+    let mut streams: Vec<std::net::TcpStream> = (0..conns)
+        .map(|i| std::net::TcpStream::connect(addr).unwrap_or_else(|e| panic!("conn {i}: {e}")))
+        .collect();
+    let mut sent_at: Vec<Instant> = Vec::with_capacity(conns * per_conn);
+    for (c, stream) in streams.iter_mut().enumerate() {
+        let mut lines = String::new();
+        for j in 0..per_conn {
+            let id = c * per_conn + j;
+            let req = &book[id % book.len()];
+            let _ = writeln!(lines, "{}", wire::encode_pricing_request(id as u64, "price", req));
+        }
+        stream.write_all(lines.as_bytes()).expect("write");
+        sent_at.push(Instant::now());
+    }
+    let mut lat_us = Vec::with_capacity(conns * per_conn);
+    for (c, stream) in streams.iter().enumerate() {
+        let mut reader = BufReader::new(stream);
+        for _ in 0..per_conn {
+            let mut line = String::new();
+            assert!(reader.read_line(&mut line).expect("read") > 0, "conn {c} hung up early");
+            let doc = wire::parse(line.trim()).expect("valid json");
+            let id = doc.get("id").unwrap().as_f64().unwrap() as usize;
+            let price = doc
+                .get("price")
+                .and_then(wire::JsonValue::as_f64)
+                .unwrap_or_else(|| panic!("error response: {line}"));
+            assert_eq!(price.to_bits(), want[id % want.len()].to_bits(), "request {id}");
+            lat_us.push(sent_at[c].elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    (t0.elapsed().as_secs_f64(), lat_us)
 }
 
 fn main() {
@@ -115,7 +274,8 @@ fn main() {
 
     // --- In-process service, closed-loop submitters ---
     let (inproc_secs, inproc_lat) = {
-        let service = amopt_service::QuoteService::start(service_config()).expect("start service");
+        let service = amopt_service::QuoteService::start(service_config(FrontEnd::Reactor))
+            .expect("start service");
         let chunk = book.len().div_ceil(INPROC_THREADS);
         let t0 = Instant::now();
         let lat: Vec<Vec<(usize, f64, f64)>> = std::thread::scope(|scope| {
@@ -172,64 +332,135 @@ fn main() {
         latencies_us: Some(inproc_lat),
     });
 
-    // --- TCP loopback, pipelined windows ---
-    let (tcp_secs, tcp_lat) = {
-        let server = QuoteServer::bind("127.0.0.1:0", service_config()).expect("bind loopback");
+    // --- TCP loopback, pipelined windows: reactor, then threaded ---
+    let mut tcp_lat_by_front = Vec::new();
+    for (name, front_end) in
+        [("service_tcp", FrontEnd::Reactor), ("service_tcp_threaded", FrontEnd::Threaded)]
+    {
+        let server =
+            QuoteServer::bind("127.0.0.1:0", service_config(front_end)).expect("bind loopback");
+        let (secs, lat) = tcp_pipelined(server.local_addr(), &book, &want, TCP_CONNS, TCP_WINDOW);
+        server.shutdown();
+        let lat = percentiles(lat);
+        tcp_lat_by_front.push(lat);
+        records.push(Record {
+            name,
+            batch: BOOK,
+            threads: TCP_CONNS,
+            secs,
+            latencies_us: Some(lat),
+        });
+    }
+    let tcp_secs = records[2].secs;
+
+    // --- Connection scaling: phased fan-out over many open sockets ---
+    let mut conns_held = Vec::new();
+    for (name, front_end, conns) in [
+        ("reactor_conns", FrontEnd::Reactor, REACTOR_CONNS),
+        ("threaded_conns", FrontEnd::Threaded, THREADED_CONNS),
+    ] {
+        let server =
+            QuoteServer::bind("127.0.0.1:0", service_config(front_end)).expect("bind loopback");
+        let (secs, lat_us) =
+            fan_out_conns(server.local_addr(), &book, &want, conns, CONN_SCALING_REQS_PER_CONN);
+        if front_end == FrontEnd::Reactor {
+            let stats = server.stats();
+            assert!(
+                stats.reactor.connections_accepted >= conns as u64,
+                "reactor accepted {} of {conns} connections",
+                stats.reactor.connections_accepted
+            );
+        }
+        server.shutdown();
+        conns_held.push(conns);
+        records.push(Record {
+            name,
+            batch: conns * CONN_SCALING_REQS_PER_CONN,
+            threads: conns,
+            secs,
+            latencies_us: Some(percentiles(lat_us)),
+        });
+    }
+
+    // --- Deadline mix: duplicate-free flood, EDF class separation ---
+    let mix_book = paper_book(MIX_BOOK, STEPS);
+    let mix_want = {
+        let cfg = EngineConfig::default();
+        mix_book
+            .iter()
+            .map(|req| {
+                let m = BopmModel::new(req.params, req.steps).expect("valid book");
+                bopm::fast::price_american_call(&m, &cfg)
+            })
+            .collect::<Vec<f64>>()
+    };
+    let (tagged_lat, bulk_lat, mix_secs) = {
+        let server = QuoteServer::bind(
+            "127.0.0.1:0",
+            ServiceConfig {
+                max_batch: 64,
+                max_wait: MIX_MAX_WAIT,
+                ..service_config(FrontEnd::Reactor)
+            },
+        )
+        .expect("bind loopback");
         let addr = server.local_addr();
-        let chunk = book.len().div_ceil(TCP_CONNS);
+        let (urgent_book, bulk_book) = mix_book.split_at(MIX_URGENT);
+        let chunk = bulk_book.len().div_ceil(MIX_BULK_CONNS);
+        // Open-loop: every connection writes its whole share before
+        // reading, so the EDF queue sees the full mixed backlog at once.
         let t0 = Instant::now();
-        let lat: Vec<Vec<(usize, f64, f64)>> = std::thread::scope(|scope| {
-            book.chunks(chunk)
+        let (urgent, bulk) = std::thread::scope(|scope| {
+            let urgent =
+                scope.spawn(move || drive_conn(addr, urgent_book, 0, usize::MAX, Some(MIX_BUDGET)));
+            let bulk: Vec<_> = bulk_book
+                .chunks(chunk)
                 .enumerate()
                 .map(|(w, slice)| {
                     scope.spawn(move || {
-                        let mut client = TcpQuoteClient::connect(addr).expect("connect");
-                        let mut out = Vec::with_capacity(slice.len());
-                        let mut sent_at = std::collections::VecDeque::new();
-                        let mut next = 0usize;
-                        let mut done = 0usize;
-                        while done < slice.len() {
-                            while next < slice.len() && sent_at.len() < TCP_WINDOW {
-                                let id = (w * chunk + next) as u64;
-                                let line = wire::encode_pricing_request(id, "price", &slice[next]);
-                                client.send(&line).expect("send");
-                                sent_at.push_back(Instant::now());
-                                next += 1;
-                            }
-                            let reply = client.recv().expect("response");
-                            let us = sent_at.pop_front().unwrap().elapsed().as_secs_f64() * 1e6;
-                            let doc = wire::parse(&reply).expect("valid json");
-                            let id = doc.get("id").unwrap().as_f64().unwrap() as usize;
-                            let price = doc
-                                .get("price")
-                                .and_then(wire::JsonValue::as_f64)
-                                .unwrap_or_else(|| panic!("error response: {reply}"));
-                            out.push((id, price, us));
-                            done += 1;
-                        }
-                        out
+                        drive_conn(addr, slice, MIX_URGENT + w * chunk, usize::MAX, None)
                     })
                 })
-                .collect::<Vec<_>>()
-                .into_iter()
-                .map(|h| h.join().expect("no panics"))
-                .collect()
+                .collect();
+            (
+                urgent.join().expect("no panics"),
+                bulk.into_iter().flat_map(|h| h.join().expect("no panics")).collect::<Vec<_>>(),
+            )
         });
         let secs = t0.elapsed().as_secs_f64();
-        let mut lat_us = Vec::with_capacity(book.len());
-        for (id, price, us) in lat.into_iter().flatten() {
-            assert_eq!(price.to_bits(), want[id].to_bits(), "request {id}");
-            lat_us.push(us);
-        }
+        let stats = server.stats();
+        eprintln!(
+            "deadline mix: {} of {MIX_URGENT} tagged requests missed their 1 ms budget; \
+             {} batches (mean size {:.1}, {} heap pops)",
+            stats.deadline_misses,
+            stats.batches,
+            stats.mean_batch_size(),
+            stats.heap_pops
+        );
         server.shutdown();
-        (secs, percentiles(lat_us))
+        let collect = |rows: Vec<(usize, f64, f64)>| {
+            rows.into_iter()
+                .map(|(id, price, us)| {
+                    assert_eq!(price.to_bits(), mix_want[id].to_bits(), "request {id}");
+                    us
+                })
+                .collect::<Vec<f64>>()
+        };
+        (percentiles(collect(urgent)), percentiles(collect(bulk)), secs)
     };
     records.push(Record {
-        name: "service_tcp",
-        batch: BOOK,
-        threads: TCP_CONNS,
-        secs: tcp_secs,
-        latencies_us: Some(tcp_lat),
+        name: "deadline_mix_tagged",
+        batch: MIX_URGENT,
+        threads: 1,
+        secs: mix_secs,
+        latencies_us: Some(tagged_lat),
+    });
+    records.push(Record {
+        name: "deadline_mix_bulk",
+        batch: MIX_BOOK - MIX_URGENT,
+        threads: MIX_BULK_CONNS,
+        secs: mix_secs,
+        latencies_us: Some(bulk_lat),
     });
 
     // --- Report ---
@@ -237,7 +468,7 @@ fn main() {
         "\nbenchmark group: service_throughput (dedup-heavy book: {BOOK} requests, {UNIQUE} \
          distinct, T = {STEPS})"
     );
-    println!("| scenario | requests | threads | secs | options/s | p50 us | p99 us |");
+    println!("| scenario | requests | threads/conns | secs | options/s | p50 us | p99 us |");
     println!("|---|---|---|---|---|---|---|");
     for r in &records {
         let (p50, p99) = r
@@ -257,19 +488,56 @@ fn main() {
     }
     let inproc_speedup = serial_secs / inproc_secs;
     let tcp_speedup = serial_secs / tcp_secs;
+    let conn_scaling = conns_held[0] as f64 / conns_held[1] as f64;
+    let reactor_p99_vs_threaded = tcp_lat_by_front[1].p99 / tcp_lat_by_front[0].p99;
+    let deadline_p99_speedup = bulk_lat.p99 / tagged_lat.p99;
     println!("\ncoalesced in-process vs per-request serial baseline: {inproc_speedup:.2}x");
     println!("coalesced over TCP vs per-request serial baseline: {tcp_speedup:.2}x");
+    println!(
+        "reactor sustained {} connections vs {} threaded ({conn_scaling:.0}x); \
+         threaded-vs-reactor p99 ratio on the pipelined book: {reactor_p99_vs_threaded:.2}",
+        conns_held[0], conns_held[1]
+    );
+    println!(
+        "EDF deadline mix: tagged p99 {:.0} us vs bulk p99 {:.0} us \
+         ({deadline_p99_speedup:.2}x better)",
+        tagged_lat.p99, bulk_lat.p99
+    );
     if inproc_speedup < 1.0 {
         eprintln!(
             "WARNING: in-process service below the serial per-request baseline \
              ({inproc_speedup:.2}x) — noisy run or a real regression?"
         );
     }
+    if reactor_p99_vs_threaded < 1.0 / 1.5 {
+        eprintln!(
+            "WARNING: reactor p99 more than 1.5x the threaded front end's on the same book \
+             (ratio {reactor_p99_vs_threaded:.2}) — noisy run or a real regression?"
+        );
+    }
+    if deadline_p99_speedup < 2.0 {
+        eprintln!(
+            "WARNING: deadline-tagged p99 less than 2x better than bulk \
+             ({deadline_p99_speedup:.2}x) — EDF separation regressed?"
+        );
+    }
 
-    write_summary(&records, max_threads, inproc_speedup, tcp_speedup);
+    write_summary(
+        &records,
+        max_threads,
+        &[
+            ("speedup_inproc_vs_serial", inproc_speedup),
+            ("speedup_tcp_vs_serial", tcp_speedup),
+            ("reactor_sustained_connections", conns_held[0] as f64),
+            ("threaded_sustained_connections", conns_held[1] as f64),
+            ("connection_scaling_vs_threaded", conn_scaling),
+            ("reactor_p99_vs_threaded", reactor_p99_vs_threaded),
+            ("deadline_p99_speedup_vs_bulk", deadline_p99_speedup),
+        ],
+    );
 }
 
-fn write_summary(records: &[Record], max_threads: usize, inproc: f64, tcp: f64) {
+fn write_summary(records: &[Record], max_threads: usize, headlines: &[(&str, f64)]) {
     let path =
         std::env::var("BENCH_SERVICE_OUT").unwrap_or_else(|_| "BENCH_service.json".to_string());
     let mut json = String::from("{\n");
@@ -278,8 +546,9 @@ fn write_summary(records: &[Record], max_threads: usize, inproc: f64, tcp: f64) 
     let _ = writeln!(json, "  \"book\": {BOOK},");
     let _ = writeln!(json, "  \"unique_contracts\": {UNIQUE},");
     let _ = writeln!(json, "  \"max_threads\": {max_threads},");
-    let _ = writeln!(json, "  \"speedup_inproc_vs_serial\": {inproc:.4},");
-    let _ = writeln!(json, "  \"speedup_tcp_vs_serial\": {tcp:.4},");
+    for (key, value) in headlines {
+        let _ = writeln!(json, "  \"{key}\": {value:.4},");
+    }
     json.push_str("  \"results\": [\n");
     for (i, r) in records.iter().enumerate() {
         let _ = write!(

@@ -18,6 +18,11 @@
 //! * scenarios with no history (new benches) are reported as `new` and
 //!   never fail — consumers of the schema must tolerate appended scenarios.
 //!
+//! Records that also carry a `p99_us` latency get a second, lower-is-better
+//! gate under the same rules: `fresh > (1 + tolerance) × median` with ≥ 2
+//! datapoints fails.  This is what holds the service bench's tail-latency
+//! scenarios (reactor vs threaded, deadline mix) to their archived shape.
+//!
 //! Unless `--no-append` is given, a **passing** summary is appended to the
 //! history (compacted to one line, capped to the last 20 runs) *after* the
 //! comparison, so the next run sees it; failing runs are kept out of the
@@ -34,10 +39,13 @@ struct Record {
     size: u64,
     threads: u64,
     metric: f64,
+    /// Tail latency, gated lower-is-better when present.
+    p99_us: Option<f64>,
 }
 
 /// Extracts the scenario records of one summary JSON: objects inside the
-/// `"results"` array, keyed metric `options_per_sec` or `quotes_per_sec`.
+/// `"results"` array, keyed metric `options_per_sec` or `quotes_per_sec`,
+/// plus the optional `p99_us` latency.
 fn parse_records(json: &str) -> Option<Vec<Record>> {
     let results_at = json.find("\"results\"")?;
     let body = &json[results_at..];
@@ -54,7 +62,8 @@ fn parse_records(json: &str) -> Option<Vec<Record>> {
         let threads = field_num(obj, "threads")? as u64;
         let metric =
             field_num(obj, "options_per_sec").or_else(|| field_num(obj, "quotes_per_sec"))?;
-        records.push(Record { name, size, threads, metric });
+        let p99_us = field_num(obj, "p99_us");
+        records.push(Record { name, size, threads, metric, p99_us });
         rest = &rest[end + 1..];
     }
     Some(records)
@@ -78,9 +87,30 @@ fn field_num(obj: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Archived history of one `(name, size, threads)` key, oldest first.
+#[derive(Debug, Default)]
+struct Series {
+    name: String,
+    size: u64,
+    threads: u64,
+    metrics: Vec<f64>,
+    p99s: Vec<f64>,
+}
+
 fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(f64::total_cmp);
     xs[xs.len() / 2]
+}
+
+/// Whether `value` stays inside the tolerance band around `med`:
+/// throughput (`higher_better`) may not drop below `(1 − tol) × med`,
+/// latency may not rise above `(1 + tol) × med`.
+fn within_tolerance(value: f64, med: f64, tolerance: f64, higher_better: bool) -> bool {
+    if higher_better {
+        value >= (1.0 - tolerance) * med
+    } else {
+        value <= (1.0 + tolerance) * med
+    }
 }
 
 fn main() -> ExitCode {
@@ -121,19 +151,31 @@ fn main() -> ExitCode {
     let history_raw = std::fs::read_to_string(history_path).unwrap_or_default();
     let mut history_lines: Vec<&str> =
         history_raw.lines().filter(|l| !l.trim().is_empty()).collect();
-    let mut series: Vec<(String, u64, u64, Vec<f64>)> = Vec::new();
+    let mut series: Vec<Series> = Vec::new();
     for line in &history_lines {
         let Some(records) = parse_records(line) else {
             eprintln!("bench-diff: skipping unparseable history line");
             continue;
         };
         for r in records {
-            match series
+            let slot = match series
                 .iter_mut()
-                .find(|(n, s, t, _)| *n == r.name && *s == r.size && *t == r.threads)
+                .find(|s| s.name == r.name && s.size == r.size && s.threads == r.threads)
             {
-                Some((_, _, _, xs)) => xs.push(r.metric),
-                None => series.push((r.name, r.size, r.threads, vec![r.metric])),
+                Some(slot) => slot,
+                None => {
+                    series.push(Series {
+                        name: r.name,
+                        size: r.size,
+                        threads: r.threads,
+                        ..Series::default()
+                    });
+                    series.last_mut().expect("just pushed")
+                }
+            };
+            slot.metrics.push(r.metric);
+            if let Some(p99) = r.p99_us {
+                slot.p99s.push(p99);
             }
         }
     }
@@ -142,42 +184,49 @@ fn main() -> ExitCode {
     println!("|---|---|---|---|---|---|---|");
     let mut failures = 0usize;
     let mut warnings = 0usize;
+    // One comparison per gated value: `higher_better` flips the tolerance
+    // band (throughput must not drop, p99 latency must not grow).
+    let mut gate =
+        |label: &str, size: u64, threads: u64, value: f64, prior: Vec<f64>, higher_better: bool| {
+            let verdict = if prior.is_empty() {
+                "new".to_string()
+            } else {
+                let med = median(prior.clone());
+                if within_tolerance(value, med, tolerance, higher_better) {
+                    format!("ok ({:+.1}%)", 100.0 * (value / med - 1.0))
+                } else if prior.len() >= 2 {
+                    failures += 1;
+                    format!("FAIL ({:.1}% of median)", 100.0 * value / med)
+                } else {
+                    warnings += 1;
+                    format!("warn ({:.1}% of median, 1 datapoint)", 100.0 * value / med)
+                }
+            };
+            let med_str = if prior.is_empty() {
+                "-".to_string()
+            } else {
+                format!("{:.1}", median(prior.clone()))
+            };
+            println!(
+                "| {label} | {size} | {threads} | {value:.1} | {med_str} | {} | {verdict} |",
+                prior.len(),
+            );
+        };
     for r in &fresh {
         let prior = series
             .iter()
-            .find(|(n, s, t, _)| *n == r.name && *s == r.size && *t == r.threads)
-            .map(|(_, _, _, xs)| xs.iter().rev().take(window).copied().collect::<Vec<_>>())
+            .find(|s| s.name == r.name && s.size == r.size && s.threads == r.threads)
+            .map(|s| {
+                (
+                    s.metrics.iter().rev().take(window).copied().collect::<Vec<_>>(),
+                    s.p99s.iter().rev().take(window).copied().collect::<Vec<_>>(),
+                )
+            })
             .unwrap_or_default();
-        let verdict = if prior.is_empty() {
-            "new".to_string()
-        } else {
-            let med = median(prior.clone());
-            let floor = (1.0 - tolerance) * med;
-            if r.metric >= floor {
-                format!("ok ({:+.1}%)", 100.0 * (r.metric / med - 1.0))
-            } else if prior.len() >= 2 {
-                failures += 1;
-                format!("FAIL ({:.1}% of median)", 100.0 * r.metric / med)
-            } else {
-                warnings += 1;
-                format!("warn ({:.1}% of median, 1 datapoint)", 100.0 * r.metric / med)
-            }
-        };
-        let med_str = if prior.is_empty() {
-            "-".to_string()
-        } else {
-            format!("{:.1}", median(prior.clone()))
-        };
-        println!(
-            "| {} | {} | {} | {:.1} | {} | {} | {} |",
-            r.name,
-            r.size,
-            r.threads,
-            r.metric,
-            med_str,
-            prior.len(),
-            verdict
-        );
+        gate(&r.name, r.size, r.threads, r.metric, prior.0, true);
+        if let Some(p99) = r.p99_us {
+            gate(&format!("{} (p99_us)", r.name), r.size, r.threads, p99, prior.1, false);
+        }
     }
 
     // A failing run never enters the history: appending it would let a
@@ -224,18 +273,27 @@ mod tests {
   "speedup_batched_vs_sequential": 1.01,
   "results": [
     {"name": "batch_cold", "batch": 4096, "threads": 1, "secs": 0.79, "options_per_sec": 5175.0},
-    {"name": "batch_memo_warm", "batch": 4096, "threads": 8, "secs": 0.001, "options_per_sec": 4096000.0}
+    {"name": "batch_memo_warm", "batch": 4096, "threads": 8, "secs": 0.001, "options_per_sec": 4096000.0},
+    {"name": "service_tcp", "quotes": 4096, "threads": 4, "secs": 1.2, "quotes_per_sec": 3400.0, "p99_us": 950.0}
   ]
 }"#;
 
     #[test]
     fn parses_the_batch_schema() {
         let records = parse_records(SAMPLE).unwrap();
-        assert_eq!(records.len(), 2);
+        assert_eq!(records.len(), 3);
         assert_eq!(records[0].name, "batch_cold");
         assert_eq!(records[0].size, 4096);
         assert_eq!(records[0].threads, 1);
         assert!((records[0].metric - 5175.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn p99_is_parsed_where_present_and_absent_elsewhere() {
+        let records = parse_records(SAMPLE).unwrap();
+        assert_eq!(records[0].p99_us, None);
+        assert_eq!(records[1].p99_us, None);
+        assert_eq!(records[2].p99_us, Some(950.0));
     }
 
     #[test]
@@ -256,5 +314,18 @@ mod tests {
     fn median_is_positional() {
         assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(vec![5.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn tolerance_band_flips_with_metric_direction() {
+        // Throughput: a 20% drop passes at 30% tolerance, a 40% drop fails.
+        assert!(within_tolerance(80.0, 100.0, 0.30, true));
+        assert!(!within_tolerance(60.0, 100.0, 0.30, true));
+        // Gains never fail the throughput gate.
+        assert!(within_tolerance(500.0, 100.0, 0.30, true));
+        // p99 latency: growth beyond the band fails, shrinking passes.
+        assert!(within_tolerance(120.0, 100.0, 0.30, false));
+        assert!(!within_tolerance(140.0, 100.0, 0.30, false));
+        assert!(within_tolerance(10.0, 100.0, 0.30, false));
     }
 }

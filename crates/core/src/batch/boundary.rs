@@ -31,7 +31,7 @@
 use crate::batch::{BatchPricer, ModelKind};
 use crate::bopm::BopmModel;
 use crate::bsm::BsmModel;
-use crate::error::{PricingError, Result};
+use crate::error::Result;
 use crate::exercise_boundary::{self, BoundaryPoint};
 use crate::params::{OptionParams, OptionType};
 use crate::topm::TopmModel;
@@ -92,13 +92,9 @@ fn route(req: &BoundaryRequest, pricer: &BatchPricer) -> Result<Vec<BoundaryPoin
             let model = BsmModel::new(req.params, req.steps)?;
             Ok(exercise_boundary::bsm_put_boundary(&model, cfg, req.samples))
         }
-        (model @ ModelKind::Bsm, option_type @ OptionType::Call) => {
-            Err(PricingError::Unsupported {
-                what: format!(
-                    "{model:?} {option_type:?} has no fast boundary-tracking pricer in this \
-                     workspace (the BSM grid prices puts only)"
-                ),
-            })
+        (ModelKind::Bsm, OptionType::Call) => {
+            let model = BsmModel::new(req.params, req.steps)?;
+            Ok(exercise_boundary::bsm_call_boundary(&model, cfg, req.samples))
         }
     }
 }
@@ -170,6 +166,7 @@ pub fn exercise_boundaries(
 mod tests {
     use super::*;
     use crate::engine::EngineConfig;
+    use crate::error::PricingError;
 
     fn p() -> OptionParams {
         OptionParams::paper_defaults()
@@ -186,6 +183,7 @@ mod tests {
             BoundaryRequest::new(ModelKind::Topm, OptionType::Call, p(), 256, 8),
             BoundaryRequest::new(ModelKind::Topm, OptionType::Put, p(), 256, 8),
             BoundaryRequest::new(ModelKind::Bsm, OptionType::Put, zero_div, 256, 8),
+            BoundaryRequest::new(ModelKind::Bsm, OptionType::Call, zero_div, 256, 8),
         ];
         let got = exercise_boundaries(&pricer, &book);
         let want = vec![
@@ -194,6 +192,7 @@ mod tests {
             exercise_boundary::topm_call_boundary(&TopmModel::new(p(), 256).unwrap(), &cfg, 8),
             exercise_boundary::topm_put_boundary(&TopmModel::new(p(), 256).unwrap(), &cfg, 8),
             exercise_boundary::bsm_put_boundary(&BsmModel::new(zero_div, 256).unwrap(), &cfg, 8),
+            exercise_boundary::bsm_call_boundary(&BsmModel::new(zero_div, 256).unwrap(), &cfg, 8),
         ];
         for ((req, g), w) in book.iter().zip(&got).zip(&want) {
             let g = g.as_ref().unwrap_or_else(|e| panic!("{req:?}: {e}"));
@@ -212,14 +211,38 @@ mod tests {
             128,
             4,
         );
-        let unsupported = BoundaryRequest::new(ModelKind::Bsm, OptionType::Call, p(), 128, 4);
+        // The BSM call route exists now, but the model still rejects the
+        // paper defaults' non-zero dividend yield — a per-slot error.
+        let dividend_call = BoundaryRequest::new(ModelKind::Bsm, OptionType::Call, p(), 128, 4);
         let out =
-            exercise_boundaries(&pricer, &[good.clone(), bad, good.clone(), unsupported, good]);
+            exercise_boundaries(&pricer, &[good.clone(), bad, good.clone(), dividend_call, good]);
         assert!(matches!(out[1], Err(PricingError::InvalidParams { .. })), "{:?}", out[1]);
-        assert!(matches!(out[3], Err(PricingError::Unsupported { .. })), "{:?}", out[3]);
+        assert!(
+            matches!(out[3], Err(PricingError::InvalidParams { field: "dividend_yield", .. })),
+            "{:?}",
+            out[3]
+        );
         let first = out[0].as_ref().unwrap();
         assert_eq!(first, out[2].as_ref().unwrap());
         assert_eq!(first, out[4].as_ref().unwrap());
         assert!(!first.is_empty());
+    }
+
+    #[test]
+    fn bsm_call_route_yields_in_the_money_points_only() {
+        // Dividend-free call: early exercise is at most a quantisation
+        // artifact, so every sampled critical price (if any) sits at or
+        // above the strike, and the curve itself is well-formed.
+        let pricer = BatchPricer::new(EngineConfig::default());
+        let zero_div = OptionParams { dividend_yield: 0.0, ..p() };
+        let req = BoundaryRequest::new(ModelKind::Bsm, OptionType::Call, zero_div, 256, 8);
+        let out = exercise_boundaries(&pricer, &[req]);
+        let curve = out[0].as_ref().expect("bsm call route prices");
+        assert!(!curve.is_empty());
+        for pt in curve {
+            if let Some(price) = pt.critical_price {
+                assert!(price >= zero_div.strike * (1.0 - 1e-12), "critical {price} below strike");
+            }
+        }
     }
 }

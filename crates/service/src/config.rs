@@ -4,6 +4,22 @@ use amopt_core::batch::{DEFAULT_MEMO_CAPACITY, DEFAULT_MEMO_SHARDS};
 use amopt_core::EngineConfig;
 use std::time::Duration;
 
+/// Which TCP front end [`QuoteServer::bind`](crate::QuoteServer::bind)
+/// serves with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontEnd {
+    /// Single-threaded epoll reactor: one thread multiplexes every
+    /// connection through nonblocking sockets, incremental line buffers,
+    /// and an eventfd completion waker.  Holds thousands of idle
+    /// connections; the default.
+    #[default]
+    Reactor,
+    /// Legacy thread-per-connection front end: two OS threads per
+    /// accepted socket.  Kept as the equivalence baseline and for
+    /// connection-count comparisons; byte-identical wire behaviour.
+    Threaded,
+}
+
 /// Configuration of a [`QuoteService`](crate::QuoteService).
 ///
 /// The two coalescing knobs trade latency for batch efficiency:
@@ -35,6 +51,12 @@ pub struct ServiceConfig {
     pub memo_capacity: usize,
     /// Memo shard count passed through to the shared `BatchPricer`.
     pub memo_shards: usize,
+    /// Which TCP front end serves connections (in-process use ignores it).
+    pub front_end: FrontEnd,
+    /// Connections the reactor will hold open at once; accepts beyond it
+    /// are closed immediately.  The threaded front end ignores this (its
+    /// cap is whatever the OS lets it spawn).
+    pub max_connections: usize,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +70,8 @@ impl Default for ServiceConfig {
             per_conn_inflight: 1024,
             memo_capacity: DEFAULT_MEMO_CAPACITY,
             memo_shards: DEFAULT_MEMO_SHARDS,
+            front_end: FrontEnd::default(),
+            max_connections: 10_000,
         }
     }
 }
@@ -61,6 +85,7 @@ impl ServiceConfig {
         self.workers = self.workers.max(1);
         self.per_conn_inflight = self.per_conn_inflight.max(1);
         self.memo_shards = self.memo_shards.max(1);
+        self.max_connections = self.max_connections.max(1);
         self
     }
 }

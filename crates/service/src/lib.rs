@@ -27,7 +27,15 @@
 //!   the service in another Rust process;
 //! * a TCP listener ([`QuoteServer`]) speaking a line-delimited JSON wire
 //!   protocol ([`wire`]), hand-rolled in this crate so the container needs
-//!   no external dependencies.
+//!   no external dependencies.  By default it is served by a
+//!   single-threaded epoll [`reactor`] that multiplexes thousands of
+//!   connections; [`FrontEnd::Threaded`] keeps the legacy
+//!   thread-per-connection baseline.
+//!
+//! Submissions may carry an optional **deadline budget**
+//! ([`Client::submit_with_deadline`], wire field `deadline_ms`); the
+//! scheduler is earliest-deadline-first with per-client fair shares, so a
+//! tagged quote overtakes queued bulk work instead of waiting behind it.
 //!
 //! ```
 //! use amopt_service::{QuoteService, ServiceConfig, ServiceRequest, ServiceResponse};
@@ -54,15 +62,18 @@
 
 mod config;
 mod queue;
+pub mod reactor;
 pub mod sync;
 mod tcp;
 mod types;
 pub mod wire;
 
-pub use config::ServiceConfig;
+pub use config::{FrontEnd, ServiceConfig};
 pub use queue::{Client, QuoteService, Ticket};
 pub use tcp::{QuoteServer, TcpQuoteClient};
-pub use types::{BatchHistogram, ServiceError, ServiceRequest, ServiceResponse, ServiceStats};
+pub use types::{
+    BatchHistogram, ReactorStats, ServiceError, ServiceRequest, ServiceResponse, ServiceStats,
+};
 
 /// Result alias for service submissions.
 pub type ServiceResult = std::result::Result<ServiceResponse, ServiceError>;

@@ -1,25 +1,40 @@
-//! The coalescing core: bounded submission queue, deadline/size batcher,
-//! worker pool, and the in-process client handle.
+//! The coalescing core: bounded submission queue, earliest-deadline-first
+//! batcher with per-client fair shares, worker pool, and the in-process
+//! client handle.
 //!
 //! ## Queue lifecycle
 //!
 //! 1. **Submit.**  A [`Client`] wraps the request and a fresh completion
-//!    slot into a queue entry.  Submission fails fast — with
+//!    slot into a queue entry.  Every entry carries a *deadline*: the
+//!    caller's budget from [`Client::submit_with_deadline`], or
+//!    [`max_wait`](crate::ServiceConfig::max_wait) when untagged — so a
+//!    plain [`Client::submit`] behaves exactly like the original FIFO
+//!    age-based flush.  Submission fails fast — with
 //!    [`ServiceError::Overloaded`] — when the bounded queue is full or the
 //!    client is at its in-flight cap; nothing is ever silently dropped or
 //!    unboundedly buffered.
-//! 2. **Coalesce.**  An idle worker adopts the queue head and waits until
-//!    the queue holds [`max_batch`](crate::ServiceConfig::max_batch)
-//!    requests *or* the head has aged
-//!    [`max_wait`](crate::ServiceConfig::max_wait), whichever first, then
-//!    drains up to `max_batch` entries in arrival order.
-//! 3. **Execute.**  The drained batch is grouped by request kind and each
+//! 2. **Coalesce.**  An idle worker waits until the queue holds
+//!    [`max_batch`](crate::ServiceConfig::max_batch) requests *or* the
+//!    **earliest queued deadline** arrives, whichever first.  A late
+//!    submission with a tight deadline therefore *shortens* the wait: the
+//!    flush clock follows the heap head, not the oldest arrival.
+//! 3. **Drain (EDF + fair share).**  The worker pops the binary heap in
+//!    earliest-deadline-first order (sequence number breaks ties, so equal
+//!    deadlines drain in arrival order).  Each client's take is capped at
+//!    `max_batch / distinct-queued-clients` (at least 1); over-share pops
+//!    are set aside and re-admitted — still in EDF order — only if the
+//!    batch has room once every client got its share, and anything left
+//!    returns to the heap untouched.  A deadline-tagged quote therefore
+//!    overtakes a 4096-contract bulk book instead of queueing behind it.
+//! 4. **Execute.**  The drained batch is grouped by request kind and each
 //!    group runs through its batch-native driver over the *shared*
 //!    [`BatchPricer`] — one `price_batch` for prices, one fanned greeks
 //!    ladder, one lockstep surface inversion — so co-batched requests share
 //!    in-batch dedup and every request shares the cross-batch memo.
-//! 4. **Complete.**  Each entry's slot receives its own `Result`; waiting
-//!    clients wake.  Batch size, queue depth, and rejection counters feed
+//! 5. **Complete.**  Each entry's slot receives its own `Result`; waiting
+//!    clients wake, and a completion callback (the reactor's readiness
+//!    nudge) fires outside every lock.  Batch size, queue depth, heap-pop
+//!    and deadline-miss counters feed
 //!    [`ServiceStats`](crate::ServiceStats).
 //!
 //! Shutdown flips a flag (new submits fail with
@@ -33,27 +48,51 @@ use crate::types::{BatchHistogram, ServiceError, ServiceRequest, ServiceResponse
 use crate::ServiceResult;
 use amopt_core::batch::surface::{implied_vol_surface, VolQuote};
 use amopt_core::batch::{greeks as batch_greeks, BatchPricer, PricingRequest};
-use std::collections::VecDeque;
+use std::collections::BinaryHeap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// A completion callback, invoked exactly once when the slot fills —
+/// always *outside* the slot's own locks.  The reactor front end uses this
+/// to push the connection onto its ready list and kick the event loop.
+type NotifyFn = Box<dyn FnOnce() + Send>;
 
 /// Completion slot of one submitted request.
-#[derive(Debug)]
 struct Slot {
     done: Mutex<Option<ServiceResult>>,
     ready: Condvar,
+    notify: Mutex<Option<NotifyFn>>,
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Slot")
+            .field("done", &self.done)
+            .field("has_notify", &lock_unpoisoned(&self.notify).is_some())
+            .finish()
+    }
 }
 
 impl Slot {
     fn new() -> Arc<Self> {
-        Arc::new(Slot { done: Mutex::new(None), ready: Condvar::new() })
+        Arc::new(Slot { done: Mutex::new(None), ready: Condvar::new(), notify: Mutex::new(None) })
     }
 
     fn fill(&self, result: ServiceResult) {
-        let mut done = lock_unpoisoned(&self.done);
-        *done = Some(result);
-        self.ready.notify_all();
+        {
+            let mut done = lock_unpoisoned(&self.done);
+            *done = Some(result);
+            self.ready.notify_all();
+        }
+        // Fire the completion callback outside both locks: it may grab the
+        // reactor's ready-list mutex and write an eventfd, neither of which
+        // belongs under a guard.
+        let callback = lock_unpoisoned(&self.notify).take();
+        if let Some(callback) = callback {
+            callback();
+        }
     }
 
     fn wait(&self) -> ServiceResult {
@@ -83,13 +122,50 @@ impl Drop for InflightPermit {
 struct Pending {
     request: ServiceRequest,
     slot: Arc<Slot>,
-    enqueued: Instant,
+    /// EDF key: when this request wants to have flushed.
+    deadline: Instant,
+    /// Whether `deadline` came from a caller-supplied budget (and therefore
+    /// counts toward [`ServiceStats::deadline_misses`]) rather than from the
+    /// `max_wait` coalescing default, which exists only to order the heap.
+    explicit_deadline: bool,
+    /// Queue-arrival sequence number; breaks deadline ties FIFO.
+    seq: u64,
+    /// Fair-share key: which client handle submitted this.
+    client_id: u64,
     _permit: InflightPermit,
+}
+
+// The heap orders *only* by (deadline, seq); payload fields are ignored.
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // `BinaryHeap` is a max-heap, so invert: the earliest deadline
+        // (then the lowest sequence number) compares greatest and pops
+        // first.
+        other.deadline.cmp(&self.deadline).then_with(|| other.seq.cmp(&self.seq))
+    }
 }
 
 #[derive(Debug, Default)]
 struct QueueState {
-    queue: VecDeque<Pending>,
+    /// Earliest-deadline-first submission queue.
+    heap: BinaryHeap<Pending>,
+    /// Next arrival sequence number (assigned under this lock, so ties
+    /// drain in true arrival order).
+    next_seq: u64,
     shutdown: bool,
 }
 
@@ -101,6 +177,13 @@ struct Counters {
     rejected_inflight: AtomicU64,
     rejected_shutdown: AtomicU64,
     batches: AtomicU64,
+    /// Requests with a caller-supplied budget whose deadline had already
+    /// passed when their result was delivered.
+    deadline_misses: AtomicU64,
+    /// Heap pops performed while draining batches (over `batches`, this
+    /// gives the mean per-flush pop count — pops exceed batch sizes when
+    /// the fair-share cap sets entries aside).
+    heap_pops: AtomicU64,
     batch_hist: [AtomicU64; crate::types::BATCH_HIST_BUCKETS],
 }
 
@@ -112,6 +195,8 @@ struct Shared {
     /// Signalled on every enqueue and on shutdown.
     work: Condvar,
     counters: Counters,
+    /// Client-handle id allocator (fair-share key).
+    next_client: AtomicU64,
 }
 
 /// The batch-coalescing quote service.  Start one with
@@ -137,6 +222,7 @@ impl QuoteService {
             state: Mutex::new(QueueState::default()),
             work: Condvar::new(),
             counters: Counters::default(),
+            next_client: AtomicU64::new(0),
         });
         let mut workers = Vec::with_capacity(shared.cfg.workers);
         for i in 0..shared.cfg.workers {
@@ -160,10 +246,15 @@ impl QuoteService {
     }
 
     /// A new client handle with its own in-flight budget
-    /// ([`ServiceConfig::per_conn_inflight`]).  Handles are cheap; give
-    /// each connection or logical caller its own.
+    /// ([`ServiceConfig::per_conn_inflight`]) and its own fair-share
+    /// identity.  Handles are cheap; give each connection or logical
+    /// caller its own.
     pub fn client(&self) -> Client {
-        Client { shared: Arc::clone(&self.shared), inflight: Arc::new(AtomicUsize::new(0)) }
+        Client {
+            shared: Arc::clone(&self.shared),
+            inflight: Arc::new(AtomicUsize::new(0)),
+            id: self.shared.next_client.fetch_add(1, Ordering::Relaxed),
+        }
     }
 
     /// The configuration the service was started with (normalised).
@@ -172,10 +263,10 @@ impl QuoteService {
     }
 
     /// Point-in-time counters: queue depth, batch-size histogram, memo hit
-    /// rate, rejection counts.
+    /// rate, rejection / deadline-miss / heap-pop counts.
     pub fn stats(&self) -> ServiceStats {
         let c = &self.shared.counters;
-        let queue_depth = self.shared.state.lock().map(|s| s.queue.len()).unwrap_or_default();
+        let queue_depth = self.shared.state.lock().map(|s| s.heap.len()).unwrap_or_default();
         let mut hist = BatchHistogram::default();
         for (slot, counter) in hist.0.iter_mut().zip(&c.batch_hist) {
             *slot = counter.load(Ordering::Relaxed);
@@ -188,8 +279,11 @@ impl QuoteService {
             rejected_inflight: c.rejected_inflight.load(Ordering::Relaxed),
             rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
             batches: c.batches.load(Ordering::Relaxed),
+            deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
+            heap_pops: c.heap_pops.load(Ordering::Relaxed),
             batch_sizes: hist,
             memo: self.shared.pricer.memo_stats(),
+            reactor: Default::default(),
         }
     }
 
@@ -219,22 +313,40 @@ impl Drop for QuoteService {
 
 /// In-process handle for submitting quotes to a [`QuoteService`].
 ///
-/// Cloning shares the in-flight budget; use
+/// Cloning shares the in-flight budget *and* the fair-share identity; use
 /// [`QuoteService::client`] for an independent one.
 #[derive(Debug, Clone)]
 pub struct Client {
     shared: Arc<Shared>,
     inflight: Arc<AtomicUsize>,
+    id: u64,
 }
 
 impl Client {
     /// Submits a request without waiting; the returned [`Ticket`] resolves
     /// when the coalesced batch containing the request executes.
     ///
-    /// Fails fast with [`ServiceError::Overloaded`] when this client is at
-    /// its in-flight cap or the submission queue is full, and with
+    /// The request is scheduled as if its deadline were
+    /// [`max_wait`](crate::ServiceConfig::max_wait) from now — the
+    /// pre-EDF flush behaviour.  Fails fast with
+    /// [`ServiceError::Overloaded`] when this client is at its in-flight
+    /// cap or the submission queue is full, and with
     /// [`ServiceError::ShuttingDown`] once shutdown has begun.
     pub fn submit(&self, request: ServiceRequest) -> Result<Ticket, ServiceError> {
+        self.submit_with_deadline(request, None)
+    }
+
+    /// Submits a request with an explicit latency budget: the scheduler
+    /// flushes a batch no later than the earliest queued deadline and
+    /// drains the queue earliest-deadline-first, so a tight budget
+    /// overtakes queued bulk work.  `None` falls back to
+    /// [`max_wait`](crate::ServiceConfig::max_wait), making this
+    /// equivalent to [`Client::submit`].
+    pub fn submit_with_deadline(
+        &self,
+        request: ServiceRequest,
+        budget: Option<Duration>,
+    ) -> Result<Ticket, ServiceError> {
         let shared = &self.shared;
         // In-flight cap first: it is client-local, so a saturated client
         // cannot even contend on the queue lock.
@@ -249,6 +361,7 @@ impl Client {
         }
         let permit = InflightPermit(Arc::clone(&self.inflight));
         let slot = Slot::new();
+        let deadline = Instant::now() + budget.unwrap_or(shared.cfg.max_wait);
         {
             let mut state = lock_unpoisoned(&shared.state);
             if state.shutdown {
@@ -256,20 +369,28 @@ impl Client {
                 shared.counters.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::ShuttingDown);
             }
-            if state.queue.len() >= shared.cfg.queue_depth {
+            if state.heap.len() >= shared.cfg.queue_depth {
                 drop(state);
                 shared.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::Overloaded { what: "submission queue full" });
             }
-            state.queue.push_back(Pending {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            state.heap.push(Pending {
                 request,
                 slot: Arc::clone(&slot),
-                enqueued: Instant::now(),
+                deadline,
+                explicit_deadline: budget.is_some(),
+                seq,
+                client_id: self.id,
                 _permit: permit,
             });
         }
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        shared.work.notify_one();
+        // notify_all, not notify_one: a new earliest deadline must re-arm
+        // the timeout of whichever worker is coalescing, which is not
+        // necessarily the one `notify_one` would pick.
+        shared.work.notify_all();
         Ok(Ticket { slot })
     }
 
@@ -325,17 +446,46 @@ impl Ticket {
     pub fn wait(self) -> ServiceResult {
         self.slot.wait()
     }
+
+    /// Non-blocking poll: the result if the batch has executed, `None`
+    /// otherwise.  The reactor uses this to pump in-order replies without
+    /// ever parking its event loop.
+    pub(crate) fn try_take(&self) -> Option<ServiceResult> {
+        lock_unpoisoned(&self.slot.done).take()
+    }
+
+    /// Arms a completion callback, fired exactly once — immediately if the
+    /// result is already in, otherwise from the completing worker, always
+    /// outside the slot's locks.
+    pub(crate) fn set_notify(&self, callback: NotifyFn) {
+        if lock_unpoisoned(&self.slot.done).is_some() {
+            callback();
+            return;
+        }
+        *lock_unpoisoned(&self.slot.notify) = Some(callback);
+        // `fill` may have landed between the two locks above, in which
+        // case it saw an empty notify slot and fired nothing: take the
+        // callback back and fire it here.  At most one of the two paths
+        // observes the callback, so it still runs exactly once.
+        if lock_unpoisoned(&self.slot.done).is_some() {
+            let callback = lock_unpoisoned(&self.slot.notify).take();
+            if let Some(callback) = callback {
+                callback();
+            }
+        }
+    }
 }
 
-/// One worker: adopt the queue head, coalesce to deadline or size, drain,
-/// execute, repeat — until shutdown *and* an empty queue.
+/// One worker: coalesce until the batch fills or the earliest queued
+/// deadline arrives, drain EDF with per-client fair shares, execute,
+/// repeat — until shutdown *and* an empty queue.
 fn worker_loop(shared: &Shared) {
     loop {
         let batch = {
             let mut state = lock_unpoisoned(&shared.state);
             // Phase 1: wait for work (or exit once shut down and drained).
             loop {
-                if !state.queue.is_empty() {
+                if !state.heap.is_empty() {
                     break;
                 }
                 if state.shutdown {
@@ -343,33 +493,88 @@ fn worker_loop(shared: &Shared) {
                 }
                 state = wait_unpoisoned(&shared.work, state);
             }
-            // Phase 2: coalesce until the batch is full or the head's
-            // deadline passes.  Shutdown flushes immediately: latency no
-            // longer matters, only draining does.
-            let Some(head) = state.queue.front() else { continue };
-            let deadline = head.enqueued + shared.cfg.max_wait;
-            while state.queue.len() < shared.cfg.max_batch && !state.shutdown {
+            // Phase 2: coalesce until the batch is full or the earliest
+            // queued deadline passes.  The heap head is re-read after
+            // every wake: a fresh submission with a tighter deadline
+            // shortens the remaining wait.  Shutdown flushes immediately:
+            // latency no longer matters, only draining does.
+            loop {
+                if state.heap.len() >= shared.cfg.max_batch || state.shutdown {
+                    break;
+                }
+                let Some(head) = state.heap.peek() else { break };
+                let deadline = head.deadline;
                 let now = Instant::now();
                 if now >= deadline {
                     break;
                 }
                 let (s, _timeout) = wait_timeout_unpoisoned(&shared.work, state, deadline - now);
                 state = s;
-                if state.queue.is_empty() {
-                    // Another worker drained the queue while this one slept;
-                    // nothing left to coalesce around.
+                if state.heap.is_empty() {
+                    // Another worker drained the queue while this one
+                    // slept; nothing left to coalesce around.
                     break;
                 }
             }
-            if state.queue.is_empty() {
+            if state.heap.is_empty() {
                 continue;
             }
-            // Phase 3: drain up to max_batch entries in arrival order.
-            let take = state.queue.len().min(shared.cfg.max_batch);
-            state.queue.drain(..take).collect::<Vec<_>>()
+            // Phase 3: drain up to max_batch entries in EDF order with a
+            // per-client fair share.
+            drain_edf(&mut state, &shared.cfg, &shared.counters)
         };
         execute(shared, batch);
     }
+}
+
+/// Pops up to `max_batch` entries earliest-deadline-first, capping each
+/// client at `max_batch / distinct-queued-clients` (at least one).  Pops
+/// beyond a client's share are parked and — still in EDF order — backfill
+/// whatever room the batch has left once the heap is exhausted, so the
+/// flush never runs below capacity while work is queued.  Unused parked
+/// entries go back on the heap.
+fn drain_edf(state: &mut QueueState, cfg: &ServiceConfig, counters: &Counters) -> Vec<Pending> {
+    let mut distinct: Vec<u64> = Vec::new();
+    for entry in state.heap.iter() {
+        if !distinct.contains(&entry.client_id) {
+            distinct.push(entry.client_id);
+        }
+    }
+    let share = (cfg.max_batch / distinct.len().max(1)).max(1);
+    let mut batch: Vec<Pending> = Vec::with_capacity(cfg.max_batch.min(state.heap.len()));
+    let mut parked: Vec<Pending> = Vec::new();
+    let mut taken: Vec<(u64, usize)> = Vec::new();
+    let mut pops = 0u64;
+    while batch.len() < cfg.max_batch {
+        let Some(entry) = state.heap.pop() else { break };
+        pops += 1;
+        let count = match taken.iter_mut().find(|(id, _)| *id == entry.client_id) {
+            Some((_, n)) => {
+                *n += 1;
+                *n
+            }
+            None => {
+                taken.push((entry.client_id, 1));
+                1
+            }
+        };
+        if count <= share {
+            batch.push(entry);
+        } else {
+            parked.push(entry);
+        }
+    }
+    counters.heap_pops.fetch_add(pops, Ordering::Relaxed);
+    // Work-conserving backfill, then return the rest to the heap.
+    let mut parked = parked.into_iter();
+    while batch.len() < cfg.max_batch {
+        let Some(entry) = parked.next() else { break };
+        batch.push(entry);
+    }
+    for entry in parked {
+        state.heap.push(entry);
+    }
+    batch
 }
 
 /// Executes one drained batch: group by request kind, run each group
@@ -418,10 +623,18 @@ fn execute(shared: &Shared, batch: Vec<Pending>) {
         // The index vectors partition the batch, so every `i` is in range
         // and completed exactly once; if that bookkeeping ever broke,
         // skipping the entry beats panicking the worker.
-        let Some(Pending { slot, _permit, .. }) = batch.get_mut(i).and_then(Option::take) else {
+        let Some(Pending { slot, deadline, explicit_deadline, _permit, .. }) =
+            batch.get_mut(i).and_then(Option::take)
+        else {
             return;
         };
         drop(_permit);
+        // Only caller-supplied budgets count as misses: the `max_wait`
+        // default deadline is the *flush trigger*, so delivery lands just
+        // past it by construction and a miss there carries no signal.
+        if explicit_deadline && Instant::now() > deadline {
+            c.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        }
         // Count *before* filling: the fill wakes the waiter, and a stats
         // read right after `Ticket::wait` must already see this completion.
         c.completed.fetch_add(1, Ordering::Relaxed);
@@ -539,6 +752,30 @@ mod tests {
             t0.elapsed() < Duration::from_secs(5),
             "deadline flush must not wait for max_batch"
         );
+        service.shutdown();
+    }
+
+    #[test]
+    fn only_explicit_budgets_count_as_deadline_misses() {
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 1024,
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let client = service.client();
+        // Plain submits deliver just after their implicit max_wait deadline
+        // (the flush *is* the deadline) — never a miss.
+        for i in 0..4 {
+            client.price(price_req(100.0 + i as f64, 32)).unwrap();
+        }
+        assert_eq!(service.stats().deadline_misses, 0, "implicit deadlines must not count");
+        // A zero budget cannot possibly be met: guaranteed miss.
+        let t = client
+            .submit_with_deadline(ServiceRequest::Price(price_req(90.0, 32)), Some(Duration::ZERO))
+            .unwrap();
+        assert!(t.wait().is_ok());
+        assert_eq!(service.stats().deadline_misses, 1);
         service.shutdown();
     }
 
@@ -700,6 +937,244 @@ mod tests {
         let stats = service.stats();
         assert!(stats.memo.hits >= 1, "second quote must be a memo hit: {stats:?}");
         assert!(stats.memo_hit_rate() > 0.0);
+        service.shutdown();
+    }
+
+    /// Records completion order by arming each ticket's notify callback.
+    fn record_completion(order: &Arc<Mutex<Vec<usize>>>, idx: usize, ticket: &Ticket) {
+        let order = Arc::clone(order);
+        ticket.set_notify(Box::new(move || lock_unpoisoned(&order).push(idx)));
+    }
+
+    /// Submits an expensive request with an immediate deadline so the
+    /// (single) worker flushes it alone and stays busy executing it while
+    /// the test stages the *next* batch behind its back.
+    fn plug(client: &Client) -> Ticket {
+        let heavy = PricingRequest::american(
+            ModelKind::Bopm,
+            OptionType::Put,
+            OptionParams { strike: 117.31, ..p() },
+            4000,
+        );
+        client
+            .submit_with_deadline(ServiceRequest::Price(heavy), Some(Duration::ZERO))
+            .expect("plug submit")
+    }
+
+    /// Spins until the worker has adopted the plug batch (queue empty ⇒
+    /// the worker is busy executing, and new submissions pile up behind
+    /// it).
+    fn wait_queue_empty(service: &QuoteService) {
+        let t0 = Instant::now();
+        while service.stats().queue_depth > 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10), "plug batch never drained");
+            std::thread::yield_now();
+        }
+    }
+
+    /// Notify callbacks fire just *after* `Ticket::wait` unblocks (the
+    /// callback runs outside the slot locks), so give the recorder a
+    /// moment to catch up before asserting on completion order.
+    fn wait_order_len(order: &Arc<Mutex<Vec<usize>>>, n: usize) -> Vec<usize> {
+        let t0 = Instant::now();
+        loop {
+            let snapshot = lock_unpoisoned(order).clone();
+            if snapshot.len() >= n {
+                return snapshot;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "notify callbacks never caught up: {snapshot:?}"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn deadline_tagged_quote_overtakes_queued_bulk_work() {
+        // One worker, batch-of-one flushes: completion order is exactly
+        // the scheduler's drain order.  Stage 8 lazy bulk quotes, then one
+        // urgent quote last; EDF must run the urgent one first.
+        let service = QuoteService::start(ServiceConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let client = service.client();
+        let plug_ticket = plug(&client);
+        wait_queue_empty(&service);
+
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut tickets = Vec::new();
+        for i in 0..8 {
+            let t = client
+                .submit_with_deadline(
+                    ServiceRequest::Price(price_req(90.0 + i as f64, 32)),
+                    Some(Duration::from_secs(10)),
+                )
+                .unwrap();
+            record_completion(&order, i, &t);
+            tickets.push(t);
+        }
+        let urgent = client
+            .submit_with_deadline(ServiceRequest::Price(price_req(150.0, 32)), Some(Duration::ZERO))
+            .unwrap();
+        record_completion(&order, 99, &urgent);
+        tickets.push(urgent);
+
+        assert!(plug_ticket.wait().is_ok());
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let order = wait_order_len(&order, 9);
+        assert_eq!(order.len(), 9);
+        assert_eq!(order.first(), Some(&99), "urgent quote must complete first: {order:?}");
+        service.shutdown();
+    }
+
+    #[test]
+    fn fair_share_admits_the_quiet_client_into_a_flooded_batch() {
+        // Client A floods 8 entries with earlier deadlines; client B adds
+        // 2 later ones.  With max_batch 4 and two queued clients the share
+        // is 2, so the first post-plug batch must carry both of B's
+        // entries — pure EDF would have filled it with A's.
+        let service = QuoteService::start(ServiceConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let a = service.client();
+        let b = service.client();
+        let plug_ticket = plug(&a);
+        wait_queue_empty(&service);
+
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let mut tickets = Vec::new();
+        for i in 0..8 {
+            let t = a
+                .submit_with_deadline(
+                    ServiceRequest::Price(price_req(90.0 + i as f64, 32)),
+                    Some(Duration::from_millis(i as u64)),
+                )
+                .unwrap();
+            record_completion(&order, i, &t);
+            tickets.push(t);
+        }
+        for i in 0..2 {
+            let t = b
+                .submit_with_deadline(
+                    ServiceRequest::Price(price_req(130.0 + i as f64, 32)),
+                    Some(Duration::from_millis(100 + i as u64)),
+                )
+                .unwrap();
+            record_completion(&order, 100 + i, &t);
+            tickets.push(t);
+        }
+
+        assert!(plug_ticket.wait().is_ok());
+        for t in tickets {
+            assert!(t.wait().is_ok());
+        }
+        let order = wait_order_len(&order, 10);
+        assert_eq!(order.len(), 10);
+        let first_batch = &order[..4];
+        assert!(
+            first_batch.contains(&100) && first_batch.contains(&101),
+            "fair share must admit both of B's entries into the first batch: {order:?}"
+        );
+        // EDF within the fair share: A's two admitted entries are its
+        // earliest-deadline ones.
+        assert!(
+            first_batch.contains(&0) && first_batch.contains(&1),
+            "A's share must go to its earliest deadlines: {order:?}"
+        );
+        let stats = service.stats();
+        assert!(stats.heap_pops >= stats.completed, "every drained entry costs at least one pop");
+        service.shutdown();
+    }
+
+    #[test]
+    fn random_deadline_mix_completes_in_deadline_order() {
+        // Property test (seeded xorshift, no external dep): any mix of
+        // deadline budgets staged behind a busy worker completes in exact
+        // (deadline, arrival) order when batches are drained EDF.  Single
+        // client → the fair-share cap equals max_batch and never bites.
+        let mut rng: u64 = 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        for round in 0..4 {
+            let service = QuoteService::start(ServiceConfig {
+                workers: 1,
+                max_batch: 3,
+                max_wait: Duration::from_millis(1),
+                ..ServiceConfig::default()
+            })
+            .expect("start service");
+            let client = service.client();
+            let plug_ticket = plug(&client);
+            wait_queue_empty(&service);
+
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let mut budgets = Vec::new();
+            let mut tickets = Vec::new();
+            for i in 0..12usize {
+                let ms = next() % 50;
+                let t = client
+                    .submit_with_deadline(
+                        ServiceRequest::Price(price_req(80.0 + ((next() % 64) as f64), 32)),
+                        Some(Duration::from_millis(ms)),
+                    )
+                    .unwrap();
+                record_completion(&order, i, &t);
+                budgets.push(ms);
+                tickets.push(t);
+            }
+            assert!(plug_ticket.wait().is_ok());
+            for t in tickets {
+                assert!(t.wait().is_ok());
+            }
+            let order = wait_order_len(&order, 12);
+            assert_eq!(order.len(), 12, "round {round}");
+            // Expected order: stable sort of the staged entries by budget
+            // (ties resolved by arrival index — exactly the seq tiebreak,
+            // because all 12 were submitted microseconds apart while the
+            // worker was busy, in increasing-deadline == increasing-budget
+            // order for equal budgets).
+            let mut want: Vec<usize> = (0..12).collect();
+            want.sort_by_key(|&i| (budgets[i], i));
+            assert_eq!(order, want, "round {round}: budgets {budgets:?}");
+            service.shutdown();
+        }
+    }
+
+    #[test]
+    fn notify_fires_even_when_armed_after_completion() {
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let client = service.client();
+        let ticket = client.submit(ServiceRequest::Price(price_req(100.0, 32))).unwrap();
+        // Let the request complete before arming the callback.
+        let t0 = Instant::now();
+        while service.stats().completed == 0 {
+            assert!(t0.elapsed() < Duration::from_secs(10));
+            std::thread::yield_now();
+        }
+        let order = Arc::new(Mutex::new(Vec::new()));
+        record_completion(&order, 7, &ticket);
+        assert_eq!(lock_unpoisoned(&order).clone(), vec![7], "late arm must fire immediately");
+        assert!(ticket.try_take().is_some(), "result still claimable after notify");
         service.shutdown();
     }
 }

@@ -1,0 +1,686 @@
+//! Single-threaded epoll reactor front end.
+//!
+//! One thread owns every connection: a level-triggered [`epoll::Epoll`]
+//! multiplexes the nonblocking listener, an [`epoll::Waker`] eventfd, and
+//! every accepted socket.  Connections carry incremental read/write
+//! buffers with partial-line and partial-write resumption, so a slow peer
+//! costs a few kilobytes of buffer instead of two parked OS threads — the
+//! reactor holds thousands of idle connections where the threaded front
+//! end capped out at tens.
+//!
+//! ## Event-loop states (per connection)
+//!
+//! * **Open** — reading lines, submitting to the EDF queue, writing
+//!   replies in request order.  Reads pause (interest drops to
+//!   [`Interest::NONE`]) while the reply pipeline is at the connection's
+//!   in-flight cap; writes subscribe to `EPOLLOUT` only while a reply is
+//!   partially written.
+//! * **Peer-closed** — the peer half-closed (EOF / `EPOLLRDHUP`).  The
+//!   connection stays registered until every accepted request has been
+//!   answered and flushed, then closes.
+//! * **Draining** — a line was rejected (over [`wire::MAX_LINE_BYTES`] or
+//!   not UTF-8): the error reply is flushed, the write side shuts down,
+//!   and leftover input is swallowed — bounded in bytes and time — so the
+//!   reply survives instead of being discarded by a TCP reset.
+//!
+//! Completions re-enter the loop through a ready-list + eventfd pair: the
+//! worker that fills a slot pushes the connection's token onto the ready
+//! list (outside every lock) and writes the eventfd, and the reactor pumps
+//! those connections on its next iteration.  Replies always leave in
+//! request order; a ticket that is not yet resolvable parks the pipeline
+//! for that connection only.
+//!
+//! The `unsafe` syscall surface lives entirely in the `epoll` shim crate;
+//! this module is ordinary safe Rust under the workspace-wide
+//! `#![forbid(unsafe_code)]` and amopt-lint's `unsafe-confined` pass.
+
+use crate::queue::{Client, QuoteService, Ticket};
+use crate::sync::lock_unpoisoned;
+use crate::types::{BatchHistogram, ReactorStats};
+use crate::wire::{self, WireRequest};
+use epoll::{Epoll, Events, Interest, Waker};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Registration token of the listening socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Registration token of the completion eventfd.
+const TOKEN_WAKER: u64 = 1;
+/// First token available to connections (slab slot + this offset).
+const TOKEN_CONN_BASE: u64 = 2;
+
+/// Events pulled per `epoll_wait` call.
+const EVENT_CAPACITY: usize = 1024;
+/// Read chunk size; also the per-read growth step of a connection buffer.
+const READ_CHUNK: usize = 16 * 1024;
+/// Byte budget for swallowing leftover input after a rejected line
+/// (mirrors the threaded front end's drain).
+const DRAIN_BUDGET: usize = 64 << 20;
+/// Wall-clock budget for that drain.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+/// How long shutdown waits for unflushed replies before closing anyway.
+const EXIT_FLUSH_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Reactor-side counters (atomic so [`ReactorStats`] snapshots are safe
+/// from any thread while the loop runs).
+#[derive(Debug, Default)]
+struct Counters {
+    connections_accepted: AtomicU64,
+    connections_open: AtomicU64,
+    connections_refused: AtomicU64,
+    loop_iterations: AtomicU64,
+    events_per_wake: [AtomicU64; crate::types::BATCH_HIST_BUCKETS],
+}
+
+impl Counters {
+    fn snapshot(&self) -> ReactorStats {
+        let mut hist = BatchHistogram::default();
+        for (slot, counter) in hist.0.iter_mut().zip(&self.events_per_wake) {
+            *slot = counter.load(Ordering::Relaxed);
+        }
+        ReactorStats {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_refused: self.connections_refused.load(Ordering::Relaxed),
+            loop_iterations: self.loop_iterations.load(Ordering::Relaxed),
+            events_per_wake: hist,
+        }
+    }
+}
+
+/// State shared between the reactor thread, completion callbacks, and the
+/// owning [`QuoteServer`](crate::QuoteServer).
+#[derive(Debug)]
+struct ReactorShared {
+    waker: Waker,
+    /// Stop accepting new connections (established ones keep serving).
+    stop_accepting: AtomicBool,
+    /// Flush whatever is answerable, close everything, and exit the loop.
+    exit: AtomicBool,
+    /// Tokens of connections with newly-resolved tickets.  Pushed by the
+    /// worker completion callback (outside every queue lock), drained by
+    /// the reactor each iteration.  Stale tokens — the connection closed
+    /// first, or the slot was reused — make the pump a harmless no-op.
+    ready: Mutex<Vec<u64>>,
+    counters: Counters,
+}
+
+/// Handle owned by [`QuoteServer`](crate::QuoteServer): spawn, observe,
+/// shut down.
+#[derive(Debug)]
+pub(crate) struct ReactorHandle {
+    shared: Arc<ReactorShared>,
+    thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl ReactorHandle {
+    /// Registers `listener` with a fresh epoll instance and spawns the
+    /// reactor thread.
+    pub(crate) fn spawn(
+        listener: TcpListener,
+        service: Arc<QuoteService>,
+    ) -> io::Result<ReactorHandle> {
+        listener.set_nonblocking(true)?;
+        let ep = Epoll::new()?;
+        let waker = Waker::new()?;
+        ep.add(listener.as_raw_fd(), Interest::READ, TOKEN_LISTENER)?;
+        ep.add(waker.as_raw_fd(), Interest::READ, TOKEN_WAKER)?;
+        let shared = Arc::new(ReactorShared {
+            waker,
+            stop_accepting: AtomicBool::new(false),
+            exit: AtomicBool::new(false),
+            ready: Mutex::new(Vec::new()),
+            counters: Counters::default(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new().name("amopt-service-reactor".to_string()).spawn(
+            move || {
+                let mut reactor = Reactor {
+                    ep,
+                    listener: Some(listener),
+                    service,
+                    shared: thread_shared,
+                    conns: Vec::new(),
+                    free: Vec::new(),
+                };
+                reactor.run();
+            },
+        )?;
+        Ok(ReactorHandle { shared, thread: Mutex::new(Some(thread)) })
+    }
+
+    /// Point-in-time reactor counters.
+    pub(crate) fn stats(&self) -> ReactorStats {
+        self.shared.counters.snapshot()
+    }
+
+    /// Stops accepting new connections; established ones keep serving.
+    pub(crate) fn stop_accepting(&self) {
+        self.shared.stop_accepting.store(true, Ordering::Release);
+        let _ = self.shared.waker.wake();
+    }
+
+    /// Tells the loop to flush answerable replies, close every
+    /// connection, and exit; joins the thread.  Call *after*
+    /// [`QuoteService::shutdown`] so every accepted ticket is resolvable.
+    /// Idempotent.
+    pub(crate) fn exit_and_join(&self) {
+        self.shared.exit.store(true, Ordering::Release);
+        let _ = self.shared.waker.wake();
+        // Take the handle under the lock, join outside it, so concurrent
+        // callers block on the join rather than on the mutex.
+        let handle = lock_unpoisoned(&self.thread).take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        self.exit_and_join();
+    }
+}
+
+/// One queued reply: already encoded, or waiting on a ticket.  Replies
+/// leave in request order.
+enum Reply {
+    Ready(String),
+    Pending { id: String, ticket: Ticket },
+}
+
+/// Per-connection state: socket, resumable buffers, reply pipeline.
+struct Conn {
+    stream: TcpStream,
+    token: u64,
+    client: Client,
+    /// Unparsed input; a partial line waits at the front for its newline.
+    rbuf: Vec<u8>,
+    /// Where the newline scan resumes (bytes before this hold no `\n`).
+    scan_from: usize,
+    /// Encoded-but-unsent output; `wpos` bytes of it are already written.
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// In-order reply pipeline (bounded by the in-flight cap).
+    pending: VecDeque<Reply>,
+    /// Interest currently registered with epoll.
+    registered: Interest,
+    /// Peer half-closed; serve what was accepted, then close.
+    peer_eof: bool,
+    /// A line was rejected; after the reply flushes, drain then close.
+    rejected: bool,
+    /// Post-reject swallow phase: remaining byte budget and its deadline.
+    draining: Option<(usize, Instant)>,
+}
+
+/// What `pump` decided about a connection.
+#[derive(PartialEq)]
+enum Verdict {
+    Keep,
+    Close,
+}
+
+struct Reactor {
+    ep: Epoll,
+    listener: Option<TcpListener>,
+    service: Arc<QuoteService>,
+    shared: Arc<ReactorShared>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        let mut events = Events::with_capacity(EVENT_CAPACITY);
+        loop {
+            if self.shared.exit.load(Ordering::Acquire) {
+                self.exit_flush(&mut events);
+                return;
+            }
+            if self.shared.stop_accepting.load(Ordering::Acquire) {
+                // Dropping the listener closes it; pending SYNs are
+                // refused from here on.
+                if let Some(listener) = self.listener.take() {
+                    let _ = self.ep.delete(listener.as_raw_fd());
+                }
+            }
+            let timeout = self.drain_timeout();
+            if self.ep.wait(&mut events, timeout).is_err() {
+                // epoll itself failing is unrecoverable for the loop;
+                // exit rather than spin.  (EINTR is retried in the shim.)
+                return;
+            }
+            let c = &self.shared.counters;
+            c.loop_iterations.fetch_add(1, Ordering::Relaxed);
+            if !events.is_empty() {
+                if let Some(bucket) = c.events_per_wake.get(BatchHistogram::bucket_of(events.len()))
+                {
+                    bucket.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            // A hangup (peer closed either half) is handled on the read
+            // path: the next read observes EOF or the error.
+            let fired: Vec<(u64, bool, bool)> = events
+                .iter()
+                .map(|e| (e.token, e.readable() || e.hangup(), e.writable()))
+                .collect();
+            for (token, readable, writable) in fired {
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => {
+                        self.shared.waker.drain();
+                    }
+                    token => self.pump_token(token, readable, writable),
+                }
+            }
+            // Connections whose tickets resolved since the last pass.
+            let ready = std::mem::take(&mut *lock_unpoisoned(&self.shared.ready));
+            for token in ready {
+                self.pump_token(token, false, false);
+            }
+            // Deadline sweeps for draining connections (a silent peer
+            // only surfaces through the wait timeout).
+            self.sweep_drains();
+        }
+    }
+
+    /// The `epoll_wait` timeout: unbounded unless a draining connection's
+    /// deadline bounds it.
+    fn drain_timeout(&self) -> Option<Duration> {
+        let now = Instant::now();
+        self.conns
+            .iter()
+            .flatten()
+            .filter_map(|c| c.draining.map(|(_, deadline)| deadline.saturating_duration_since(now)))
+            .min()
+    }
+
+    /// Accepts until `WouldBlock`, registering each connection read-side.
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else { return };
+            let stream = match listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            };
+            let c = &self.shared.counters;
+            let open = self.conns.len() - self.free.len();
+            if open >= self.service.config().max_connections {
+                // Full house: close immediately (the peer sees EOF and
+                // can retry elsewhere) rather than queueing unboundedly.
+                c.connections_refused.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if epoll::set_nonblocking(stream.as_raw_fd()).is_err() {
+                continue;
+            }
+            stream.set_nodelay(true).ok();
+            let slot = self.free.pop().unwrap_or(self.conns.len());
+            let token = slot as u64 + TOKEN_CONN_BASE;
+            if self.ep.add(stream.as_raw_fd(), Interest::READ, token).is_err() {
+                self.free.push(slot);
+                continue;
+            }
+            let conn = Conn {
+                stream,
+                token,
+                client: self.service.client(),
+                rbuf: Vec::new(),
+                scan_from: 0,
+                wbuf: Vec::new(),
+                wpos: 0,
+                pending: VecDeque::new(),
+                registered: Interest::READ,
+                peer_eof: false,
+                rejected: false,
+                draining: None,
+            };
+            if slot == self.conns.len() {
+                self.conns.push(Some(conn));
+            } else if let Some(entry) = self.conns.get_mut(slot) {
+                *entry = Some(conn);
+            }
+            c.connections_accepted.fetch_add(1, Ordering::Relaxed);
+            c.connections_open.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Pumps the connection behind `token` (no-op for stale tokens).
+    fn pump_token(&mut self, token: u64, readable: bool, writable: bool) {
+        let Some(slot) = token.checked_sub(TOKEN_CONN_BASE).map(|s| s as usize) else { return };
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else { return };
+        let verdict = pump(conn, &self.ep, &self.service, &self.shared, readable, writable);
+        if verdict == Verdict::Close {
+            self.close_slot(slot);
+        }
+    }
+
+    /// Closes draining connections whose deadline passed.
+    fn sweep_drains(&mut self) {
+        let now = Instant::now();
+        for slot in 0..self.conns.len() {
+            let expired = self
+                .conns
+                .get(slot)
+                .and_then(Option::as_ref)
+                .and_then(|c| c.draining)
+                .is_some_and(|(_, deadline)| now >= deadline);
+            if expired {
+                self.close_slot(slot);
+            }
+        }
+    }
+
+    fn close_slot(&mut self, slot: usize) {
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else { return };
+        let _ = self.ep.delete(conn.stream.as_raw_fd());
+        self.free.push(slot);
+        self.shared.counters.connections_open.fetch_sub(1, Ordering::Relaxed);
+        // `conn.stream` drops here, closing the socket.
+    }
+
+    /// Shutdown path: every accepted ticket is already resolvable (the
+    /// service drained first), so resolve and flush each connection's
+    /// pipeline, waiting briefly on `EPOLLOUT` for slow peers, then close
+    /// everything.
+    fn exit_flush(&mut self, events: &mut Events) {
+        let deadline = Instant::now() + EXIT_FLUSH_DEADLINE;
+        loop {
+            let mut outstanding = false;
+            for slot in 0..self.conns.len() {
+                let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+                    continue;
+                };
+                let verdict = pump(conn, &self.ep, &self.service, &self.shared, false, true);
+                if verdict == Verdict::Close {
+                    self.close_slot(slot);
+                } else if self
+                    .conns
+                    .get(slot)
+                    .and_then(Option::as_ref)
+                    .is_some_and(|c| !c.pending.is_empty() || c.wpos < c.wbuf.len())
+                {
+                    outstanding = true;
+                }
+            }
+            if !outstanding || Instant::now() >= deadline {
+                break;
+            }
+            if self.ep.wait(events, Some(Duration::from_millis(50))).is_err() {
+                break;
+            }
+        }
+        for slot in 0..self.conns.len() {
+            self.close_slot(slot);
+        }
+    }
+}
+
+/// Drives one connection as far as it can go without blocking: read and
+/// parse new input, resolve and encode completed replies, write, and
+/// re-register interest.  Returns whether the connection stays open.
+fn pump(
+    conn: &mut Conn,
+    ep: &Epoll,
+    service: &QuoteService,
+    shared: &Arc<ReactorShared>,
+    readable: bool,
+    writable: bool,
+) -> Verdict {
+    if conn.draining.is_some() {
+        return pump_drain(conn);
+    }
+    let inflight_cap = service.config().per_conn_inflight;
+    if readable
+        && !conn.peer_eof
+        && !conn.rejected
+        && pump_read(conn, service, shared, inflight_cap) == Verdict::Close
+    {
+        return Verdict::Close;
+    }
+    let _ = writable; // level-triggered: the write pump always tries
+    if pump_write(conn) == Verdict::Close {
+        return Verdict::Close;
+    }
+    let flushed = conn.pending.is_empty() && conn.wpos >= conn.wbuf.len();
+    if flushed {
+        if conn.rejected {
+            // Reply delivered; now keep the close graceful: signal
+            // end-of-responses and swallow what the peer is still
+            // sending, bounded in bytes and time, so the error line is
+            // not torn down by a TCP reset.
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            conn.draining = Some((DRAIN_BUDGET, Instant::now() + DRAIN_DEADLINE));
+            conn.rbuf = Vec::new();
+            conn.scan_from = 0;
+            set_interest(conn, ep, Interest::READ);
+            return pump_drain(conn);
+        }
+        if conn.peer_eof {
+            return Verdict::Close;
+        }
+    }
+    // Re-register: read while the pipeline has room (and the line wasn't
+    // rejected), write only while bytes are stuck in `wbuf`.
+    let want_read = !conn.peer_eof && !conn.rejected && conn.pending.len() < inflight_cap.max(1);
+    let want_write = conn.wpos < conn.wbuf.len();
+    let interest = match (want_read, want_write) {
+        (true, true) => Interest::BOTH,
+        (true, false) => Interest::READ,
+        (false, true) => Interest::WRITE,
+        (false, false) => Interest::NONE,
+    };
+    set_interest(conn, ep, interest);
+    Verdict::Keep
+}
+
+fn set_interest(conn: &mut Conn, ep: &Epoll, interest: Interest) {
+    if conn.registered != interest
+        && ep.modify(conn.stream.as_raw_fd(), interest, conn.token).is_ok()
+    {
+        conn.registered = interest;
+    }
+}
+
+/// Reads until `WouldBlock`, EOF, the in-flight cap, or a rejected line,
+/// parsing complete lines as they arrive.
+fn pump_read(
+    conn: &mut Conn,
+    service: &QuoteService,
+    shared: &Arc<ReactorShared>,
+    inflight_cap: usize,
+) -> Verdict {
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        if conn.pending.len() >= inflight_cap.max(1) {
+            return Verdict::Keep; // backpressure: leave input in the kernel
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                conn.peer_eof = true;
+                return Verdict::Keep; // half-close: flush, then close
+            }
+            Ok(n) => {
+                conn.rbuf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                parse_lines(conn, service, shared, inflight_cap);
+                if conn.rejected {
+                    // Stop reading; leftover input is swallowed by the
+                    // drain phase once the error reply is flushed.
+                    return Verdict::Keep;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Verdict::Keep,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Verdict::Close,
+        }
+    }
+}
+
+/// Extracts and processes every complete line in `rbuf`, preserving the
+/// threaded front end's exact cap and UTF-8 semantics:
+///
+/// * newline within the first [`wire::MAX_LINE_BYTES`] bytes → the line is
+///   processed; invalid UTF-8 anywhere in it rejects with the combined
+///   "not valid UTF-8 or exceeds" parse error.
+/// * no newline once the buffer holds `MAX_LINE_BYTES` → rejected: with
+///   the "exceeds" error if the capped prefix is valid UTF-8, with the
+///   combined error if the cap landed mid-character or the bytes are
+///   hostile (exactly what `take(cap).read_line` reported).
+fn parse_lines(conn: &mut Conn, service: &QuoteService, shared: &Arc<ReactorShared>, cap: usize) {
+    loop {
+        if conn.pending.len() >= cap.max(1) {
+            return; // backpressure mid-buffer: resume after replies drain
+        }
+        let scan_end = conn.rbuf.len().min(wire::MAX_LINE_BYTES);
+        let newline = conn
+            .rbuf
+            .get(conn.scan_from..scan_end)
+            .and_then(|tail| tail.iter().position(|&b| b == b'\n'))
+            .map(|i| conn.scan_from + i);
+        let Some(newline) = newline else {
+            conn.scan_from = scan_end;
+            if conn.rbuf.len() >= wire::MAX_LINE_BYTES {
+                let message = if std::str::from_utf8(
+                    conn.rbuf.get(..wire::MAX_LINE_BYTES).unwrap_or_default(),
+                )
+                .is_ok()
+                {
+                    format!("request line exceeds {} bytes", wire::MAX_LINE_BYTES)
+                } else {
+                    format!(
+                        "request line is not valid UTF-8 or exceeds {} bytes",
+                        wire::MAX_LINE_BYTES
+                    )
+                };
+                conn.pending.push_back(Reply::Ready(wire::encode_error("null", "parse", &message)));
+                conn.rejected = true;
+            }
+            return;
+        };
+        let rest = conn.rbuf.split_off(newline + 1);
+        let line_bytes = std::mem::replace(&mut conn.rbuf, rest);
+        conn.scan_from = 0;
+        let Ok(line) = std::str::from_utf8(&line_bytes) else {
+            conn.pending.push_back(Reply::Ready(wire::encode_error(
+                "null",
+                "parse",
+                &format!(
+                    "request line is not valid UTF-8 or exceeds {} bytes",
+                    wire::MAX_LINE_BYTES
+                ),
+            )));
+            conn.rejected = true;
+            return;
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (id, decoded) = wire::decode_request(trimmed);
+        let reply = match decoded {
+            Err(e) => Reply::Ready(wire::encode_error(&id, "parse", &e)),
+            Ok(WireRequest::Stats) => {
+                let mut stats = service.stats();
+                stats.reactor = shared.counters.snapshot();
+                Reply::Ready(wire::encode_stats(&id, &stats))
+            }
+            Ok(WireRequest::Submit(request, deadline)) => {
+                match conn.client.submit_with_deadline(request, deadline) {
+                    Ok(ticket) => {
+                        arm_notify(&ticket, shared, conn.token);
+                        Reply::Pending { id, ticket }
+                    }
+                    Err(e) => Reply::Ready(wire::encode_result(&id, &Err(e))),
+                }
+            }
+        };
+        conn.pending.push_back(reply);
+    }
+}
+
+/// Arms the ticket's completion callback: push the connection token onto
+/// the ready list and kick the eventfd.  Runs on the completing worker —
+/// or inline if the batch already executed — always outside queue locks.
+fn arm_notify(ticket: &Ticket, shared: &Arc<ReactorShared>, token: u64) {
+    let shared = Arc::clone(shared);
+    ticket.set_notify(Box::new(move || {
+        lock_unpoisoned(&shared.ready).push(token);
+        let _ = shared.waker.wake();
+    }));
+}
+
+/// Resolves replies in request order into `wbuf` and writes as much as the
+/// socket accepts.
+fn pump_write(conn: &mut Conn) -> Verdict {
+    loop {
+        // Top up the write buffer from the head of the reply pipeline.
+        if conn.wpos >= conn.wbuf.len() {
+            conn.wbuf.clear();
+            conn.wpos = 0;
+            while let Some(front) = conn.pending.front() {
+                let line = match front {
+                    Reply::Ready(_) => {
+                        let Some(Reply::Ready(line)) = conn.pending.pop_front() else { break };
+                        line
+                    }
+                    Reply::Pending { ticket, .. } => {
+                        let Some(result) = ticket.try_take() else { break };
+                        let Some(Reply::Pending { id, .. }) = conn.pending.pop_front() else {
+                            break;
+                        };
+                        wire::encode_result(&id, &result)
+                    }
+                };
+                conn.wbuf.extend_from_slice(line.as_bytes());
+                conn.wbuf.push(b'\n');
+                if conn.wbuf.len() >= READ_CHUNK {
+                    break; // write in socket-buffer-sized slabs
+                }
+            }
+            if conn.wbuf.is_empty() {
+                return Verdict::Keep; // nothing resolvable right now
+            }
+        }
+        // Flush what we have.
+        let Some(unsent) = conn.wbuf.get(conn.wpos..) else { return Verdict::Keep };
+        match conn.stream.write(unsent) {
+            Ok(0) => return Verdict::Close,
+            Ok(n) => conn.wpos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Verdict::Keep,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Verdict::Close,
+        }
+    }
+}
+
+/// Swallows post-reject input within the byte/time budget; closes on EOF,
+/// error, or an exhausted budget.
+fn pump_drain(conn: &mut Conn) -> Verdict {
+    let Some((mut budget, deadline)) = conn.draining else { return Verdict::Keep };
+    if Instant::now() >= deadline {
+        return Verdict::Close;
+    }
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        if budget == 0 {
+            return Verdict::Close;
+        }
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => return Verdict::Close,
+            Ok(n) => budget = budget.saturating_sub(n),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                conn.draining = Some((budget, deadline));
+                return Verdict::Keep;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Verdict::Close,
+        }
+    }
+}

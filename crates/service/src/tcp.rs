@@ -2,16 +2,30 @@
 //! [`wire`](crate::wire), one connection per client, responses in request
 //! order.
 //!
-//! Each connection runs a **reader** (parse a line, submit to the shared
-//! coalescing queue, forward the ticket) and a **writer** (resolve tickets
-//! in order, write one response line each).  The channel between them is
-//! bounded at the connection's in-flight cap, so a connection that stops
-//! reading its responses eventually stalls its own reader — TCP
-//! backpressure — while rejected submissions (queue full, in-flight cap)
-//! are answered immediately with `"kind":"overloaded"` error lines and
-//! never occupy queue space.
+//! Two interchangeable front ends serve the protocol, selected by
+//! [`ServiceConfig::front_end`](crate::ServiceConfig::front_end) and
+//! byte-identical on the wire:
+//!
+//! * [`FrontEnd::Reactor`] (default) — a single-threaded epoll event loop
+//!   (see [`reactor`](crate::reactor)) multiplexing every connection
+//!   through nonblocking sockets and incremental line buffers.  Scales to
+//!   thousands of mostly-idle connections.
+//! * [`FrontEnd::Threaded`] — the legacy pair of OS threads per
+//!   connection: a **reader** (parse a line, submit to the shared
+//!   coalescing queue, forward the ticket) and a **writer** (resolve
+//!   tickets in order, write one response line each).  The channel between
+//!   them is bounded at the connection's in-flight cap, so a connection
+//!   that stops reading its responses eventually stalls its own reader —
+//!   TCP backpressure.  Kept as the equivalence baseline.
+//!
+//! In both, rejected submissions (queue full, in-flight cap) are answered
+//! immediately with `"kind":"overloaded"` error lines and never occupy
+//! queue space.
 
+use crate::config::FrontEnd;
 use crate::queue::{Client, QuoteService, Ticket};
+use crate::reactor::ReactorHandle;
+use crate::types::ServiceStats;
 use crate::wire::{self, WireRequest};
 use crate::ServiceConfig;
 use std::io::{self, BufRead, BufReader, BufWriter, Read as _, Write};
@@ -51,33 +65,58 @@ pub struct QuoteServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    reactor: Option<ReactorHandle>,
 }
 
 impl QuoteServer {
     /// Starts a [`QuoteService`] with `cfg` and listens on `addr`
     /// (`127.0.0.1:0` picks a free port; see [`local_addr`]).
     ///
+    /// `cfg.front_end` selects the serving strategy; the wire protocol and
+    /// reply bytes are identical either way.
+    ///
     /// [`local_addr`]: QuoteServer::local_addr
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServiceConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let front_end = cfg.front_end;
         let service = Arc::new(QuoteService::start(cfg)?);
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_thread = {
-            let accept_service = Arc::clone(&service);
-            let accept_stop = Arc::clone(&stop);
-            let spawned = std::thread::Builder::new()
-                .name("amopt-service-accept".to_string())
-                .spawn(move || accept_loop(&listener, &accept_service, &accept_stop));
-            match spawned {
-                Ok(handle) => handle,
-                Err(e) => {
-                    service.shutdown();
-                    return Err(e);
-                }
+        match front_end {
+            FrontEnd::Reactor => {
+                let reactor = match ReactorHandle::spawn(listener, Arc::clone(&service)) {
+                    Ok(handle) => handle,
+                    Err(e) => {
+                        service.shutdown();
+                        return Err(e);
+                    }
+                };
+                Ok(QuoteServer { service, addr, stop, accept_thread: None, reactor: Some(reactor) })
             }
-        };
-        Ok(QuoteServer { service, addr, stop, accept_thread: Some(accept_thread) })
+            FrontEnd::Threaded => {
+                let accept_thread = {
+                    let accept_service = Arc::clone(&service);
+                    let accept_stop = Arc::clone(&stop);
+                    let spawned = std::thread::Builder::new()
+                        .name("amopt-service-accept".to_string())
+                        .spawn(move || accept_loop(&listener, &accept_service, &accept_stop));
+                    match spawned {
+                        Ok(handle) => handle,
+                        Err(e) => {
+                            service.shutdown();
+                            return Err(e);
+                        }
+                    }
+                };
+                Ok(QuoteServer {
+                    service,
+                    addr,
+                    stop,
+                    accept_thread: Some(accept_thread),
+                    reactor: None,
+                })
+            }
+        }
     }
 
     /// The bound address (useful with port 0).
@@ -90,14 +129,35 @@ impl QuoteServer {
         &self.service
     }
 
+    /// Scheduler stats merged with front-end (reactor) stats — the same
+    /// view the wire `stats` op serves.
+    pub fn stats(&self) -> ServiceStats {
+        let mut stats = self.service.stats();
+        if let Some(reactor) = &self.reactor {
+            stats.reactor = reactor.stats();
+        }
+        stats
+    }
+
     /// Stops accepting connections, then drains and stops the service
     /// ([`QuoteService::shutdown`] semantics).  Established connections are
-    /// answered for everything already accepted; their threads exit when
-    /// the peers disconnect.
+    /// answered for everything already accepted: the threaded front end's
+    /// connection threads exit when the peers disconnect; the reactor
+    /// flushes every pending reply (bounded) before closing its sockets.
     pub fn shutdown(&self) {
         if !self.stop.swap(true, Ordering::AcqRel) {
-            // Wake the blocking accept with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
+            match &self.reactor {
+                Some(reactor) => {
+                    reactor.stop_accepting();
+                    self.service.shutdown();
+                    reactor.exit_and_join();
+                    return;
+                }
+                None => {
+                    // Wake the blocking accept with a throwaway connection.
+                    let _ = TcpStream::connect(self.addr);
+                }
+            }
         }
         self.service.shutdown();
     }
@@ -208,10 +268,12 @@ fn handle_connection(
         let outgoing = match decoded {
             Err(e) => Outgoing::Ready(wire::encode_error(&id, "parse", &e)),
             Ok(WireRequest::Stats) => Outgoing::Ready(wire::encode_stats(&id, &service.stats())),
-            Ok(WireRequest::Submit(request)) => match client.submit(request) {
-                Ok(ticket) => Outgoing::Pending { id, ticket },
-                Err(e) => Outgoing::Ready(wire::encode_result(&id, &Err(e))),
-            },
+            Ok(WireRequest::Submit(request, deadline)) => {
+                match client.submit_with_deadline(request, deadline) {
+                    Ok(ticket) => Outgoing::Pending { id, ticket },
+                    Err(e) => Outgoing::Ready(wire::encode_result(&id, &Err(e))),
+                }
+            }
         };
         if tx.send(outgoing).is_err() {
             break; // writer died (peer stopped reading)

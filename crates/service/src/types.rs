@@ -105,11 +105,29 @@ impl BatchHistogram {
     }
 }
 
+/// Counters of the epoll reactor front end, all zero when the service is
+/// driven in-process or by the legacy threaded front end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReactorStats {
+    /// Connections the reactor has accepted since start.
+    pub connections_accepted: u64,
+    /// Connections currently registered with the event loop.
+    pub connections_open: u64,
+    /// Accepts refused because the connection cap was reached.
+    pub connections_refused: u64,
+    /// Event-loop iterations (one per `epoll_wait` return).
+    pub loop_iterations: u64,
+    /// Ready events delivered per `epoll_wait` return, power-of-two
+    /// bucketed — the loop-iteration histogram: a right-shifted mass means
+    /// each wakeup served many connections.
+    pub events_per_wake: BatchHistogram,
+}
+
 /// Point-in-time service counters, from
 /// [`QuoteService::stats`](crate::QuoteService::stats).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServiceStats {
-    /// Requests currently waiting in the submission queue.
+    /// Requests currently waiting in the submission queue (the EDF heap).
     pub queue_depth: usize,
     /// Requests accepted into the queue since start.
     pub submitted: u64,
@@ -123,10 +141,22 @@ pub struct ServiceStats {
     pub rejected_shutdown: u64,
     /// Batches flushed to the executor.
     pub batches: u64,
+    /// Requests with a caller-supplied budget
+    /// ([`submit_with_deadline`](crate::queue::Client::submit_with_deadline))
+    /// answered after that deadline had already passed.  Requests without a
+    /// budget never count: their implicit `max_wait` deadline is the flush
+    /// trigger itself, not a promise to the caller.
+    pub deadline_misses: u64,
+    /// EDF heap pops across all flushes; `heap_pops / batches` is the mean
+    /// per-flush pop count (pops exceed drained entries when the
+    /// fair-share cap parks and re-queues over-share work).
+    pub heap_pops: u64,
     /// Sizes of those batches, power-of-two bucketed.
     pub batch_sizes: BatchHistogram,
     /// Memo counters of the shared `BatchPricer`.
     pub memo: MemoStats,
+    /// Event-loop counters of the serving reactor (zeros elsewhere).
+    pub reactor: ReactorStats,
 }
 
 impl ServiceStats {

@@ -24,6 +24,11 @@
 //!   `steps` to `252` (capped at [`MAX_WIRE_STEPS`] = 2²⁰).
 //! * `implied_vol` additionally requires `"market_price"` and accepts
 //!   `type` to invert put quotes (always the BOPM lattice).
+//! * `deadline_ms` — optional latency budget in milliseconds for any
+//!   submission op.  The EDF scheduler flushes no later than the earliest
+//!   queued deadline and drains earliest-deadline-first, so a tagged quote
+//!   overtakes queued bulk work; untagged requests default to the server's
+//!   `max_wait`.
 //!
 //! ## Responses
 //!
@@ -45,6 +50,7 @@ use amopt_core::batch::surface::VolQuote;
 use amopt_core::batch::{ModelKind, PricingRequest, Style};
 use amopt_core::{OptionParams, OptionType};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// A parsed JSON value (the subset the wire protocol uses).
 #[derive(Debug, Clone, PartialEq)]
@@ -362,11 +368,13 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
 // Request decoding (server side)
 // ---------------------------------------------------------------------------
 
-/// A decoded wire request: a service submission or the stats query.
+/// A decoded wire request: a service submission (with its optional
+/// `deadline_ms` latency budget) or the stats query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum WireRequest {
-    /// Submit to the coalescing queue.
-    Submit(ServiceRequest),
+    /// Submit to the coalescing queue, scheduling with the given latency
+    /// budget (`None` → the server's `max_wait`).
+    Submit(ServiceRequest, Option<Duration>),
     /// Answer immediately with the service counters.
     Stats,
 }
@@ -406,6 +414,16 @@ fn decode_request_body(doc: &JsonValue) -> Result<WireRequest, String> {
         Some("put") => OptionType::Put,
         Some(other) => return Err(format!("unknown option type `{other}`")),
     };
+    let deadline = match doc.get("deadline_ms") {
+        None => None,
+        Some(v) => {
+            let ms = v.as_f64().ok_or("`deadline_ms` must be a number")?;
+            if !(ms.is_finite() && ms >= 0.0) {
+                return Err(format!("`deadline_ms` must be a non-negative number, got {ms}"));
+            }
+            Some(Duration::from_secs_f64(ms / 1_000.0))
+        }
+    };
     let params = OptionParams {
         spot: required("spot")?,
         strike: required("strike")?,
@@ -423,7 +441,7 @@ fn decode_request_body(doc: &JsonValue) -> Result<WireRequest, String> {
         } else {
             VolQuote::new(params, steps, market)
         };
-        return Ok(WireRequest::Submit(ServiceRequest::ImpliedVol(quote)));
+        return Ok(WireRequest::Submit(ServiceRequest::ImpliedVol(quote), deadline));
     }
     if !params.volatility.is_finite() {
         return Err("missing number `vol`".to_string());
@@ -457,8 +475,8 @@ fn decode_request_body(doc: &JsonValue) -> Result<WireRequest, String> {
     };
     let request = PricingRequest { model, option_type, style, params, steps };
     match op {
-        "price" => Ok(WireRequest::Submit(ServiceRequest::Price(request))),
-        "greeks" => Ok(WireRequest::Submit(ServiceRequest::Greeks(request))),
+        "price" => Ok(WireRequest::Submit(ServiceRequest::Price(request), deadline)),
+        "greeks" => Ok(WireRequest::Submit(ServiceRequest::Greeks(request), deadline)),
         other => Err(format!("unknown op `{other}`")),
     }
 }
@@ -506,11 +524,21 @@ pub fn encode_error(id: &str, kind: &str, message: &str) -> String {
 pub fn encode_stats(id: &str, stats: &ServiceStats) -> String {
     let hist: Vec<String> =
         stats.batch_sizes.non_empty().into_iter().map(|(lo, n)| format!("[{lo},{n}]")).collect();
+    let wake_hist: Vec<String> = stats
+        .reactor
+        .events_per_wake
+        .non_empty()
+        .into_iter()
+        .map(|(lo, n)| format!("[{lo},{n}]"))
+        .collect();
     format!(
         "{{\"id\":{id},\"ok\":true,\"queue_depth\":{},\"submitted\":{},\"completed\":{},\
          \"rejected_queue_full\":{},\"rejected_inflight\":{},\"rejected_shutdown\":{},\
-         \"batches\":{},\"batch_size_hist\":[{}],\"mean_batch_size\":{},\"memo_hits\":{},\
-         \"memo_misses\":{},\"memo_hit_rate\":{},\"memo_entries\":{}}}",
+         \"batches\":{},\"deadline_misses\":{},\"heap_pops\":{},\"batch_size_hist\":[{}],\
+         \"mean_batch_size\":{},\"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{},\
+         \"memo_entries\":{},\"reactor_connections_accepted\":{},\"reactor_connections_open\":{},\
+         \"reactor_connections_refused\":{},\"reactor_loop_iterations\":{},\
+         \"reactor_events_per_wake_hist\":[{}]}}",
         stats.queue_depth,
         stats.submitted,
         stats.completed,
@@ -518,18 +546,39 @@ pub fn encode_stats(id: &str, stats: &ServiceStats) -> String {
         stats.rejected_inflight,
         stats.rejected_shutdown,
         stats.batches,
+        stats.deadline_misses,
+        stats.heap_pops,
         hist.join(","),
         fmt_f64(stats.mean_batch_size()),
         stats.memo.hits,
         stats.memo.misses,
         fmt_f64(stats.memo_hit_rate()),
         stats.memo.entries,
+        stats.reactor.connections_accepted,
+        stats.reactor.connections_open,
+        stats.reactor.connections_refused,
+        stats.reactor.loop_iterations,
+        wake_hist.join(","),
     )
 }
 
 // ---------------------------------------------------------------------------
 // Request encoding (client side)
 // ---------------------------------------------------------------------------
+
+/// Encodes a [`PricingRequest`] as a `price` (or `greeks`) request line
+/// tagged with a `deadline_ms` latency budget.
+pub fn encode_pricing_request_with_deadline(
+    id: u64,
+    op: &str,
+    req: &PricingRequest,
+    deadline_ms: f64,
+) -> String {
+    let mut line = encode_pricing_request(id, op, req);
+    line.pop();
+    let _ = write!(line, ",\"deadline_ms\":{}}}", fmt_f64(deadline_ms));
+    line
+}
 
 /// Encodes a [`PricingRequest`] as a `price` (or `greeks`) request line.
 pub fn encode_pricing_request(id: u64, op: &str, req: &PricingRequest) -> String {
@@ -680,13 +729,30 @@ mod tests {
         let line = encode_pricing_request(7, "price", &req);
         let (id, decoded) = decode_request(&line);
         assert_eq!(id, "7");
-        assert_eq!(decoded.unwrap(), WireRequest::Submit(ServiceRequest::Price(req)));
+        assert_eq!(decoded.unwrap(), WireRequest::Submit(ServiceRequest::Price(req.clone()), None));
 
         let bermudan =
             PricingRequest::bermudan_put(OptionParams::paper_defaults(), 128, vec![32, 64, 128]);
         let line = encode_pricing_request(8, "greeks", &bermudan);
         let (_, decoded) = decode_request(&line);
-        assert_eq!(decoded.unwrap(), WireRequest::Submit(ServiceRequest::Greeks(bermudan)));
+        assert_eq!(decoded.unwrap(), WireRequest::Submit(ServiceRequest::Greeks(bermudan), None));
+
+        // The deadline tag survives the round trip as a Duration.
+        let line = encode_pricing_request_with_deadline(9, "price", &req, 2.5);
+        let (id, decoded) = decode_request(&line);
+        assert_eq!(id, "9");
+        assert_eq!(
+            decoded.unwrap(),
+            WireRequest::Submit(ServiceRequest::Price(req), Some(Duration::from_micros(2_500)))
+        );
+        // Malformed budgets are parse errors, not silent defaults.
+        let (_, decoded) =
+            decode_request(r#"{"op":"price","spot":100,"strike":100,"vol":0.2,"deadline_ms":-1}"#);
+        assert!(decoded.unwrap_err().contains("deadline_ms"));
+        let (_, decoded) = decode_request(
+            r#"{"op":"price","spot":100,"strike":100,"vol":0.2,"deadline_ms":"soon"}"#,
+        );
+        assert!(decoded.unwrap_err().contains("deadline_ms"));
     }
 
     #[test]
@@ -695,7 +761,7 @@ mod tests {
         let line = encode_vol_request(3, &quote);
         let (id, decoded) = decode_request(&line);
         assert_eq!(id, "3");
-        let WireRequest::Submit(ServiceRequest::ImpliedVol(back)) = decoded.unwrap() else {
+        let WireRequest::Submit(ServiceRequest::ImpliedVol(back), None) = decoded.unwrap() else {
             panic!()
         };
         assert_eq!(back.option_type, OptionType::Put);
@@ -707,7 +773,9 @@ mod tests {
     #[test]
     fn defaults_and_missing_fields() {
         let (_, decoded) = decode_request(r#"{"op":"price","spot":100,"strike":100,"vol":0.2}"#);
-        let WireRequest::Submit(ServiceRequest::Price(req)) = decoded.unwrap() else { panic!() };
+        let WireRequest::Submit(ServiceRequest::Price(req), None) = decoded.unwrap() else {
+            panic!()
+        };
         assert_eq!(req.steps, 252);
         assert_eq!(req.model, ModelKind::Bopm);
         assert_eq!(req.style, Style::American);

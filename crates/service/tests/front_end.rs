@@ -1,0 +1,219 @@
+//! Front-end integration tests: the epoll reactor must be byte-identical
+//! on the wire to the threaded baseline, survive hostile client pacing
+//! (slow-loris, partial lines, half-close), and hold four-digit connection
+//! counts that would cost the threaded front end thousands of OS threads.
+
+use amopt_core::batch::{ModelKind, PricingRequest};
+use amopt_core::{OptionParams, OptionType};
+use amopt_service::wire::{self, parse, JsonValue};
+use amopt_service::{FrontEnd, QuoteServer, ServiceConfig, TcpQuoteClient};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn config(front_end: FrontEnd) -> ServiceConfig {
+    ServiceConfig {
+        max_batch: 16,
+        max_wait: Duration::from_millis(1),
+        front_end,
+        ..ServiceConfig::default()
+    }
+}
+
+fn contract(strike: f64, ty: OptionType, steps: usize) -> PricingRequest {
+    PricingRequest::american(
+        ModelKind::Bopm,
+        ty,
+        OptionParams { strike, ..OptionParams::paper_defaults() },
+        steps,
+    )
+}
+
+/// A request script covering every inline-answerable wire shape: prices on
+/// both option types, an in-script duplicate (memo path), a deadline-tagged
+/// quote, greeks, and a parse error answered without closing.
+fn script() -> Vec<String> {
+    let mut lines = Vec::new();
+    for i in 0..6u64 {
+        let ty = if i % 2 == 0 { OptionType::Call } else { OptionType::Put };
+        lines.push(wire::encode_pricing_request(i, "price", &contract(100.0 + i as f64, ty, 64)));
+    }
+    lines.push(wire::encode_pricing_request(6, "price", &contract(100.0, OptionType::Call, 64)));
+    lines.push(wire::encode_pricing_request_with_deadline(
+        7,
+        "price",
+        &contract(103.0, OptionType::Put, 64),
+        2.5,
+    ));
+    lines.push(wire::encode_pricing_request(8, "greeks", &contract(104.0, OptionType::Call, 64)));
+    lines.push("{\"id\":9,\"op\":\"price\"}".to_string());
+    lines
+}
+
+fn replies(server: &QuoteServer, lines: &[String]) -> Vec<String> {
+    let mut client = TcpQuoteClient::connect(server.local_addr()).expect("connect");
+    for line in lines {
+        client.send(line).expect("send");
+    }
+    lines.iter().map(|_| client.recv().expect("recv")).collect()
+}
+
+#[test]
+fn reactor_and_threaded_reply_bitwise_identically() {
+    let script = script();
+    let reactor = QuoteServer::bind("127.0.0.1:0", config(FrontEnd::Reactor)).expect("bind");
+    let threaded = QuoteServer::bind("127.0.0.1:0", config(FrontEnd::Threaded)).expect("bind");
+    let from_reactor = replies(&reactor, &script);
+    let from_threaded = replies(&threaded, &script);
+    for (i, (r, t)) in from_reactor.iter().zip(&from_threaded).enumerate() {
+        assert_eq!(r, t, "reply {i} diverges between front ends");
+    }
+    reactor.shutdown();
+    threaded.shutdown();
+}
+
+#[test]
+fn slow_loris_partial_lines_resume() {
+    let server = QuoteServer::bind("127.0.0.1:0", config(FrontEnd::Reactor)).expect("bind");
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    raw.set_nodelay(true).ok();
+
+    // First request dribbled in three fragments with pauses: the reactor
+    // must park the partial line and resume when the rest arrives.
+    let first = wire::encode_pricing_request(1, "price", &contract(110.0, OptionType::Call, 32));
+    let (a, rest) = first.as_bytes().split_at(7);
+    let (b, c) = rest.split_at(rest.len() / 2);
+    for chunk in [a, b, c] {
+        raw.write_all(chunk).expect("write");
+        raw.flush().ok();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // One write can also end mid-way through the *next* line.
+    let second = wire::encode_pricing_request(2, "price", &contract(111.0, OptionType::Put, 32));
+    let (tail, carried) = second.as_bytes().split_at(4);
+    raw.write_all(b"\n").expect("write");
+    raw.write_all(tail).expect("write");
+    raw.flush().ok();
+    std::thread::sleep(Duration::from_millis(20));
+    raw.write_all(carried).expect("write");
+    // And a third sent byte by byte.
+    let third = wire::encode_pricing_request(3, "price", &contract(112.0, OptionType::Call, 32));
+    raw.write_all(b"\n").expect("write");
+    for byte in third.as_bytes() {
+        raw.write_all(std::slice::from_ref(byte)).expect("write");
+        raw.flush().ok();
+    }
+    raw.write_all(b"\n").expect("write");
+    raw.flush().ok();
+
+    let mut reader = BufReader::new(&raw);
+    for want_id in 1..=3i64 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("read reply");
+        let doc = parse(line.trim()).expect("reply parses");
+        assert_eq!(doc.get("id").and_then(JsonValue::as_f64), Some(want_id as f64), "{line}");
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)), "{line}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn half_close_still_flushes_pending_replies() {
+    let server = QuoteServer::bind("127.0.0.1:0", config(FrontEnd::Reactor)).expect("bind");
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    let n = 5u64;
+    for i in 0..n {
+        let line = wire::encode_pricing_request(
+            i,
+            "price",
+            &contract(95.0 + i as f64, OptionType::Put, 64),
+        );
+        raw.write_all(line.as_bytes()).expect("write");
+        raw.write_all(b"\n").expect("write");
+    }
+    raw.flush().ok();
+    // Half-close immediately: the peer is done sending, but every reply
+    // already owed must still arrive before the server closes its side.
+    raw.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut reader = BufReader::new(&raw);
+    let mut got = 0u64;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read reply") == 0 {
+            break; // server finished its side cleanly
+        }
+        let doc = parse(line.trim()).expect("reply parses");
+        assert_eq!(doc.get("id").and_then(JsonValue::as_f64), Some(got as f64), "{line}");
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)), "{line}");
+        got += 1;
+    }
+    assert_eq!(got, n, "half-closed connection lost replies");
+    server.shutdown();
+}
+
+#[test]
+fn reactor_holds_a_thousand_mostly_idle_connections() {
+    let server = QuoteServer::bind("127.0.0.1:0", config(FrontEnd::Reactor)).expect("bind");
+    let mut idle = Vec::with_capacity(1024);
+    for i in 0..1024 {
+        idle.push(
+            TcpStream::connect(server.local_addr()).unwrap_or_else(|e| panic!("conn {i}: {e}")),
+        );
+    }
+    // With a thousand sockets parked, fresh connections still get served…
+    let mut active = TcpQuoteClient::connect(server.local_addr()).expect("late connect");
+    let reply = active
+        .roundtrip(&wire::encode_pricing_request(
+            1,
+            "price",
+            &contract(120.0, OptionType::Call, 64),
+        ))
+        .expect("roundtrip");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    // …and so do the parked ones, first and last alike.
+    for probe in [0usize, 511, 1023] {
+        let stream = &mut idle[probe];
+        stream
+            .write_all(
+                format!(
+                    "{}\n",
+                    wire::encode_pricing_request(2, "price", &contract(121.0, OptionType::Put, 64))
+                )
+                .as_bytes(),
+            )
+            .expect("write on parked conn");
+        let mut line = String::new();
+        BufReader::new(stream.try_clone().expect("clone")).read_line(&mut line).expect("read");
+        assert!(line.contains("\"ok\":true"), "conn {probe}: {line}");
+    }
+    let stats = server.stats();
+    assert!(stats.reactor.connections_accepted >= 1025, "{stats:?}");
+    assert!(stats.reactor.connections_open >= 1025, "{stats:?}");
+    server.shutdown();
+}
+
+#[test]
+fn connection_cap_refuses_politely_and_frees_slots() {
+    let server = QuoteServer::bind(
+        "127.0.0.1:0",
+        ServiceConfig { max_connections: 4, ..config(FrontEnd::Reactor) },
+    )
+    .expect("bind");
+    let held: Vec<TcpStream> =
+        (0..4).map(|_| TcpStream::connect(server.local_addr()).expect("connect")).collect();
+    // The fifth connection is accepted then immediately closed: reads EOF.
+    let over = TcpStream::connect(server.local_addr()).expect("connect");
+    over.set_read_timeout(Some(Duration::from_secs(5))).ok();
+    let mut buf = [0u8; 1];
+    let n = (&over).read(&mut buf).expect("read on refused conn");
+    assert_eq!(n, 0, "over-cap connection must see EOF");
+    // Dropping one held connection frees a slot for a working client.
+    drop(held);
+    let mut client = TcpQuoteClient::connect(server.local_addr()).expect("reconnect");
+    let reply = client
+        .roundtrip(&wire::encode_pricing_request(1, "price", &contract(99.0, OptionType::Call, 32)))
+        .expect("roundtrip");
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    assert!(server.stats().reactor.connections_refused >= 1);
+    server.shutdown();
+}

@@ -29,8 +29,3 @@ pub use advance::{
 pub use bounded::{advance_left_wall, stepped_wall};
 pub use kernel::StencilKernel;
 pub use segment::Segment;
-
-// amopt-lint: hot-path
-pub fn ci_seeded_violation() -> Vec<u8> {
-    Vec::new()
-}

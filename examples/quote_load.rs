@@ -10,15 +10,39 @@
 //! cargo run --release --example quote_server -- serve 127.0.0.1:7878 &
 //! cargo run --release --example quote_load -- 127.0.0.1:7878 2048 4 16
 //! #                                            addr          n    conns window
+//!
+//! # Reactor-scale run: window 0 is open-loop (each connection writes its
+//! # whole share, then reads every reply), idle parks 1000 extra silent
+//! # connections on the server, and every 4th *connection* becomes a
+//! # sparse deadline class with a 1 ms budget per request — the EDF
+//! # scheduler should give that class a visibly better p50/p99 than the
+//! # bulk connections:
+//! cargo run --release --example quote_load -- 127.0.0.1:7878 2048 64 0 1000 4 1
+//! #                                            addr          n  conns w idle every ms
 //! ```
 //!
-//! Exits non-zero on protocol-level failures (parse errors, disconnects,
-//! pricing errors on the valid book) — overload shedding alone never fails
-//! the run.
+//! Deadlines are per *connection*, not per request: replies on one
+//! connection resolve in request order (wire compatibility), so an urgent
+//! request sharing a connection with bulk traffic would wait behind the
+//! bulk replies regardless of how the EDF queue ordered the work.
+//! Latency-sensitive traffic gets its own connections here, as it should
+//! in production.  Deadline connections also carry 1/16th of a bulk
+//! connection's volume: the fair-share drain gives every queued client an
+//! equal per-batch allocation, so a class only jumps the backlog while
+//! its volume sits below that allocation — a flooding "urgent" client
+//! degrades to fair sharing by design.  For the budget to mean anything
+//! it must also be tighter than the server's `max_wait` (default 2 ms),
+//! which is the implicit deadline of every untagged request.
+//!
+//! Open-loop mode leans on the reactor front end's non-blocking write
+//! buffering; against the thread-per-connection baseline keep a bounded
+//! window instead.  Exits non-zero on protocol-level failures (parse
+//! errors, disconnects, pricing errors on the valid book) — overload
+//! shedding alone never fails the run.
 
 use american_option_pricing::prelude::*;
 use american_option_pricing::service::wire;
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::time::Instant;
 
 fn book(n: usize, steps: usize) -> Vec<PricingRequest> {
@@ -31,82 +55,168 @@ fn book(n: usize, steps: usize) -> Vec<PricingRequest> {
         .collect()
 }
 
+#[derive(Default)]
 struct ConnReport {
-    latencies_us: Vec<f64>,
+    /// `(latency_us, had_deadline_budget)` per priced reply.
+    latencies_us: Vec<(f64, bool)>,
     priced: usize,
     overloaded: usize,
     failures: usize,
 }
 
+struct LoadConfig {
+    n: usize,
+    conns: usize,
+    /// Pipeline depth; 0 = open-loop (write everything, then read).
+    window: usize,
+    /// Extra connections parked idle for the whole run.
+    idle: usize,
+    /// Every `deadline_every`-th connection sends all its requests with a
+    /// deadline budget (0 = never).
+    deadline_every: usize,
+    deadline_ms: f64,
+}
+
+fn drive_conn(
+    addr: &str,
+    cfg: &LoadConfig,
+    base_id: usize,
+    slice: &[PricingRequest],
+    tagged: bool,
+) -> ConnReport {
+    let mut client = TcpQuoteClient::connect(addr).expect("connect to quote_server");
+    let mut report = ConnReport::default();
+    // Replies on one connection may be reordered across batches, so
+    // latency attribution keys on the wire id, not FIFO order.
+    let mut sent_at: HashMap<u64, (Instant, bool)> = HashMap::new();
+    let window = if cfg.window == 0 { usize::MAX } else { cfg.window };
+    let mut next = 0usize;
+    let mut done = 0usize;
+    while done < slice.len() {
+        while next < slice.len() && sent_at.len() < window {
+            let id = (base_id + next) as u64;
+            let line = if tagged {
+                wire::encode_pricing_request_with_deadline(
+                    id,
+                    "price",
+                    &slice[next],
+                    cfg.deadline_ms,
+                )
+            } else {
+                wire::encode_pricing_request(id, "price", &slice[next])
+            };
+            client.send(&line).expect("send");
+            sent_at.insert(id, (Instant::now(), tagged));
+            next += 1;
+        }
+        let Ok(reply) = client.recv() else {
+            report.failures += slice.len() - done;
+            break;
+        };
+        done += 1;
+        match wire::parse(&reply) {
+            Ok(doc) => {
+                let id = doc.get("id").and_then(wire::JsonValue::as_f64).unwrap_or(-1.0) as u64;
+                let sent = sent_at.remove(&id);
+                match doc.get("ok") {
+                    Some(wire::JsonValue::Bool(true)) => {
+                        report.priced += 1;
+                        if let Some((t, tagged)) = sent {
+                            report.latencies_us.push((t.elapsed().as_secs_f64() * 1e6, tagged));
+                        }
+                    }
+                    _ if doc.get("kind").and_then(wire::JsonValue::as_str)
+                        == Some("overloaded") =>
+                    {
+                        report.overloaded += 1;
+                    }
+                    _ => {
+                        eprintln!("failure response: {reply}");
+                        report.failures += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("unparseable response ({e}): {reply}");
+                report.failures += 1;
+            }
+        }
+    }
+    report
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        f64::NAN
+    } else {
+        sorted[((sorted.len() - 1) as f64 * q) as usize]
+    }
+}
+
+fn print_class(label: &str, mut us: Vec<f64>) {
+    us.sort_by(f64::total_cmp);
+    println!(
+        "  {label} latency us: n {}  p50 {:.0}  p90 {:.0}  p99 {:.0}  max {:.0}",
+        us.len(),
+        percentile(&us, 0.5),
+        percentile(&us, 0.9),
+        percentile(&us, 0.99),
+        percentile(&us, 1.0)
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(addr) = args.first().cloned() else {
-        eprintln!("usage: quote_load <addr> [n] [conns] [window]");
+        eprintln!(
+            "usage: quote_load <addr> [n] [conns] [window] [idle] [deadline_every] [deadline_ms]"
+        );
         std::process::exit(2);
     };
-    let n: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(2048);
-    let conns: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4).max(1);
-    let window: usize = args.get(3).and_then(|v| v.parse().ok()).unwrap_or(16).max(1);
-    let requests = book(n, 252);
+    let arg = |i: usize, default: f64| args.get(i).and_then(|v| v.parse().ok()).unwrap_or(default);
+    let cfg = LoadConfig {
+        n: arg(1, 2048.0) as usize,
+        conns: (arg(2, 4.0) as usize).max(1),
+        window: arg(3, 16.0) as usize,
+        idle: arg(4, 0.0) as usize,
+        deadline_every: arg(5, 0.0) as usize,
+        deadline_ms: arg(6, 1.0),
+    };
+    let requests = book(cfg.n, 252);
 
-    let chunk = requests.len().div_ceil(conns);
+    // Park the idle herd first: it must not disturb the measured drivers.
+    let parked: Vec<std::net::TcpStream> = (0..cfg.idle)
+        .map(|i| {
+            std::net::TcpStream::connect(&*addr).unwrap_or_else(|e| panic!("idle conn {i}: {e}"))
+        })
+        .collect();
+
+    // Weighted partition: a deadline connection carries 1/16th of a bulk
+    // connection's volume, keeping the urgent class below its fair-share
+    // allocation (see the module docs for why that is the point).
+    let tagged_of = |w: usize| cfg.deadline_every > 0 && w.is_multiple_of(cfg.deadline_every);
+    let weights: Vec<usize> = (0..cfg.conns).map(|w| if tagged_of(w) { 1 } else { 16 }).collect();
+    let total_weight: usize = weights.iter().sum();
+    let mut slices: Vec<(usize, &[PricingRequest])> = Vec::new();
+    let mut at = 0usize;
+    for (w, &wt) in weights.iter().enumerate() {
+        let take = if w + 1 == cfg.conns {
+            requests.len() - at
+        } else {
+            (requests.len() * wt / total_weight).min(requests.len() - at)
+        };
+        slices.push((at, &requests[at..at + take]));
+        at += take;
+    }
+
     let t0 = Instant::now();
     let reports: Vec<ConnReport> = std::thread::scope(|scope| {
-        requests
-            .chunks(chunk)
+        slices
+            .iter()
             .enumerate()
-            .map(|(w, slice)| {
-                let addr = addr.clone();
-                scope.spawn(move || {
-                    let mut client =
-                        TcpQuoteClient::connect(&*addr).expect("connect to quote_server");
-                    let mut report = ConnReport {
-                        latencies_us: Vec::with_capacity(slice.len()),
-                        priced: 0,
-                        overloaded: 0,
-                        failures: 0,
-                    };
-                    let mut sent_at: VecDeque<Instant> = VecDeque::new();
-                    let mut next = 0usize;
-                    let mut done = 0usize;
-                    while done < slice.len() {
-                        while next < slice.len() && sent_at.len() < window {
-                            let id = (w * chunk + next) as u64;
-                            let line = wire::encode_pricing_request(id, "price", &slice[next]);
-                            client.send(&line).expect("send");
-                            sent_at.push_back(Instant::now());
-                            next += 1;
-                        }
-                        let Ok(reply) = client.recv() else {
-                            report.failures += slice.len() - done;
-                            break;
-                        };
-                        let us = sent_at.pop_front().unwrap().elapsed().as_secs_f64() * 1e6;
-                        done += 1;
-                        match wire::parse(&reply) {
-                            Ok(doc) => match doc.get("ok") {
-                                Some(wire::JsonValue::Bool(true)) => {
-                                    report.priced += 1;
-                                    report.latencies_us.push(us);
-                                }
-                                _ if doc.get("kind").and_then(wire::JsonValue::as_str)
-                                    == Some("overloaded") =>
-                                {
-                                    report.overloaded += 1;
-                                }
-                                _ => {
-                                    eprintln!("failure response: {reply}");
-                                    report.failures += 1;
-                                }
-                            },
-                            Err(e) => {
-                                eprintln!("unparseable response ({e}): {reply}");
-                                report.failures += 1;
-                            }
-                        }
-                    }
-                    report
-                })
+            .map(|(w, &(base_id, slice))| {
+                let (addr, cfg) = (&addr, &cfg);
+                scope.spawn(move || drive_conn(addr, cfg, base_id, slice, tagged_of(w)))
             })
             .collect::<Vec<_>>()
             .into_iter()
@@ -114,29 +224,29 @@ fn main() {
             .collect()
     });
     let secs = t0.elapsed().as_secs_f64();
+    drop(parked);
 
-    let mut latencies: Vec<f64> = reports.iter().flat_map(|r| r.latencies_us.clone()).collect();
-    latencies.sort_by(f64::total_cmp);
+    let all: Vec<(f64, bool)> = reports.iter().flat_map(|r| r.latencies_us.clone()).collect();
     let priced: usize = reports.iter().map(|r| r.priced).sum();
     let overloaded: usize = reports.iter().map(|r| r.overloaded).sum();
     let failures: usize = reports.iter().map(|r| r.failures).sum();
-    let pct = |q: f64| -> f64 {
-        if latencies.is_empty() {
-            f64::NAN
-        } else {
-            latencies[((latencies.len() - 1) as f64 * q) as usize]
-        }
-    };
-    println!("quote_load: {n} requests over {conns} connections (window {window})");
+    println!(
+        "quote_load: {} requests over {} connections (window {}, {} idle, \
+         deadline on every {} conns at {} ms)",
+        cfg.n,
+        cfg.conns,
+        if cfg.window == 0 { "open-loop".to_string() } else { cfg.window.to_string() },
+        cfg.idle,
+        cfg.deadline_every,
+        cfg.deadline_ms
+    );
     println!("  priced: {priced}  overloaded: {overloaded}  failures: {failures}");
     println!("  wall: {secs:.3}s  throughput: {:.0} options/s", priced as f64 / secs);
-    println!(
-        "  latency us: p50 {:.0}  p90 {:.0}  p99 {:.0}  max {:.0}",
-        pct(0.5),
-        pct(0.9),
-        pct(0.99),
-        pct(1.0)
-    );
+    print_class("all     ", all.iter().map(|&(us, _)| us).collect());
+    if cfg.deadline_every > 0 {
+        print_class("deadline", all.iter().filter(|&&(_, t)| t).map(|&(us, _)| us).collect());
+        print_class("bulk    ", all.iter().filter(|&&(_, t)| !t).map(|&(us, _)| us).collect());
+    }
     if failures > 0 {
         std::process::exit(1);
     }

@@ -2,13 +2,18 @@
 //! smoke-test it end to end.
 //!
 //! ```sh
-//! # Serve the line-JSON protocol (see amopt_service::wire) until killed:
+//! # Serve the line-JSON protocol (see amopt_service::wire) until killed.
+//! # The epoll reactor front end is the default; pass `threaded` to serve
+//! # with the legacy thread-per-connection baseline instead:
 //! cargo run --release --example quote_server -- serve 127.0.0.1:7878
+//! cargo run --release --example quote_server -- serve 127.0.0.1:7878 threaded
 //!
 //! # CI smoke: spin up a loopback server, drive N requests through
-//! # concurrent TCP connections, and verify zero errors and bitwise
-//! # equality against direct BatchPricer pricing (exit 1 on any failure):
-//! cargo run --release --example quote_server -- smoke 512
+//! # concurrent pipelined TCP connections — while CONNS total connections
+//! # (default 4, CI uses ≥1000) stay open against the reactor — and verify
+//! # zero errors and bitwise equality against direct BatchPricer pricing
+//! # (exit 1 on any failure):
+//! cargo run --release --example quote_server -- smoke 512 1200
 //! ```
 
 use american_option_pricing::prelude::*;
@@ -34,10 +39,10 @@ fn smoke_book(n: usize, steps: usize) -> Vec<PricingRequest> {
         .collect()
 }
 
-fn serve(addr: &str) {
-    let server = QuoteServer::bind(addr, ServiceConfig::default())
+fn serve(addr: &str, front_end: FrontEnd) {
+    let server = QuoteServer::bind(addr, ServiceConfig { front_end, ..ServiceConfig::default() })
         .unwrap_or_else(|e| panic!("cannot bind {addr}: {e}"));
-    println!("quote_server listening on {}", server.local_addr());
+    println!("quote_server listening on {} ({front_end:?} front end)", server.local_addr());
     println!("protocol: one JSON request per line; try:");
     println!(
         "  {{\"id\":1,\"op\":\"price\",\"spot\":127.62,\"strike\":130,\"rate\":0.00163,\
@@ -45,22 +50,41 @@ fn serve(addr: &str) {
     );
     loop {
         std::thread::sleep(Duration::from_secs(30));
-        let s = server.service().stats();
+        print_stats(&server);
+    }
+}
+
+/// One stats line for the scheduler, one for the reactor (when serving
+/// through it) — the same counters the wire `stats` op reports.
+fn print_stats(server: &QuoteServer) {
+    let s = server.stats();
+    println!(
+        "[stats] queue={} submitted={} completed={} rejected={} batches={} mean_batch={:.1} \
+         memo_hit_rate={:.3} deadline_misses={} heap_pops={}",
+        s.queue_depth,
+        s.submitted,
+        s.completed,
+        s.rejected_queue_full + s.rejected_inflight,
+        s.batches,
+        s.mean_batch_size(),
+        s.memo_hit_rate(),
+        s.deadline_misses,
+        s.heap_pops
+    );
+    let r = &s.reactor;
+    if r.loop_iterations > 0 {
         println!(
-            "[stats] queue={} submitted={} completed={} rejected={} batches={} mean_batch={:.1} \
-             memo_hit_rate={:.3}",
-            s.queue_depth,
-            s.submitted,
-            s.completed,
-            s.rejected_queue_full + s.rejected_inflight,
-            s.batches,
-            s.mean_batch_size(),
-            s.memo_hit_rate()
+            "[reactor] accepted={} open={} refused={} loop_iters={} events_per_wake={:?}",
+            r.connections_accepted,
+            r.connections_open,
+            r.connections_refused,
+            r.loop_iterations,
+            r.events_per_wake.non_empty()
         );
     }
 }
 
-fn smoke(n: usize) {
+fn smoke(n: usize, conns: usize) {
     let server = QuoteServer::bind(
         "127.0.0.1:0",
         ServiceConfig {
@@ -73,6 +97,16 @@ fn smoke(n: usize) {
     let addr = server.local_addr();
     let book = smoke_book(n, 96);
 
+    // Park every connection beyond the 4 pipelined drivers as idle load on
+    // the reactor: the drivers below must stay unaffected, and the parked
+    // sockets must still answer when probed afterwards.
+    let idle: Vec<std::net::TcpStream> = (4..conns)
+        .map(|i| {
+            std::net::TcpStream::connect(addr)
+                .unwrap_or_else(|e| panic!("idle connection {i}: {e}"))
+        })
+        .collect();
+
     // Reference: the whole book through one direct BatchPricer call.
     let want: Vec<f64> = BatchPricer::new(EngineConfig::default())
         .price_batch(&book)
@@ -81,8 +115,8 @@ fn smoke(n: usize) {
         .collect();
 
     // Drive it over 4 concurrent pipelined TCP connections.
-    let conns = 4;
-    let chunk = book.len().div_ceil(conns);
+    let drivers = 4;
+    let chunk = book.len().div_ceil(drivers);
     let results: Vec<Vec<(usize, f64)>> = std::thread::scope(|scope| {
         book.chunks(chunk)
             .enumerate()
@@ -134,17 +168,51 @@ fn smoke(n: usize) {
         }
     }
     let unanswered = seen.iter().filter(|&&s| !s).count();
-    let stats = server.service().stats();
+
+    // Parked connections must have stayed alive under the load: probe a
+    // spread of them with a real quote each.
+    let mut parked_failures = 0usize;
+    for probe in [0usize, idle.len() / 2, idle.len().saturating_sub(1)] {
+        let Some(stream) = idle.get(probe) else { continue };
+        let mut stream = stream.try_clone().expect("clone parked conn");
+        let line = wire::encode_pricing_request(probe as u64, "price", &book[probe % book.len()]);
+        use std::io::{BufRead, Write};
+        if stream.write_all(format!("{line}\n").as_bytes()).is_err() {
+            parked_failures += 1;
+            continue;
+        }
+        let mut reply = String::new();
+        let ok = std::io::BufReader::new(stream).read_line(&mut reply).is_ok()
+            && reply.contains("\"ok\":true");
+        if !ok {
+            eprintln!("PARKED conn {probe} failed: {reply}");
+            parked_failures += 1;
+        }
+    }
+
+    let stats = server.stats();
     println!(
-        "smoke: {} requests, {} batches (mean size {:.1}), memo hit rate {:.3}, \
-         {mismatches} mismatches, {unanswered} unanswered",
+        "smoke: {} requests over {} connections, {} batches (mean size {:.1}), \
+         memo hit rate {:.3}, {mismatches} mismatches, {unanswered} unanswered, \
+         {parked_failures} parked-connection failures",
         book.len(),
+        conns.max(drivers),
         stats.batches,
         stats.mean_batch_size(),
         stats.memo_hit_rate()
     );
+    print_stats(&server);
+    let accepted_ok = stats.reactor.loop_iterations == 0
+        || stats.reactor.connections_accepted >= conns.saturating_sub(4) as u64;
+    if !accepted_ok {
+        eprintln!(
+            "reactor accepted only {} of {} connections",
+            stats.reactor.connections_accepted, conns
+        );
+    }
+    drop(idle);
     server.shutdown();
-    if mismatches > 0 || unanswered > 0 {
+    if mismatches > 0 || unanswered > 0 || parked_failures > 0 || !accepted_ok {
         std::process::exit(1);
     }
     println!("smoke OK: every wire response bitwise-equal to direct BatchPricer pricing");
@@ -153,13 +221,24 @@ fn smoke(n: usize) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("serve") => serve(args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7878")),
+        Some("serve") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7878");
+            let front_end = if args.iter().any(|a| a == "threaded") {
+                FrontEnd::Threaded
+            } else {
+                FrontEnd::Reactor
+            };
+            serve(addr, front_end);
+        }
         Some("smoke") => {
             let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(512);
-            smoke(n);
+            let conns = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4);
+            smoke(n, conns);
         }
         _ => {
-            eprintln!("usage: quote_server serve [addr] | quote_server smoke [n]");
+            eprintln!(
+                "usage: quote_server serve [addr] [threaded] | quote_server smoke [n] [conns]"
+            );
             std::process::exit(2);
         }
     }

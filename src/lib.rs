@@ -16,9 +16,11 @@
 //!   subsystem (`core::batch`: dedup + sharded memo + parallel fan-out over
 //!   heterogeneous books, batch-native greeks ladders, and lockstep
 //!   implied-vol surface inversion);
-//! * [`service`] — the batch-coalescing quote service: a bounded submission
-//!   queue with deadline/size coalescing, backpressure, and a line-JSON TCP
-//!   front end, turning independent incoming quotes into `BatchPricer`
+//! * [`service`] — the batch-coalescing quote service: a bounded
+//!   earliest-deadline-first submission queue with deadline/size coalescing,
+//!   backpressure, and a line-JSON TCP front end (single-threaded epoll
+//!   reactor by default, thread-per-connection baseline behind a config
+//!   switch), turning independent incoming quotes into `BatchPricer`
 //!   batches;
 //! * [`cachesim`] — cache-hierarchy and energy simulation (the PAPI/RAPL
 //!   substitute used to regenerate the paper's Figures 6/7/10).
@@ -75,7 +77,7 @@ pub mod prelude {
         OptionParams, OptionType, PricingError,
     };
     pub use amopt_service::{
-        QuoteServer, QuoteService, ServiceConfig, ServiceError, ServiceRequest, ServiceResponse,
-        ServiceStats, TcpQuoteClient,
+        FrontEnd, QuoteServer, QuoteService, ServiceConfig, ServiceError, ServiceRequest,
+        ServiceResponse, ServiceStats, TcpQuoteClient,
     };
 }
