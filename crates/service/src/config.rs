@@ -16,7 +16,10 @@ pub enum FrontEnd {
     Reactor,
     /// Legacy thread-per-connection front end: two OS threads per
     /// accepted socket.  Kept as the equivalence baseline and for
-    /// connection-count comparisons; byte-identical wire behaviour.
+    /// connection-count comparisons; replies are byte-identical for every
+    /// accepted request, but pipelining past the per-connection in-flight
+    /// cap is rejected with `overloaded` errors here where the reactor
+    /// backpressures instead (see [`QuoteServer`](crate::QuoteServer)).
     Threaded,
 }
 
@@ -44,7 +47,10 @@ pub struct ServiceConfig {
     /// worker lets a fresh batch coalesce while the previous one executes.
     pub workers: usize,
     /// Maximum requests a single connection / client handle may have in
-    /// flight; submits beyond it are rejected with `Overloaded`.
+    /// flight.  In-process [`Client`](crate::Client) submits (and the
+    /// threaded front end, which submits on the reader thread) reject
+    /// beyond it with `Overloaded`; the reactor front end instead stops
+    /// reading the connection at the cap and resumes as replies drain.
     pub per_conn_inflight: usize,
     /// Total memo capacity passed through to the shared `BatchPricer`
     /// (`0` disables cross-batch memoization).

@@ -14,7 +14,12 @@
 //!   replies in request order.  Reads pause (interest drops to
 //!   [`Interest::NONE`]) while the reply pipeline is at the connection's
 //!   in-flight cap; writes subscribe to `EPOLLOUT` only while a reply is
-//!   partially written.
+//!   partially written.  Lines already buffered past the cap are
+//!   re-parsed as replies drain — a deliberate divergence from the
+//!   threaded front end, which answers over-cap submissions with
+//!   `overloaded` errors; the reactor backpressures instead and never
+//!   rejects on the per-connection cap (see
+//!   [`QuoteServer`](crate::QuoteServer)).
 //! * **Peer-closed** — the peer half-closed (EOF / `EPOLLRDHUP`).  The
 //!   connection stays registered until every accepted request has been
 //!   answered and flushed, then closes.
@@ -325,7 +330,12 @@ impl Reactor {
             let slot = self.free.pop().unwrap_or(self.conns.len());
             let token = slot as u64 + TOKEN_CONN_BASE;
             if self.ep.add(stream.as_raw_fd(), Interest::READ, token).is_err() {
-                self.free.push(slot);
+                // Return the slot only if it came from the free list: a
+                // fresh slot has no `conns` entry, and pushing it onto
+                // `free` would undercount open connections forever.
+                if slot < self.conns.len() {
+                    self.free.push(slot);
+                }
                 continue;
             }
             let conn = Conn {
@@ -446,8 +456,26 @@ fn pump(
         return Verdict::Close;
     }
     let _ = writable; // level-triggered: the write pump always tries
-    if pump_write(conn) == Verdict::Close {
-        return Verdict::Close;
+    loop {
+        if pump_write(conn) == Verdict::Close {
+            return Verdict::Close;
+        }
+        // Draining replies frees pipeline slots while complete lines may
+        // still sit in `rbuf` — parsing stops at the in-flight cap, and
+        // those bytes have already left the kernel buffer, so no EPOLLIN
+        // will ever re-announce them (ready-list pumps arrive with
+        // `readable == false`).  Re-parse until the cap re-binds or the
+        // buffer holds no complete line, writing as replies become ready.
+        // This also runs under `peer_eof`, so requests fully received
+        // before a half-close are answered instead of silently dropped.
+        if conn.rejected {
+            break;
+        }
+        let before = conn.pending.len();
+        parse_lines(conn, service, shared, inflight_cap);
+        if conn.pending.len() == before {
+            break;
+        }
     }
     let flushed = conn.pending.is_empty() && conn.wpos >= conn.wbuf.len();
     if flushed {

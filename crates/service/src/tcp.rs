@@ -3,8 +3,10 @@
 //! order.
 //!
 //! Two interchangeable front ends serve the protocol, selected by
-//! [`ServiceConfig::front_end`](crate::ServiceConfig::front_end) and
-//! byte-identical on the wire:
+//! [`ServiceConfig::front_end`](crate::ServiceConfig::front_end).  Every
+//! request the service accepts is answered with byte-identical reply
+//! lines on either; they diverge only in how a connection that pipelines
+//! past its in-flight cap is paced (see below):
 //!
 //! * [`FrontEnd::Reactor`] (default) — a single-threaded epoll event loop
 //!   (see [`reactor`](crate::reactor)) multiplexing every connection
@@ -18,9 +20,14 @@
 //!   that stops reading its responses eventually stalls its own reader —
 //!   TCP backpressure.  Kept as the equivalence baseline.
 //!
-//! In both, rejected submissions (queue full, in-flight cap) are answered
-//! immediately with `"kind":"overloaded"` error lines and never occupy
-//! queue space.
+//! In both, submissions rejected because the shared queue is full are
+//! answered immediately with `"kind":"overloaded"` error lines and never
+//! occupy queue space.  The per-connection in-flight cap is where the
+//! front ends intentionally differ: the threaded reader has already
+//! pulled the over-cap line off the socket, so it answers it with an
+//! `overloaded` error too; the reactor stops reading at the cap and lets
+//! TCP backpressure pace the client, so over-cap pipelining is delayed —
+//! every line is eventually answered — and never rejected on that cap.
 
 use crate::config::FrontEnd;
 use crate::queue::{Client, QuoteService, Ticket};
@@ -72,8 +79,13 @@ impl QuoteServer {
     /// Starts a [`QuoteService`] with `cfg` and listens on `addr`
     /// (`127.0.0.1:0` picks a free port; see [`local_addr`]).
     ///
-    /// `cfg.front_end` selects the serving strategy; the wire protocol and
-    /// reply bytes are identical either way.
+    /// `cfg.front_end` selects the serving strategy.  The wire protocol is
+    /// the same and every accepted request gets byte-identical reply lines
+    /// either way; the front ends differ only when a connection pipelines
+    /// past [`per_conn_inflight`](ServiceConfig::per_conn_inflight) —
+    /// [`FrontEnd::Threaded`] rejects the excess with `overloaded` error
+    /// lines, [`FrontEnd::Reactor`] pauses reads and answers everything
+    /// once replies drain.
     ///
     /// [`local_addr`]: QuoteServer::local_addr
     pub fn bind(addr: impl ToSocketAddrs, cfg: ServiceConfig) -> io::Result<Self> {

@@ -152,6 +152,67 @@ fn half_close_still_flushes_pending_replies() {
 }
 
 #[test]
+fn pipelining_past_the_inflight_cap_backpressures_and_answers_everything() {
+    // One burst delivers far more requests than `per_conn_inflight`: the
+    // reactor parses up to the cap and leaves the rest buffered in user
+    // space, where no further EPOLLIN will ever announce them — answering
+    // the tail requires re-parsing as replies drain.  The threaded front
+    // end would reject these with `overloaded` errors; the reactor must
+    // instead answer every line, in order.
+    let server = QuoteServer::bind(
+        "127.0.0.1:0",
+        ServiceConfig { per_conn_inflight: 4, ..config(FrontEnd::Reactor) },
+    )
+    .expect("bind");
+    let n = 32u64;
+    let mut burst = String::new();
+    for i in 0..n {
+        burst.push_str(&wire::encode_pricing_request(
+            i,
+            "price",
+            &contract(90.0 + i as f64, OptionType::Call, 32),
+        ));
+        burst.push('\n');
+    }
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    raw.set_nodelay(true).ok();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    raw.write_all(burst.as_bytes()).expect("burst write");
+    raw.flush().ok();
+    let mut reader = BufReader::new(&raw);
+    for i in 0..n {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap_or_else(|e| panic!("reply {i} never arrived: {e}"));
+        let doc = parse(line.trim()).expect("reply parses");
+        assert_eq!(doc.get("id").and_then(JsonValue::as_f64), Some(i as f64), "{line}");
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)), "{line}");
+    }
+
+    // Same burst with an immediate half-close: everything received before
+    // the EOF must still be answered before the server closes its side —
+    // the flushed-and-eof path must not drop requests still in the buffer.
+    let mut raw = TcpStream::connect(server.local_addr()).expect("connect");
+    raw.set_nodelay(true).ok();
+    raw.set_read_timeout(Some(Duration::from_secs(30))).ok();
+    raw.write_all(burst.as_bytes()).expect("burst write");
+    raw.flush().ok();
+    raw.shutdown(std::net::Shutdown::Write).expect("half-close");
+    let mut reader = BufReader::new(&raw);
+    let mut got = 0u64;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).expect("read reply") == 0 {
+            break;
+        }
+        let doc = parse(line.trim()).expect("reply parses");
+        assert_eq!(doc.get("id").and_then(JsonValue::as_f64), Some(got as f64), "{line}");
+        got += 1;
+    }
+    assert_eq!(got, n, "half-closed over-cap burst lost replies");
+    server.shutdown();
+}
+
+#[test]
 fn reactor_holds_a_thousand_mostly_idle_connections() {
     let server = QuoteServer::bind("127.0.0.1:0", config(FrontEnd::Reactor)).expect("bind");
     let mut idle = Vec::with_capacity(1024);
@@ -207,12 +268,27 @@ fn connection_cap_refuses_politely_and_frees_slots() {
     let mut buf = [0u8; 1];
     let n = (&over).read(&mut buf).expect("read on refused conn");
     assert_eq!(n, 0, "over-cap connection must see EOF");
-    // Dropping one held connection frees a slot for a working client.
+    // Dropping the held connections frees slots for a working client —
+    // once the reactor processes their EOFs, which races this reconnect:
+    // until then a fresh connection is still (correctly) refused, so retry.
     drop(held);
-    let mut client = TcpQuoteClient::connect(server.local_addr()).expect("reconnect");
-    let reply = client
-        .roundtrip(&wire::encode_pricing_request(1, "price", &contract(99.0, OptionType::Call, 32)))
-        .expect("roundtrip");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let reply = loop {
+        let attempt = TcpQuoteClient::connect(server.local_addr()).and_then(|mut client| {
+            client.roundtrip(&wire::encode_pricing_request(
+                1,
+                "price",
+                &contract(99.0, OptionType::Call, 32),
+            ))
+        });
+        match attempt {
+            Ok(reply) => break reply,
+            Err(e) => {
+                assert!(std::time::Instant::now() < deadline, "slots never freed: {e}");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    };
     assert!(reply.contains("\"ok\":true"), "{reply}");
     assert!(server.stats().reactor.connections_refused >= 1);
     server.shutdown();
