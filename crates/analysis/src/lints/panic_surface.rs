@@ -8,6 +8,9 @@
 //! * `panic!` / `unreachable!` / `todo!` / `unimplemented!`
 //! * slice/array index expressions `x[i]` (use `.get(…)` or carry an allow
 //!   marker whose reason names the bounds guarantee)
+//! * `catch_unwind(…)` — swallowing panics anywhere but the one designated
+//!   worker-pool batch boundary hides real bugs and risks poisoned state;
+//!   the boundary carries an allow marker whose reason names it
 //!
 //! Lock-poison handling goes through the documented
 //! `sync::lock_unpoisoned` helper rather than per-site `.unwrap()`.
@@ -49,6 +52,16 @@ pub fn panic_surface(file: &SourceFile, findings: &mut Vec<Finding>) {
                         file,
                         t.start,
                         format!("`{name}!` in service code panics the worker; return an error"),
+                    ));
+                } else if name == "catch_unwind" && next == Some("(") {
+                    findings.push(Finding::at(
+                        "panic-surface",
+                        file,
+                        t.start,
+                        "`catch_unwind` is reserved for the designated worker-pool batch \
+                         boundary; annotate that one site (reason naming the boundary) or \
+                         let the panic propagate"
+                            .to_string(),
                     ));
                 }
             }
@@ -124,6 +137,20 @@ fn f(v: Vec<i32>, m: std::collections::HashMap<i32, i32>) -> i32 {
 ";
         let lints: Vec<&str> = run(src).iter().map(|f| f.lint).collect();
         assert_eq!(lints.len(), 5, "{:?}", run(src));
+    }
+
+    #[test]
+    fn catch_unwind_outside_the_designated_boundary_is_flagged() {
+        let src = "\
+fn f() {
+    let _ = std::panic::catch_unwind(|| risky());
+}
+use std::panic::{catch_unwind, AssertUnwindSafe};
+";
+        let findings = run(src);
+        // The call is flagged; the `use` item (no following `(`) is not.
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert!(findings[0].message.contains("worker-pool batch"), "{findings:?}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ fn hot_path_alloc_fixture_pair() {
 #[test]
 fn panic_surface_fixture_pair() {
     let bad = run_fixture("panic_surface_violations.rs", &["panic-surface"]);
-    assert_all_lint(&bad, "panic-surface", 5, "panic_surface_violations");
+    assert_all_lint(&bad, "panic-surface", 6, "panic_surface_violations");
     let clean = run_fixture("panic_surface_clean.rs", &["panic-surface"]);
     assert!(clean.findings.is_empty(), "{:#?}", clean.findings);
     assert!(clean.unused_allows.is_empty(), "{:#?}", clean.unused_allows);

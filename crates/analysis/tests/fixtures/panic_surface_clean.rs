@@ -9,6 +9,11 @@ pub fn f(v: Vec<i32>) -> i32 {
     a + b + c
 }
 
+pub fn worker_boundary(v: Vec<i32>) -> i32 {
+    // amopt-lint: allow(panic-surface) -- designated worker-pool unwind boundary: panics isolate to one batch
+    std::panic::catch_unwind(|| v.iter().sum()).unwrap_or_default()
+}
+
 #[cfg(test)]
 mod tests {
     #[test]

@@ -1,5 +1,5 @@
 //! Fixture: the reachable-panic idioms banned from service code.
-//! Expected: 5 `panic-surface` findings.
+//! Expected: 6 `panic-surface` findings.
 
 pub fn f(v: Vec<i32>, m: std::collections::HashMap<i32, i32>) -> i32 {
     let a = v.first().unwrap();
@@ -12,4 +12,10 @@ pub fn f(v: Vec<i32>, m: std::collections::HashMap<i32, i32>) -> i32 {
         _ => {}
     }
     v[0] + *b
+}
+
+pub fn swallows_panics(v: Vec<i32>) -> i32 {
+    // Unmarked `catch_unwind`: only the designated worker-pool batch
+    // boundary may swallow panics.
+    std::panic::catch_unwind(|| f(v, Default::default())).unwrap_or(0)
 }

@@ -1,7 +1,9 @@
 //! Service tuning knobs.
 
+use crate::fault::FaultPlan;
 use amopt_core::batch::{DEFAULT_MEMO_CAPACITY, DEFAULT_MEMO_SHARDS};
 use amopt_core::EngineConfig;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which TCP front end [`QuoteServer::bind`](crate::QuoteServer::bind)
@@ -63,6 +65,58 @@ pub struct ServiceConfig {
     /// are closed immediately.  The threaded front end ignores this (its
     /// cap is whatever the OS lets it spawn).
     pub max_connections: usize,
+    /// Brownout shedding thresholds (see [`DegradationPolicy`]).
+    pub degradation: DegradationPolicy,
+    /// Retries the in-process retry budget starts with (and is capped at).
+    /// Each retry spends one token; every clean first-attempt success
+    /// earns a tenth back, so sustained failure cannot amplify load by
+    /// more than the budget (see
+    /// [`Client::call_with_retry`](crate::Client::call_with_retry)).
+    pub retry_budget: usize,
+    /// Deterministic fault-injection plan threaded through every layer
+    /// (`None`, the default, injects nothing and costs nothing on the hot
+    /// path beyond one pointer test).
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
+/// Brownout degradation tiers: queue-fill fractions past which each
+/// request class is shed with
+/// [`ServiceError::Overloaded`](crate::ServiceError::Overloaded) instead
+/// of queued.
+///
+/// The class ordering encodes the service's priorities under pressure:
+/// implied-vol surface inversions (the most expensive per request) shed
+/// first, greeks ladders second, plain price quotes last — and
+/// deadline-tagged submissions skip brownout entirely, consistent with
+/// the EDF scheduler preferring them.  A fraction `>= 1.0` disables that
+/// tier (only a full queue rejects).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Queue-fill fraction past which untagged implied-vol quotes shed.
+    pub shed_implied_vol_at: f64,
+    /// Queue-fill fraction past which untagged greeks ladders shed.
+    pub shed_greeks_at: f64,
+    /// Queue-fill fraction past which untagged price quotes shed.
+    pub shed_price_at: f64,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy { shed_implied_vol_at: 0.50, shed_greeks_at: 0.75, shed_price_at: 0.95 }
+    }
+}
+
+impl DegradationPolicy {
+    /// A policy that never sheds by class (every tier disabled).
+    pub fn off() -> Self {
+        DegradationPolicy { shed_implied_vol_at: 1.0, shed_greeks_at: 1.0, shed_price_at: 1.0 }
+    }
+
+    /// Whether a class at fill fraction `threshold` sheds when the queue
+    /// holds `fill` of `depth` entries.
+    pub(crate) fn sheds(threshold: f64, fill: usize, depth: usize) -> bool {
+        threshold < 1.0 && (fill as f64) >= threshold * (depth as f64)
+    }
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +132,9 @@ impl Default for ServiceConfig {
             memo_shards: DEFAULT_MEMO_SHARDS,
             front_end: FrontEnd::default(),
             max_connections: 10_000,
+            degradation: DegradationPolicy::default(),
+            retry_budget: 128,
+            fault: None,
         }
     }
 }

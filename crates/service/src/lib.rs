@@ -60,7 +60,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 mod config;
+pub mod fault;
 mod queue;
 pub mod reactor;
 pub mod sync;
@@ -68,11 +70,14 @@ mod tcp;
 mod types;
 pub mod wire;
 
-pub use config::{FrontEnd, ServiceConfig};
-pub use queue::{Client, QuoteService, Ticket};
+pub use chaos::{soak, ChaosConfig, ChaosReport};
+pub use config::{DegradationPolicy, FrontEnd, ServiceConfig};
+pub use fault::{FaultPlan, FaultSchedule, FaultSite, FaultStats};
+pub use queue::{Client, QuoteService, RetryPolicy, Ticket};
 pub use tcp::{QuoteServer, TcpQuoteClient};
 pub use types::{
     BatchHistogram, ReactorStats, ServiceError, ServiceRequest, ServiceResponse, ServiceStats,
+    ShedByClass,
 };
 
 /// Result alias for service submissions.

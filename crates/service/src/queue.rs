@@ -42,14 +42,18 @@
 //! workers drain the remaining queue — answering every accepted request —
 //! before exiting.
 
-use crate::config::ServiceConfig;
+use crate::config::{DegradationPolicy, ServiceConfig};
+use crate::fault::FaultSite;
 use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
-use crate::types::{BatchHistogram, ServiceError, ServiceRequest, ServiceResponse, ServiceStats};
+use crate::types::{
+    BatchHistogram, ServiceError, ServiceRequest, ServiceResponse, ServiceStats, ShedByClass,
+};
 use crate::ServiceResult;
 use amopt_core::batch::surface::{implied_vol_surface, VolQuote};
 use amopt_core::batch::{greeks as batch_greeks, BatchPricer, PricingRequest};
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -185,6 +189,24 @@ struct Counters {
     /// the fair-share cap sets entries aside).
     heap_pops: AtomicU64,
     batch_hist: [AtomicU64; crate::types::BATCH_HIST_BUCKETS],
+    /// Workers that panicked out of the loop and were respawned.
+    worker_restarts: AtomicU64,
+    /// Workers currently alive (incremented before spawn, decremented by
+    /// the watchdog guard as the thread dies).
+    workers_alive: AtomicU64,
+    /// Retries performed by [`Client::call_with_retry`].
+    retries: AtomicU64,
+    /// Retries refused because the budget ran dry.
+    retry_budget_exhausted: AtomicU64,
+    /// Retry-budget token bucket, in *tenths* of a retry: a retry spends
+    /// 10, a clean first-attempt success earns 1 back (capped at the
+    /// configured budget), so retry traffic is bounded at the budget plus
+    /// ~10% of successful throughput.
+    retry_tokens: AtomicU64,
+    /// Brownout sheds per class: price, greeks, implied-vol.
+    shed_price: AtomicU64,
+    shed_greeks: AtomicU64,
+    shed_implied_vol: AtomicU64,
 }
 
 #[derive(Debug)]
@@ -197,6 +219,29 @@ struct Shared {
     counters: Counters,
     /// Client-handle id allocator (fair-share key).
     next_client: AtomicU64,
+    /// Worker thread handles.  Lives in `Shared` (not `QuoteService`) so
+    /// the watchdog guard of a dying worker can register its replacement's
+    /// handle for shutdown to join.
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Shared {
+    /// Spends one retry token (10 tenths); `false` when the bucket is dry.
+    fn spend_retry_token(&self) -> bool {
+        self.counters
+            .retry_tokens
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| t.checked_sub(10))
+            .is_ok()
+    }
+
+    /// Earns a tenth of a retry token, capped at the configured budget.
+    fn earn_retry_tenth(&self) {
+        let cap = self.cfg.retry_budget as u64 * 10;
+        let _ = self
+            .counters
+            .retry_tokens
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| (t < cap).then_some(t + 1));
+    }
 }
 
 /// The batch-coalescing quote service.  Start one with
@@ -205,7 +250,68 @@ struct Shared {
 #[derive(Debug)]
 pub struct QuoteService {
     shared: Arc<Shared>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Spawns worker `index`, registering its handle for shutdown to join.
+/// `workers_alive` is incremented *before* the spawn so a stats read right
+/// after `start`/respawn already counts the worker.
+fn spawn_worker(shared: &Arc<Shared>, index: usize) -> std::io::Result<()> {
+    shared.counters.workers_alive.fetch_add(1, Ordering::Relaxed);
+    let worker_shared = Arc::clone(shared);
+    let spawned = std::thread::Builder::new().name(format!("amopt-service-worker-{index}")).spawn(
+        move || {
+            let _watchdog = WorkerGuard { shared: Arc::clone(&worker_shared), index };
+            worker_loop(&worker_shared)
+        },
+    );
+    match spawned {
+        Ok(handle) => {
+            lock_unpoisoned(&shared.workers).push(handle);
+            Ok(())
+        }
+        Err(e) => {
+            shared.counters.workers_alive.fetch_sub(1, Ordering::Relaxed);
+            Err(e)
+        }
+    }
+}
+
+/// The self-healing watchdog: dropped as a worker thread exits.  A normal
+/// exit (shutdown drain finished) just decrements the live count; an exit
+/// by panic respawns a replacement — unless the service is shutting down
+/// with nothing left to drain — and counts a restart.  The queue itself is
+/// untouched by the death: entries the worker had *drained* were already
+/// answered through the executor's panic isolation, and entries still
+/// queued are picked up by the replacement.
+struct WorkerGuard {
+    shared: Arc<Shared>,
+    index: usize,
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        self.shared.counters.workers_alive.fetch_sub(1, Ordering::Relaxed);
+        if !std::thread::panicking() {
+            return;
+        }
+        let respawn = {
+            let state = lock_unpoisoned(&self.shared.state);
+            !state.shutdown || !state.heap.is_empty()
+        };
+        if !respawn {
+            return;
+        }
+        if spawn_worker(&self.shared, self.index).is_ok() {
+            self.shared.counters.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Takes the current worker handles (a helper so no lock guard outlives
+/// the take — the caller joins outside any lock).
+fn take_worker_handles(shared: &Shared) -> Vec<std::thread::JoinHandle<()>> {
+    let mut workers = lock_unpoisoned(&shared.workers);
+    std::mem::take(&mut *workers)
 }
 
 impl QuoteService {
@@ -223,26 +329,21 @@ impl QuoteService {
             work: Condvar::new(),
             counters: Counters::default(),
             next_client: AtomicU64::new(0),
+            workers: Mutex::new(Vec::new()),
         });
-        let mut workers = Vec::with_capacity(shared.cfg.workers);
+        // Fill the retry-budget token bucket (tenths of a retry).
+        shared.counters.retry_tokens.store(shared.cfg.retry_budget as u64 * 10, Ordering::Relaxed);
         for i in 0..shared.cfg.workers {
-            let worker_shared = Arc::clone(&shared);
-            let spawned = std::thread::Builder::new()
-                .name(format!("amopt-service-worker-{i}"))
-                .spawn(move || worker_loop(&worker_shared));
-            match spawned {
-                Ok(handle) => workers.push(handle),
-                Err(e) => {
-                    lock_unpoisoned(&shared.state).shutdown = true;
-                    shared.work.notify_all();
-                    for handle in workers {
-                        let _ = handle.join();
-                    }
-                    return Err(e);
+            if let Err(e) = spawn_worker(&shared, i) {
+                lock_unpoisoned(&shared.state).shutdown = true;
+                shared.work.notify_all();
+                for handle in take_worker_handles(&shared) {
+                    let _ = handle.join();
                 }
+                return Err(e);
             }
         }
-        Ok(QuoteService { shared, workers: Mutex::new(workers) })
+        Ok(QuoteService { shared })
     }
 
     /// A new client handle with its own in-flight budget
@@ -283,6 +384,15 @@ impl QuoteService {
             heap_pops: c.heap_pops.load(Ordering::Relaxed),
             batch_sizes: hist,
             memo: self.shared.pricer.memo_stats(),
+            worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
+            workers_alive: c.workers_alive.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            retry_budget_exhausted: c.retry_budget_exhausted.load(Ordering::Relaxed),
+            shed_by_class: ShedByClass {
+                price: c.shed_price.load(Ordering::Relaxed),
+                greeks: c.shed_greeks.load(Ordering::Relaxed),
+                implied_vol: c.shed_implied_vol.load(Ordering::Relaxed),
+            },
             reactor: Default::default(),
         }
     }
@@ -295,12 +405,21 @@ impl QuoteService {
             state.shutdown = true;
         }
         self.shared.work.notify_all();
-        // Take the handles under the lock, join outside it: joining with
-        // `workers` held would block every concurrent `shutdown` caller on
-        // this mutex for the full drain instead of on the join itself.
-        let drained: Vec<_> = std::mem::take(&mut *lock_unpoisoned(&self.workers));
-        for handle in drained {
-            let _ = handle.join();
+        // Take the handles, join outside the lock: joining with `workers`
+        // held would block every concurrent `shutdown` caller on this
+        // mutex for the full drain instead of on the join itself.  Loop
+        // until the list stays empty: a worker dying mid-drain registers
+        // its watchdog replacement's handle concurrently, and `join` on
+        // the dying thread returns only after that registration, so the
+        // next take observes it.
+        loop {
+            let drained = take_worker_handles(&self.shared);
+            if drained.is_empty() {
+                return;
+            }
+            for handle in drained {
+                let _ = handle.join();
+            }
         }
     }
 }
@@ -361,7 +480,23 @@ impl Client {
         }
         let permit = InflightPermit(Arc::clone(&self.inflight));
         let slot = Slot::new();
-        let deadline = Instant::now() + budget.unwrap_or(shared.cfg.max_wait);
+        let mut deadline = Instant::now() + budget.unwrap_or(shared.cfg.max_wait);
+        if let Some(plan) = &shared.cfg.fault {
+            // Injected clock skew: perturb the deadline arithmetic by a
+            // bounded, deterministic offset.  EDF ordering degrades
+            // gracefully (entries drain slightly out of ideal order and
+            // explicit budgets may count a miss); correctness — exactly one
+            // reply per accepted request — never depends on the deadline.
+            if let Some(skew_ms) = plan.clock_skew_ms() {
+                deadline = if skew_ms >= 0 {
+                    deadline + Duration::from_millis(skew_ms as u64)
+                } else {
+                    deadline
+                        .checked_sub(Duration::from_millis(skew_ms.unsigned_abs()))
+                        .unwrap_or(deadline)
+                };
+            }
+        }
         {
             let mut state = lock_unpoisoned(&shared.state);
             if state.shutdown {
@@ -373,6 +508,48 @@ impl Client {
                 drop(state);
                 shared.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
                 return Err(ServiceError::Overloaded { what: "submission queue full" });
+            }
+            // Brownout tiers: under sustained queue pressure, shed untagged
+            // work by class — implied-vol inversions first, greeks ladders
+            // second, plain quotes last.  Deadline-tagged submissions skip
+            // brownout entirely (the EDF scheduler exists to serve them);
+            // only a full queue rejects those.
+            if budget.is_none() {
+                let fill = state.heap.len();
+                let depth = shared.cfg.queue_depth;
+                let policy = &shared.cfg.degradation;
+                let shed = match &request {
+                    ServiceRequest::ImpliedVol(_)
+                        if DegradationPolicy::sheds(policy.shed_implied_vol_at, fill, depth) =>
+                    {
+                        Some((
+                            &shared.counters.shed_implied_vol,
+                            "brownout: implied-vol inversions shed under queue pressure",
+                        ))
+                    }
+                    ServiceRequest::Greeks(_)
+                        if DegradationPolicy::sheds(policy.shed_greeks_at, fill, depth) =>
+                    {
+                        Some((
+                            &shared.counters.shed_greeks,
+                            "brownout: greeks ladders shed under queue pressure",
+                        ))
+                    }
+                    ServiceRequest::Price(_)
+                        if DegradationPolicy::sheds(policy.shed_price_at, fill, depth) =>
+                    {
+                        Some((
+                            &shared.counters.shed_price,
+                            "brownout: untagged quotes shed under queue pressure",
+                        ))
+                    }
+                    _ => None,
+                };
+                if let Some((counter, what)) = shed {
+                    drop(state);
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    return Err(ServiceError::Overloaded { what });
+                }
             }
             let seq = state.next_seq;
             state.next_seq += 1;
@@ -397,6 +574,49 @@ impl Client {
     /// Submits a request and blocks for its response.
     pub fn call(&self, request: ServiceRequest) -> ServiceResult {
         self.submit(request)?.wait()
+    }
+
+    /// [`call`](Client::call) with jittered-exponential-backoff retries on
+    /// [`ServiceError::Overloaded`] — the one in-process outcome that is
+    /// idempotent-safe to retry, because a rejected request was never
+    /// enqueued.  Everything else (success, pricing errors, shutdown,
+    /// internal errors) returns immediately: those requests *executed*, so
+    /// resubmitting would double-run them.
+    ///
+    /// Retries draw on a service-wide budget
+    /// ([`retry_budget`](crate::ServiceConfig::retry_budget)): each retry
+    /// spends a token and each clean first-attempt success earns a tenth
+    /// back, so a persistent overload cannot amplify traffic by more than
+    /// the budget plus ~10% of goodput.  When the budget is dry the
+    /// original `Overloaded` error surfaces unchanged and
+    /// `retry_budget_exhausted` counts it.  Backoff jitter is
+    /// deterministic per (client handle, attempt): no global RNG.
+    pub fn call_with_retry(&self, request: ServiceRequest, policy: &RetryPolicy) -> ServiceResult {
+        let attempts = policy.max_attempts.max(1);
+        for attempt in 1..=attempts {
+            let first_attempt = attempt == 1;
+            match self.call(request.clone()) {
+                Err(ServiceError::Overloaded { what }) => {
+                    if attempt == attempts {
+                        return Err(ServiceError::Overloaded { what });
+                    }
+                    if !self.shared.spend_retry_token() {
+                        self.shared.counters.retry_budget_exhausted.fetch_add(1, Ordering::Relaxed);
+                        return Err(ServiceError::Overloaded { what });
+                    }
+                    self.shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(policy.backoff(self.id, attempt));
+                }
+                result => {
+                    if first_attempt && result.is_ok() {
+                        self.shared.earn_retry_tenth();
+                    }
+                    return result;
+                }
+            }
+        }
+        // Unreachable: the final attempt returned above.
+        Err(ServiceError::Internal { what: "retry loop exhausted without a result" })
     }
 
     /// Prices one contract through the service.
@@ -431,6 +651,41 @@ impl Client {
     /// Requests currently in flight on this handle.
     pub fn in_flight(&self) -> usize {
         self.inflight.load(Ordering::Acquire)
+    }
+}
+
+/// Backoff shape for [`Client::call_with_retry`]: exponential from
+/// `base_backoff`, capped at `max_backoff`, scaled by a deterministic
+/// jitter in `[0.5, 1.0)` derived from the client handle and attempt
+/// number (no global RNG, so a replay retries at identical instants).
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (min 1).
+    pub max_attempts: usize,
+    /// Backoff before the second attempt.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before attempt `attempt + 1` for client handle `id`.
+    pub(crate) fn backoff(&self, id: u64, attempt: usize) -> Duration {
+        let doublings = u32::try_from(attempt.saturating_sub(1)).unwrap_or(16).min(16);
+        let exp = self.base_backoff.saturating_mul(1u32 << doublings).min(self.max_backoff);
+        let jitter =
+            crate::fault::splitmix64(id.wrapping_mul(0x9e37_79b9).wrapping_add(attempt as u64));
+        exp.mul_f64(0.5 + (jitter & 1023) as f64 / 2048.0)
     }
 }
 
@@ -481,6 +736,15 @@ impl Ticket {
 /// repeat — until shutdown *and* an empty queue.
 fn worker_loop(shared: &Shared) {
     loop {
+        if let Some(plan) = &shared.cfg.fault {
+            // Injected worker death, at the one safe point: between
+            // batches, with nothing drained, so no accepted request is
+            // held by the dying thread.  The watchdog guard respawns.
+            if plan.fires(FaultSite::WorkerDeath) {
+                // amopt-lint: allow(panic-surface) -- injected fault: the watchdog guard turns this panic into a respawn, which is the machinery under test
+                panic!("amopt-fault: injected worker death");
+            }
+        }
         let batch = {
             let mut state = lock_unpoisoned(&shared.state);
             // Phase 1: wait for work (or exit once shut down and drained).
@@ -577,6 +841,53 @@ fn drain_edf(state: &mut QueueState, cfg: &ServiceConfig, counters: &Counters) -
     batch
 }
 
+/// A request group's batch-native driver: slice of requests in, one result
+/// per request out.
+type BatchDriver<'a, R, T> = dyn Fn(&[R]) -> Vec<Result<T, amopt_core::PricingError>> + 'a;
+
+/// Runs one request group through its batch driver inside the designated
+/// `catch_unwind` boundary.  The fast path runs the whole group at once;
+/// if the group panics (a real bug, or an injected [`FaultSite::WorkerPanic`]
+/// flagged in `injected`), it falls back to per-request isolation: each
+/// request re-runs alone under its own shield, so a panicking request
+/// resolves to [`ServiceError::Internal`] for *that request only* and the
+/// rest of the group still answers.  Injected panics fire *before* the
+/// driver call, so the shared memo is never entered by a doomed request.
+fn run_shielded<R, T>(
+    injected: &[bool],
+    reqs: &[R],
+    run: &BatchDriver<'_, R, T>,
+) -> Vec<Result<T, ServiceError>> {
+    let clean = !injected.iter().any(|&b| b);
+    if clean {
+        // amopt-lint: allow(panic-surface) -- designated worker-pool unwind boundary: a driver panic is isolated per request below instead of killing the worker mid-batch
+        let shielded = catch_unwind(AssertUnwindSafe(|| run(reqs)));
+        if let Ok(results) = shielded {
+            return results.into_iter().map(|r| r.map_err(ServiceError::from)).collect();
+        }
+    }
+    reqs.iter()
+        .zip(injected.iter().chain(std::iter::repeat(&false)))
+        .map(|(req, &boom)| {
+            // amopt-lint: allow(panic-surface) -- designated worker-pool unwind boundary: per-request isolation shield
+            let one = catch_unwind(AssertUnwindSafe(|| {
+                if boom {
+                    // amopt-lint: allow(panic-surface) -- injected fault: this panic exists to prove the shield holds
+                    panic!("amopt-fault: injected worker panic");
+                }
+                run(std::slice::from_ref(req)).pop()
+            }));
+            match one {
+                Ok(Some(result)) => result.map_err(ServiceError::from),
+                Ok(None) => Err(ServiceError::Internal { what: "batch driver returned no result" }),
+                Err(_) => {
+                    Err(ServiceError::Internal { what: "worker panicked pricing this request" })
+                }
+            }
+        })
+        .collect()
+}
+
 /// Executes one drained batch: group by request kind, run each group
 /// through its batch-native driver over the shared pricer, scatter results
 /// into the slots.
@@ -584,6 +895,22 @@ fn execute(shared: &Shared, batch: Vec<Pending>) {
     // amopt-lint: hot-path
     // amopt-lint: allow-scope(hot-path-alloc) -- per-batch grouping/scatter buffers are O(batch); request payloads are cloned exactly once into the driver slices
     let c = &shared.counters;
+    let plan = shared.cfg.fault.as_deref();
+    if let Some(plan) = plan {
+        if let Some(stall) = plan.stall() {
+            // Injected stall: the worker sits on its drained batch.  Other
+            // workers keep draining; nothing is lost, latency suffers.
+            std::thread::sleep(stall);
+        }
+        if plan.fires(FaultSite::LostReply) {
+            // The deliberately *unhandled* class: drop the drained entries
+            // without filling their slots.  `submitted` permanently exceeds
+            // `completed` and the chaos gate must fail — CI's proof that the
+            // gate can catch a broken service.  Rate is zero in every
+            // handled schedule.
+            return;
+        }
+    }
     c.batches.fetch_add(1, Ordering::Relaxed);
     if let Some(bucket) = c.batch_hist.get(BatchHistogram::bucket_of(batch.len())) {
         bucket.fetch_add(1, Ordering::Relaxed);
@@ -641,22 +968,35 @@ fn execute(shared: &Shared, batch: Vec<Pending>) {
         slot.fill(result);
     };
 
+    // Injected panic decisions, consulted once per price request (the
+    // tentpole injects inside `price_batch` execution; other groups take
+    // the isolation path only on a real driver panic).  Price batch-of-one
+    // results are pinned bitwise-identical to in-batch results, so the
+    // isolation fallback never perturbs delivered prices.
+    let price_inject: Vec<bool> = match plan {
+        Some(plan) => price_reqs.iter().map(|_| plan.fires(FaultSite::WorkerPanic)).collect(),
+        None => Vec::new(),
+    };
+
     if !price_reqs.is_empty() {
-        let results = shared.pricer.price_batch(&price_reqs);
+        let results =
+            run_shielded(&price_inject, &price_reqs, &|reqs| shared.pricer.price_batch(reqs));
         for (&i, result) in prices.iter().zip(results) {
-            complete(i, result.map(ServiceResponse::Price).map_err(ServiceError::from));
+            complete(i, result.map(ServiceResponse::Price));
         }
     }
     if !greek_reqs.is_empty() {
-        let results = batch_greeks::greeks(&shared.pricer, &greek_reqs);
+        let results =
+            run_shielded(&[], &greek_reqs, &|reqs| batch_greeks::greeks(&shared.pricer, reqs));
         for (&i, result) in greeks.iter().zip(results) {
-            complete(i, result.map(ServiceResponse::Greeks).map_err(ServiceError::from));
+            complete(i, result.map(ServiceResponse::Greeks));
         }
     }
     if !vol_quotes.is_empty() {
-        let results = implied_vol_surface(&shared.pricer, &vol_quotes);
+        let results =
+            run_shielded(&[], &vol_quotes, &|quotes| implied_vol_surface(&shared.pricer, quotes));
         for (&i, result) in vols.iter().zip(results) {
-            complete(i, result.map(ServiceResponse::ImpliedVol).map_err(ServiceError::from));
+            complete(i, result.map(ServiceResponse::ImpliedVol));
         }
     }
 }
@@ -1152,6 +1492,217 @@ mod tests {
             want.sort_by_key(|&i| (budgets[i], i));
             assert_eq!(order, want, "round {round}: budgets {budgets:?}");
             service.shutdown();
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_to_its_request_and_the_worker_survives() {
+        use crate::fault::{FaultPlan, FaultSchedule, FaultSite};
+        // Every price request panics mid-batch; greeks in the same service
+        // must still answer, the panicking requests must each get their own
+        // Internal error, and no worker may die (the shield catches the
+        // unwind before it reaches the watchdog).
+        let plan = FaultPlan::new(1, FaultSchedule::off().with_rate(FaultSite::WorkerPanic, 1024));
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            workers: 2,
+            fault: Some(plan),
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let client = service.client();
+        for i in 0..6 {
+            let got = client.price(price_req(100.0 + i as f64, 32));
+            assert!(
+                matches!(got, Err(ServiceError::Internal { .. })),
+                "injected panic must answer as Internal, got {got:?}"
+            );
+        }
+        let g = client.greeks(price_req(100.0, 32)).expect("greeks group is not injected");
+        assert!(g.delta > 0.0);
+        let stats = service.stats();
+        assert_eq!(stats.completed, 7, "every request answered despite the panics");
+        assert_eq!(stats.worker_restarts, 0, "the shield must hold before the watchdog");
+        assert_eq!(stats.workers_alive, 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn real_driver_panic_fails_one_request_and_spares_its_batchmates() {
+        // An unshielded driver panic (steps == 0 hits a debug assert /
+        // arithmetic panic in some engines) must not take down co-batched
+        // requests.  If steps == 0 prices cleanly in this engine, the
+        // request simply succeeds and the isolation path stays untested
+        // here — the injected-fault test above pins it regardless.
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            workers: 1,
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let client = service.client();
+        let good = client.price(price_req(100.0, 32)).expect("healthy request");
+        assert!(good > 0.0);
+        let stats = service.stats();
+        assert_eq!(stats.workers_alive, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn watchdog_respawns_injected_worker_deaths_and_nothing_is_lost() {
+        use crate::fault::{FaultPlan, FaultSchedule, FaultSite};
+        // Half of all worker-loop iterations die at the top of the loop.
+        // Every request must still be answered, restarts must be counted,
+        // and the pool must be back at strength afterwards.
+        let plan = FaultPlan::new(3, FaultSchedule::off().with_rate(FaultSite::WorkerDeath, 512));
+        let service = QuoteService::start(ServiceConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            workers: 2,
+            fault: Some(plan),
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let client = service.client();
+        for i in 0..40 {
+            let got = client.price(price_req(90.0 + (i % 16) as f64, 32));
+            assert!(got.is_ok(), "request {i} lost to a worker death: {got:?}");
+        }
+        let t0 = Instant::now();
+        loop {
+            let stats = service.stats();
+            if stats.workers_alive == 2 {
+                assert!(stats.worker_restarts > 0, "deaths at rate 512/1024 must respawn");
+                assert_eq!(stats.completed, 40);
+                break;
+            }
+            assert!(t0.elapsed() < Duration::from_secs(10), "pool never restored: {stats:?}");
+            std::thread::yield_now();
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn brownout_sheds_by_class_in_order_and_spares_deadline_tagged_work() {
+        // Depth-10 queue, default tiers: implied-vol sheds at fill 5,
+        // greeks at 7.5, price at 9.5.  Plug the single worker, stage fill
+        // levels, and watch each class shed in priority order while
+        // deadline-tagged submissions sail through.
+        let service = QuoteService::start(ServiceConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+            queue_depth: 10,
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let client = service.client();
+        let plug_ticket = plug(&client);
+        wait_queue_empty(&service);
+
+        let mut tickets = Vec::new();
+        for i in 0..6 {
+            tickets.push(
+                client.submit(ServiceRequest::Price(price_req(90.0 + i as f64, 32))).unwrap(),
+            );
+        }
+        // Fill 6: implied-vol (tier 0.50) sheds, greeks (0.75) does not.
+        let vol_quote = VolQuote::new(OptionParams { strike: 100.0, ..p() }, 32, 8.0);
+        let shed = client.submit(ServiceRequest::ImpliedVol(vol_quote.clone()));
+        assert!(
+            matches!(
+                shed,
+                Err(ServiceError::Overloaded {
+                    what: "brownout: implied-vol inversions shed under queue pressure"
+                })
+            ),
+            "{shed:?}"
+        );
+        tickets.push(client.submit(ServiceRequest::Greeks(price_req(100.0, 32))).unwrap());
+        tickets.push(client.submit(ServiceRequest::Price(price_req(99.0, 32))).unwrap());
+        // Fill 8: greeks sheds too; plain prices still accepted.
+        let shed = client.submit(ServiceRequest::Greeks(price_req(101.0, 32)));
+        assert!(
+            matches!(
+                shed,
+                Err(ServiceError::Overloaded {
+                    what: "brownout: greeks ladders shed under queue pressure"
+                })
+            ),
+            "{shed:?}"
+        );
+        tickets.push(client.submit(ServiceRequest::Price(price_req(98.0, 32))).unwrap());
+        // Deadline-tagged work skips brownout entirely, whatever its class.
+        let tagged = client
+            .submit_with_deadline(
+                ServiceRequest::ImpliedVol(vol_quote),
+                Some(Duration::from_secs(10)),
+            )
+            .expect("deadline-tagged submissions are exempt from brownout");
+        let stats = service.stats();
+        assert_eq!(stats.shed_by_class.implied_vol, 1);
+        assert_eq!(stats.shed_by_class.greeks, 1);
+        assert_eq!(stats.shed_by_class.price, 0);
+        assert_eq!(stats.shed_by_class.total(), 2);
+        assert!(plug_ticket.wait().is_ok());
+        for t in tickets {
+            assert!(t.wait().is_ok(), "accepted work must still be answered");
+        }
+        // The tagged inversion is *answered* (possibly with a pricing
+        // error for an unattainable market price) — acceptance is the point.
+        let _ = tagged.wait();
+        service.shutdown();
+    }
+
+    #[test]
+    fn retry_budget_bounds_retries_and_surfaces_exhaustion() {
+        // A cap-1 client with a plugged worker: every extra call rejects
+        // with Overloaded.  With a budget of 2 retries, call_with_retry
+        // spends both, then surfaces the error and counts the exhaustion.
+        let service = QuoteService::start(ServiceConfig {
+            workers: 1,
+            max_batch: 1,
+            max_wait: Duration::from_millis(1),
+            per_conn_inflight: 1,
+            retry_budget: 2,
+            ..ServiceConfig::default()
+        })
+        .expect("start service");
+        let client = service.client();
+        let plug_ticket = plug(&client);
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_micros(100),
+            max_backoff: Duration::from_millis(1),
+        };
+        let got = client.call_with_retry(ServiceRequest::Price(price_req(100.0, 32)), &policy);
+        assert!(matches!(got, Err(ServiceError::Overloaded { .. })), "{got:?}");
+        let stats = service.stats();
+        assert_eq!(stats.retries, 2, "budget 2 must allow exactly two retries");
+        assert_eq!(stats.retry_budget_exhausted, 1);
+        assert!(plug_ticket.wait().is_ok());
+        // With the worker free again, a clean call succeeds first try (and
+        // earns a tenth of a token back — not enough for a whole retry).
+        assert!(client
+            .call_with_retry(ServiceRequest::Price(price_req(101.0, 32)), &policy)
+            .is_ok());
+        assert_eq!(service.stats().retries, 2, "clean calls spend nothing");
+        service.shutdown();
+    }
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_grows() {
+        let policy = RetryPolicy::default();
+        let a = policy.backoff(7, 1);
+        let b = policy.backoff(7, 1);
+        assert_eq!(a, b, "same (client, attempt) must back off identically");
+        assert_ne!(policy.backoff(7, 1), policy.backoff(8, 1), "jitter must differ per client");
+        for attempt in 1..10 {
+            let d = policy.backoff(3, attempt);
+            assert!(d <= policy.max_backoff, "backoff {d:?} above ceiling");
+            assert!(d >= policy.base_backoff / 2, "backoff {d:?} under half the base");
         }
     }
 

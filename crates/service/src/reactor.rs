@@ -39,10 +39,11 @@
 //! this module is ordinary safe Rust under the workspace-wide
 //! `#![forbid(unsafe_code)]` and amopt-lint's `unsafe-confined` pass.
 
+use crate::fault::{FaultPlan, IoFault, SpuriousWakeups};
 use crate::queue::{Client, QuoteService, Ticket};
 use crate::sync::lock_unpoisoned;
 use crate::types::{BatchHistogram, ReactorStats};
-use crate::wire::{self, WireRequest};
+use crate::wire::{self, LineAssembler, WireRequest};
 use epoll::{Epoll, Events, Interest, Waker};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -131,7 +132,12 @@ impl ReactorHandle {
         service: Arc<QuoteService>,
     ) -> io::Result<ReactorHandle> {
         listener.set_nonblocking(true)?;
-        let ep = Epoll::new()?;
+        let mut ep = Epoll::new()?;
+        if let Some(plan) = &service.config().fault {
+            // Spurious-wakeup injection: the wait returns empty-handed;
+            // level-triggered readiness is re-delivered by the next wait.
+            ep.set_wait_fault(Box::new(SpuriousWakeups(Arc::clone(plan))));
+        }
         let waker = Waker::new()?;
         ep.add(listener.as_raw_fd(), Interest::READ, TOKEN_LISTENER)?;
         ep.add(waker.as_raw_fd(), Interest::READ, TOKEN_WAKER)?;
@@ -204,10 +210,10 @@ struct Conn {
     stream: TcpStream,
     token: u64,
     client: Client,
-    /// Unparsed input; a partial line waits at the front for its newline.
-    rbuf: Vec<u8>,
-    /// Where the newline scan resumes (bytes before this hold no `\n`).
-    scan_from: usize,
+    /// Incremental line assembler: unparsed input waits inside it for a
+    /// newline, so a request split across any number of partial reads
+    /// parses identically to one delivered whole.
+    lines: LineAssembler,
     /// Encoded-but-unsent output; `wpos` bytes of it are already written.
     wbuf: Vec<u8>,
     wpos: usize,
@@ -274,13 +280,24 @@ impl Reactor {
                 .iter()
                 .map(|e| (e.token, e.readable() || e.hangup(), e.writable()))
                 .collect();
-            for (token, readable, writable) in fired {
+            // Connections first, accepts last: a close event (peer EOF)
+            // delivered in the same wait as a pending SYN releases its
+            // slot *before* the accept decision, so a reconnect straight
+            // after `drop(conn)` observes the freed capacity instead of
+            // racing it.  (Loopback FINs are processed during `close`, so
+            // any wait that reports the SYN also reports those EOFs.)
+            for &(token, readable, writable) in &fired {
+                if token != TOKEN_LISTENER && token != TOKEN_WAKER {
+                    self.pump_token(token, readable, writable);
+                }
+            }
+            for &(token, _, _) in &fired {
                 match token {
                     TOKEN_LISTENER => self.accept_ready(),
                     TOKEN_WAKER => {
                         self.shared.waker.drain();
                     }
-                    token => self.pump_token(token, readable, writable),
+                    _ => {}
                 }
             }
             // Connections whose tickets resolved since the last pass.
@@ -342,8 +359,7 @@ impl Reactor {
                 stream,
                 token,
                 client: self.service.client(),
-                rbuf: Vec::new(),
-                scan_from: 0,
+                lines: LineAssembler::new(),
                 wbuf: Vec::new(),
                 wpos: 0,
                 pending: VecDeque::new(),
@@ -448,16 +464,17 @@ fn pump(
         return pump_drain(conn);
     }
     let inflight_cap = service.config().per_conn_inflight;
+    let plan = service.config().fault.as_deref();
     if readable
         && !conn.peer_eof
         && !conn.rejected
-        && pump_read(conn, service, shared, inflight_cap) == Verdict::Close
+        && pump_read(conn, service, shared, inflight_cap, plan) == Verdict::Close
     {
         return Verdict::Close;
     }
     let _ = writable; // level-triggered: the write pump always tries
     loop {
-        if pump_write(conn) == Verdict::Close {
+        if pump_write(conn, plan) == Verdict::Close {
             return Verdict::Close;
         }
         // Draining replies frees pipeline slots while complete lines may
@@ -486,8 +503,7 @@ fn pump(
             // not torn down by a TCP reset.
             let _ = conn.stream.shutdown(Shutdown::Write);
             conn.draining = Some((DRAIN_BUDGET, Instant::now() + DRAIN_DEADLINE));
-            conn.rbuf = Vec::new();
-            conn.scan_from = 0;
+            conn.lines = LineAssembler::new();
             set_interest(conn, ep, Interest::READ);
             return pump_drain(conn);
         }
@@ -518,25 +534,39 @@ fn set_interest(conn: &mut Conn, ep: &Epoll, interest: Interest) {
 }
 
 /// Reads until `WouldBlock`, EOF, the in-flight cap, or a rejected line,
-/// parsing complete lines as they arrive.
+/// parsing complete lines as they arrive.  Under a [`FaultPlan`] each read
+/// may be shortened, turned into a spurious `WouldBlock`, or replaced by a
+/// connection reset — exercising exactly the resumption paths a hostile
+/// kernel would.
 fn pump_read(
     conn: &mut Conn,
     service: &QuoteService,
     shared: &Arc<ReactorShared>,
     inflight_cap: usize,
+    plan: Option<&FaultPlan>,
 ) -> Verdict {
     let mut chunk = [0u8; READ_CHUNK];
     loop {
         if conn.pending.len() >= inflight_cap.max(1) {
             return Verdict::Keep; // backpressure: leave input in the kernel
         }
-        match conn.stream.read(&mut chunk) {
+        let fault = plan.map(|p| p.read_fault(READ_CHUNK)).unwrap_or(IoFault::None);
+        let read = match fault {
+            IoFault::Reset => return Verdict::Close,
+            IoFault::Eagain => return Verdict::Keep, // storm: retry next wake
+            IoFault::Short(n) => match chunk.get_mut(..n.max(1)) {
+                Some(window) => conn.stream.read(window),
+                None => conn.stream.read(&mut chunk),
+            },
+            IoFault::None => conn.stream.read(&mut chunk),
+        };
+        match read {
             Ok(0) => {
                 conn.peer_eof = true;
                 return Verdict::Keep; // half-close: flush, then close
             }
             Ok(n) => {
-                conn.rbuf.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                conn.lines.push(chunk.get(..n).unwrap_or_default());
                 parse_lines(conn, service, shared, inflight_cap);
                 if conn.rejected {
                     // Stop reading; leftover input is swallowed by the
@@ -551,61 +581,29 @@ fn pump_read(
     }
 }
 
-/// Extracts and processes every complete line in `rbuf`, preserving the
-/// threaded front end's exact cap and UTF-8 semantics:
-///
-/// * newline within the first [`wire::MAX_LINE_BYTES`] bytes → the line is
-///   processed; invalid UTF-8 anywhere in it rejects with the combined
-///   "not valid UTF-8 or exceeds" parse error.
-/// * no newline once the buffer holds `MAX_LINE_BYTES` → rejected: with
-///   the "exceeds" error if the capped prefix is valid UTF-8, with the
-///   combined error if the cap landed mid-character or the bytes are
-///   hostile (exactly what `take(cap).read_line` reported).
+/// Extracts and processes every complete line buffered in the
+/// connection's [`LineAssembler`], preserving the threaded front end's
+/// exact cap and UTF-8 semantics (the assembler reproduces what
+/// `take(cap).read_line` would have reported: a "exceeds" error for an
+/// over-long valid-UTF-8 prefix, the combined "not valid UTF-8 or
+/// exceeds" error for hostile bytes or a cap mid-character).
 fn parse_lines(conn: &mut Conn, service: &QuoteService, shared: &Arc<ReactorShared>, cap: usize) {
     loop {
         if conn.pending.len() >= cap.max(1) {
             return; // backpressure mid-buffer: resume after replies drain
         }
-        let scan_end = conn.rbuf.len().min(wire::MAX_LINE_BYTES);
-        let newline = conn
-            .rbuf
-            .get(conn.scan_from..scan_end)
-            .and_then(|tail| tail.iter().position(|&b| b == b'\n'))
-            .map(|i| conn.scan_from + i);
-        let Some(newline) = newline else {
-            conn.scan_from = scan_end;
-            if conn.rbuf.len() >= wire::MAX_LINE_BYTES {
-                let message = if std::str::from_utf8(
-                    conn.rbuf.get(..wire::MAX_LINE_BYTES).unwrap_or_default(),
-                )
-                .is_ok()
-                {
-                    format!("request line exceeds {} bytes", wire::MAX_LINE_BYTES)
-                } else {
-                    format!(
-                        "request line is not valid UTF-8 or exceeds {} bytes",
-                        wire::MAX_LINE_BYTES
-                    )
-                };
-                conn.pending.push_back(Reply::Ready(wire::encode_error("null", "parse", &message)));
+        let line = match conn.lines.next_line() {
+            None => return,
+            Some(Err(e)) => {
+                conn.pending.push_back(Reply::Ready(wire::encode_error(
+                    "null",
+                    "parse",
+                    &e.message(),
+                )));
                 conn.rejected = true;
+                return;
             }
-            return;
-        };
-        let rest = conn.rbuf.split_off(newline + 1);
-        let line_bytes = std::mem::replace(&mut conn.rbuf, rest);
-        conn.scan_from = 0;
-        let Ok(line) = std::str::from_utf8(&line_bytes) else {
-            conn.pending.push_back(Reply::Ready(wire::encode_error(
-                "null",
-                "parse",
-                &format!(
-                    "request line is not valid UTF-8 or exceeds {} bytes",
-                    wire::MAX_LINE_BYTES
-                ),
-            )));
-            conn.rejected = true;
-            return;
+            Some(Ok(line)) => line,
         };
         let trimmed = line.trim();
         if trimmed.is_empty() {
@@ -645,8 +643,9 @@ fn arm_notify(ticket: &Ticket, shared: &Arc<ReactorShared>, token: u64) {
 }
 
 /// Resolves replies in request order into `wbuf` and writes as much as the
-/// socket accepts.
-fn pump_write(conn: &mut Conn) -> Verdict {
+/// socket accepts.  Under a [`FaultPlan`] a write may be shortened (the
+/// `wpos` cursor resumes it) or replaced by a reset mid-line.
+fn pump_write(conn: &mut Conn, plan: Option<&FaultPlan>) -> Verdict {
     loop {
         // Top up the write buffer from the head of the reply pipeline.
         if conn.wpos >= conn.wbuf.len() {
@@ -678,7 +677,14 @@ fn pump_write(conn: &mut Conn) -> Verdict {
         }
         // Flush what we have.
         let Some(unsent) = conn.wbuf.get(conn.wpos..) else { return Verdict::Keep };
-        match conn.stream.write(unsent) {
+        let fault = plan.map(|p| p.write_fault(unsent.len())).unwrap_or(IoFault::None);
+        let wrote = match fault {
+            IoFault::Reset => return Verdict::Close,
+            IoFault::Eagain => return Verdict::Keep,
+            IoFault::Short(n) => conn.stream.write(unsent.get(..n.max(1)).unwrap_or(unsent)),
+            IoFault::None => conn.stream.write(unsent),
+        };
+        match wrote {
             Ok(0) => return Verdict::Close,
             Ok(n) => conn.wpos += n,
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Verdict::Keep,

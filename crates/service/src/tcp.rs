@@ -30,15 +30,17 @@
 //! every line is eventually answered — and never rejected on that cap.
 
 use crate::config::FrontEnd;
+use crate::fault::FaultyStream;
 use crate::queue::{Client, QuoteService, Ticket};
 use crate::reactor::ReactorHandle;
 use crate::types::ServiceStats;
 use crate::wire::{self, WireRequest};
 use crate::ServiceConfig;
-use std::io::{self, BufRead, BufReader, BufWriter, Read as _, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// One line the writer thread owes the socket.
 enum Outgoing {
@@ -208,10 +210,44 @@ fn handle_connection(
     channel_bound: usize,
 ) {
     let Ok(write_half) = stream.try_clone() else { return };
+    let Ok(control) = stream.try_clone() else { return };
+    // Under a fault plan both halves transfer through a `FaultyStream`
+    // (short reads/writes, mid-line resets); `control` keeps a plain handle
+    // for the shutdown/timeout calls the graceful-close drain needs.
+    match service.config().fault.clone() {
+        Some(plan) => serve_lines(
+            BufReader::new(FaultyStream::new(stream, Arc::clone(&plan))),
+            BufWriter::new(FaultyStream::new(write_half, plan)),
+            control,
+            service,
+            client,
+            channel_bound,
+        ),
+        None => serve_lines(
+            BufReader::new(stream),
+            BufWriter::new(write_half),
+            control,
+            service,
+            client,
+            channel_bound,
+        ),
+    }
+}
+
+fn serve_lines<R, W>(
+    mut reader: BufReader<R>,
+    mut out: BufWriter<W>,
+    control: TcpStream,
+    service: &Arc<QuoteService>,
+    client: Client,
+    channel_bound: usize,
+) where
+    R: Read,
+    W: Write + Send + 'static,
+{
     let (tx, rx) = mpsc::sync_channel::<Outgoing>(channel_bound.max(1));
     let spawned = std::thread::Builder::new().name("amopt-service-conn-writer".to_string()).spawn(
         move || {
-            let mut out = BufWriter::new(write_half);
             while let Ok(msg) = rx.recv() {
                 let line = match msg {
                     Outgoing::Ready(line) => line,
@@ -230,7 +266,6 @@ fn handle_connection(
     // peer sees a clean close and can retry elsewhere).
     let Ok(writer) = spawned else { return };
 
-    let mut reader = BufReader::new(stream);
     let mut line = String::new();
     // Set when a line was rejected (too long or not UTF-8) and a final
     // error response is queued: the close must then be graceful enough for
@@ -300,10 +335,9 @@ fn handle_connection(
         // end-of-responses, then swallow the leftover input — bounded in
         // both bytes and time so a hostile peer cannot pin the thread —
         // before dropping the socket.
-        let stream = reader.get_ref();
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        let _ = control.shutdown(std::net::Shutdown::Write);
+        let _ = control.set_read_timeout(Some(Duration::from_secs(2)));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
         let mut scratch = [0u8; 8192];
         let mut budget: usize = 64 << 20;
         while budget > 0 && std::time::Instant::now() < deadline {
@@ -342,13 +376,44 @@ impl TcpQuoteClient {
     }
 
     /// Receives the next response line.
+    ///
+    /// A connection that dies *mid-line* surfaces as an `InvalidData`
+    /// "torn reply" error, never as a truncated line: a reply is either
+    /// delivered whole (newline-terminated) or not at all, so a caller can
+    /// safely treat anything this returns as a complete server response.
     pub fn recv(&mut self) -> io::Result<String> {
         let mut line = String::new();
-        let n = self.reader.read_line(&mut line)?;
+        let n = match self.reader.read_line(&mut line) {
+            Ok(n) => n,
+            // `read_line` preserves bytes delivered before the failure: a
+            // non-empty buffer means the transport died (or timed out)
+            // *mid-reply*, which a retrying caller must treat as torn —
+            // resubmitting after partial delivery risks a double answer.
+            Err(_) if !line.is_empty() => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "torn reply line (transport failed mid-reply)",
+                ));
+            }
+            Err(e) => return Err(e),
+        };
         if n == 0 {
             return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"));
         }
+        if !line.ends_with('\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "torn reply line (connection died mid-reply)",
+            ));
+        }
         Ok(line.trim_end().to_string())
+    }
+
+    /// Bounds how long [`recv`](TcpQuoteClient::recv) blocks (`None`
+    /// restores blocking reads).  Chaos clients use this so a lost reply
+    /// surfaces as a timeout instead of a hang.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 
     /// One request, one response.

@@ -105,6 +105,25 @@ impl BatchHistogram {
     }
 }
 
+/// Requests shed by the brownout degradation tiers, per request class
+/// (see [`DegradationPolicy`](crate::config::DegradationPolicy)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShedByClass {
+    /// Untagged price quotes shed.
+    pub price: u64,
+    /// Untagged greeks ladders shed.
+    pub greeks: u64,
+    /// Untagged implied-vol inversions shed.
+    pub implied_vol: u64,
+}
+
+impl ShedByClass {
+    /// Total requests shed across all classes.
+    pub fn total(&self) -> u64 {
+        self.price + self.greeks + self.implied_vol
+    }
+}
+
 /// Counters of the epoll reactor front end, all zero when the service is
 /// driven in-process or by the legacy threaded front end.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -155,6 +174,17 @@ pub struct ServiceStats {
     pub batch_sizes: BatchHistogram,
     /// Memo counters of the shared `BatchPricer`.
     pub memo: MemoStats,
+    /// Worker threads that died (panicked out of the worker loop) and were
+    /// respawned by the watchdog.
+    pub worker_restarts: u64,
+    /// Worker threads currently alive.
+    pub workers_alive: u64,
+    /// Retries performed by [`Client::call_with_retry`](crate::Client::call_with_retry).
+    pub retries: u64,
+    /// Retries refused because the retry budget was exhausted.
+    pub retry_budget_exhausted: u64,
+    /// Requests shed by the brownout degradation tiers, per class.
+    pub shed_by_class: ShedByClass,
     /// Event-loop counters of the serving reactor (zeros elsewhere).
     pub reactor: ReactorStats,
 }

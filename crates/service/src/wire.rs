@@ -165,6 +165,112 @@ pub const MAX_WIRE_STEPS: usize = 1 << 20;
 /// and the connection is dropped.
 pub const MAX_LINE_BYTES: usize = 1 << 20;
 
+/// Why [`LineAssembler`] rejected its stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineError {
+    /// No newline within the first [`MAX_LINE_BYTES`] bytes (and the
+    /// buffered prefix was valid UTF-8, so the overflow is the only sin).
+    TooLong,
+    /// A complete line (or the buffered over-limit prefix) was not valid
+    /// UTF-8.
+    Malformed,
+}
+
+impl LineError {
+    /// The parse-error message the front ends answer with.
+    pub fn message(&self) -> String {
+        match self {
+            LineError::TooLong => format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            LineError::Malformed => {
+                format!("request line is not valid UTF-8 or exceeds {MAX_LINE_BYTES} bytes")
+            }
+        }
+    }
+}
+
+/// Incremental line extraction over an arbitrarily split byte stream —
+/// the reader-resumption half of the wire protocol, shared by the epoll
+/// reactor and property-tested in isolation.
+///
+/// Feed chunks with [`push`](LineAssembler::push) exactly as they arrive
+/// off the socket; [`next_line`](LineAssembler::next_line) yields each
+/// complete line (without its `\n`) as soon as its last byte is in,
+/// independent of how the stream was split — mid-line, mid-UTF-8-sequence,
+/// byte-at-a-time, it cannot matter, because assembly happens on raw bytes
+/// and decoding only ever sees whole lines.  The [`MAX_LINE_BYTES`] cap
+/// and UTF-8 validation match the front ends' semantics exactly; a
+/// rejection is terminal (the connection is answered once and dropped, so
+/// there is nothing meaningful to resynchronise onto).
+#[derive(Debug, Default)]
+pub struct LineAssembler {
+    buf: Vec<u8>,
+    /// Resume offset for the newline scan: bytes before it are known
+    /// newline-free, so repeated pushes stay O(bytes), not O(bytes²).
+    scan_from: usize,
+    rejected: bool,
+}
+
+impl LineAssembler {
+    /// An empty assembler.
+    pub fn new() -> LineAssembler {
+        LineAssembler::default()
+    }
+
+    /// Appends freshly read bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if !self.rejected {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes buffered and not yet yielded.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the stream was rejected (terminal).
+    pub fn is_rejected(&self) -> bool {
+        self.rejected
+    }
+
+    /// The next complete line, `None` when more bytes are needed, or the
+    /// terminal rejection.
+    pub fn next_line(&mut self) -> Option<Result<String, LineError>> {
+        if self.rejected {
+            return None;
+        }
+        let scan_end = self.buf.len().min(MAX_LINE_BYTES);
+        let scan = self.buf.get(self.scan_from..scan_end).unwrap_or(&[]);
+        let Some(offset) = scan.iter().position(|&b| b == b'\n') else {
+            self.scan_from = scan_end;
+            if self.buf.len() >= MAX_LINE_BYTES {
+                // No newline within the cap: answer once, reject the rest.
+                self.rejected = true;
+                let prefix_ok =
+                    std::str::from_utf8(self.buf.get(..MAX_LINE_BYTES).unwrap_or(&[])).is_ok();
+                return Some(Err(if prefix_ok {
+                    LineError::TooLong
+                } else {
+                    LineError::Malformed
+                }));
+            }
+            return None;
+        };
+        let newline = self.scan_from + offset;
+        let rest = self.buf.split_off(newline + 1);
+        let mut line_bytes = std::mem::replace(&mut self.buf, rest);
+        line_bytes.pop(); // the `\n`
+        self.scan_from = 0;
+        match String::from_utf8(line_bytes) {
+            Ok(line) => Some(Ok(line)),
+            Err(_) => {
+                self.rejected = true;
+                Some(Err(LineError::Malformed))
+            }
+        }
+    }
+}
+
 /// Parses one JSON document (a full line of the wire protocol).
 pub fn parse(input: &str) -> Result<JsonValue, String> {
     let bytes = input.as_bytes();
@@ -538,7 +644,9 @@ pub fn encode_stats(id: &str, stats: &ServiceStats) -> String {
          \"mean_batch_size\":{},\"memo_hits\":{},\"memo_misses\":{},\"memo_hit_rate\":{},\
          \"memo_entries\":{},\"reactor_connections_accepted\":{},\"reactor_connections_open\":{},\
          \"reactor_connections_refused\":{},\"reactor_loop_iterations\":{},\
-         \"reactor_events_per_wake_hist\":[{}]}}",
+         \"reactor_events_per_wake_hist\":[{}],\"worker_restarts\":{},\"workers_alive\":{},\
+         \"retries\":{},\"retry_budget_exhausted\":{},\"shed_price\":{},\"shed_greeks\":{},\
+         \"shed_implied_vol\":{}}}",
         stats.queue_depth,
         stats.submitted,
         stats.completed,
@@ -559,6 +667,13 @@ pub fn encode_stats(id: &str, stats: &ServiceStats) -> String {
         stats.reactor.connections_refused,
         stats.reactor.loop_iterations,
         wake_hist.join(","),
+        stats.worker_restarts,
+        stats.workers_alive,
+        stats.retries,
+        stats.retry_budget_exhausted,
+        stats.shed_by_class.price,
+        stats.shed_by_class.greeks,
+        stats.shed_by_class.implied_vol,
     )
 }
 

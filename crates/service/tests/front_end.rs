@@ -268,27 +268,15 @@ fn connection_cap_refuses_politely_and_frees_slots() {
     let mut buf = [0u8; 1];
     let n = (&over).read(&mut buf).expect("read on refused conn");
     assert_eq!(n, 0, "over-cap connection must see EOF");
-    // Dropping the held connections frees slots for a working client —
-    // once the reactor processes their EOFs, which races this reconnect:
-    // until then a fresh connection is still (correctly) refused, so retry.
+    // Dropping the held connections frees slots for a working client.  The
+    // reactor dispatches close events before accept decisions within each
+    // wakeup, and the FINs land before this reconnect's SYN, so one attempt
+    // must succeed — no retry loop.
     drop(held);
-    let deadline = std::time::Instant::now() + Duration::from_secs(10);
-    let reply = loop {
-        let attempt = TcpQuoteClient::connect(server.local_addr()).and_then(|mut client| {
-            client.roundtrip(&wire::encode_pricing_request(
-                1,
-                "price",
-                &contract(99.0, OptionType::Call, 32),
-            ))
-        });
-        match attempt {
-            Ok(reply) => break reply,
-            Err(e) => {
-                assert!(std::time::Instant::now() < deadline, "slots never freed: {e}");
-                std::thread::sleep(Duration::from_millis(10));
-            }
-        }
-    };
+    let mut client = TcpQuoteClient::connect(server.local_addr()).expect("reconnect after free");
+    let reply = client
+        .roundtrip(&wire::encode_pricing_request(1, "price", &contract(99.0, OptionType::Call, 32)))
+        .expect("slots freed before re-accept");
     assert!(reply.contains("\"ok\":true"), "{reply}");
     assert!(server.stats().reactor.connections_refused >= 1);
     server.shutdown();

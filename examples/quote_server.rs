@@ -14,6 +14,14 @@
 //! # zero errors and bitwise equality against direct BatchPricer pricing
 //! # (exit 1 on any failure):
 //! cargo run --release --example quote_server -- smoke 512 1200
+//!
+//! # Chaos soak: run the seeded fault-injection soak (amopt_service::soak)
+//! # against a sabotaged loopback server and print the invariant report
+//! # (exit 1 if any chaos invariant is violated).  Appending `unhandled`
+//! # arms the deliberately-unhandled LostReply class, so the run is
+//! # *expected* to fail — CI uses it to prove the gate detects real loss:
+//! cargo run --release --example quote_server -- chaos 42
+//! cargo run --release --example quote_server -- chaos 42 200 unhandled
 //! ```
 
 use american_option_pricing::prelude::*;
@@ -218,6 +226,23 @@ fn smoke(n: usize, conns: usize) {
     println!("smoke OK: every wire response bitwise-equal to direct BatchPricer pricing");
 }
 
+/// Runs the seeded chaos soak and exits non-zero if any invariant broke.
+fn chaos(seed: u64, requests: Option<usize>, unhandled: bool) {
+    use american_option_pricing::service::{soak, ChaosConfig};
+    let mut cfg = ChaosConfig::new(seed);
+    if let Some(n) = requests {
+        cfg = cfg.with_requests(n);
+    }
+    if unhandled {
+        cfg = cfg.unhandled();
+    }
+    let report = soak(&cfg).unwrap_or_else(|e| panic!("chaos soak could not run: {e}"));
+    println!("{}", report.render());
+    if !report.passed() {
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -235,9 +260,16 @@ fn main() {
             let conns = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(4);
             smoke(n, conns);
         }
+        Some("chaos") => {
+            let seed = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(42);
+            let requests = args.get(2).and_then(|v| v.parse().ok());
+            let unhandled = args.iter().any(|a| a == "unhandled");
+            chaos(seed, requests, unhandled);
+        }
         _ => {
             eprintln!(
-                "usage: quote_server serve [addr] [threaded] | quote_server smoke [n] [conns]"
+                "usage: quote_server serve [addr] [threaded] | quote_server smoke [n] [conns] \
+                 | quote_server chaos [seed] [requests] [unhandled]"
             );
             std::process::exit(2);
         }

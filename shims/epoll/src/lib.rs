@@ -190,15 +190,38 @@ impl std::fmt::Debug for Events {
     }
 }
 
+/// Fault-injection hook consulted once per [`Epoll::wait`] call.
+///
+/// When [`spurious_wakeup`](WaitFault::spurious_wakeup) returns `true` the
+/// wait returns `Ok(0)` without touching the kernel — exactly what a
+/// spurious wakeup or an early-timeout looks like to the caller.  Because
+/// this instance is level-triggered, real readiness is re-delivered by the
+/// next wait, so the hook can only delay progress, never lose events.
+/// Implementations must be deterministic if reproducible schedules are
+/// wanted; the shim imposes no policy.
+pub trait WaitFault: Send {
+    /// Whether this wait call should wake spuriously with zero events.
+    fn spurious_wakeup(&self) -> bool;
+}
+
 /// An owned epoll instance (level-triggered).
 ///
 /// Registered descriptors are identified by a caller-chosen `u64` token;
 /// the instance does not take ownership of them — callers keep their
 /// `TcpStream`s/`TcpListener`s and must [`delete`](Epoll::delete) (or drop
 /// the whole `Epoll`) before closing a registered fd.
-#[derive(Debug)]
 pub struct Epoll {
     fd: RawFd,
+    fault: Option<Box<dyn WaitFault>>,
+}
+
+impl std::fmt::Debug for Epoll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Epoll")
+            .field("fd", &self.fd)
+            .field("fault", &self.fault.as_ref().map(|_| "WaitFault"))
+            .finish()
+    }
 }
 
 impl Epoll {
@@ -206,7 +229,13 @@ impl Epoll {
     pub fn new() -> io::Result<Epoll> {
         // SAFETY: no pointers; epoll_create1 allocates a new fd or fails.
         let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
-        Ok(Epoll { fd })
+        Ok(Epoll { fd, fault: None })
+    }
+
+    /// Installs a [`WaitFault`] hook, consulted once per [`wait`](Epoll::wait).
+    /// Intended for deterministic fault injection in tests and chaos runs.
+    pub fn set_wait_fault(&mut self, fault: Box<dyn WaitFault>) {
+        self.fault = Some(fault);
     }
 
     fn ctl(&self, op: i32, fd: RawFd, mask: u32, token: u64) -> io::Result<()> {
@@ -250,6 +279,11 @@ impl Epoll {
             }
         };
         events.len = 0;
+        if let Some(fault) = &self.fault {
+            if fault.spurious_wakeup() {
+                return Ok(0);
+            }
+        }
         loop {
             let cap = events.buf.len() as i32;
             // SAFETY: the buffer holds `cap` initialised EpollEvent records
@@ -353,6 +387,28 @@ mod tests {
     use std::os::unix::io::AsRawFd;
     use std::os::unix::net::UnixStream;
     use std::time::Duration;
+
+    #[test]
+    fn wait_fault_hook_injects_spurious_wakeups_without_losing_readiness() {
+        struct EveryOther(std::sync::atomic::AtomicU64);
+        impl WaitFault for EveryOther {
+            fn spurious_wakeup(&self) -> bool {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::Relaxed).is_multiple_of(2)
+            }
+        }
+        let (a, mut b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        let mut ep = Epoll::new().unwrap();
+        ep.add(a.as_raw_fd(), Interest::READ, 9).unwrap();
+        ep.set_wait_fault(Box::new(EveryOther(std::sync::atomic::AtomicU64::new(0))));
+        b.write_all(b"ping").unwrap();
+        let mut events = Events::with_capacity(8);
+        // First wait fires the hook: zero events even though data is pending.
+        assert_eq!(ep.wait(&mut events, Some(Duration::from_millis(100))).unwrap(), 0);
+        // Level-triggered re-delivery: the next wait sees the readiness.
+        assert_eq!(ep.wait(&mut events, Some(Duration::from_millis(1000))).unwrap(), 1);
+        assert!(events.iter().any(|e| e.token == 9 && e.readable()));
+    }
 
     #[test]
     fn wait_times_out_with_nothing_registered() {

@@ -1,0 +1,65 @@
+//! Chaos soak: the whole service stack under a seeded hostile fault plan.
+//!
+//! One run drives a multi-connection client fleet through a seeded request
+//! book against a server whose I/O, queue clock, and workers are all being
+//! actively sabotaged by [`FaultPlan`], then checks the self-healing
+//! invariants: every accepted request is answered exactly once, every
+//! delivered `ok` reply is bitwise-identical to the fault-free reference
+//! run, and the service returns to steady state (queue drained, full worker
+//! complement alive).  The same seed must reproduce the same fault
+//! schedule, pinned by the schedule hash.
+
+use american_option_pricing::service::{soak, ChaosConfig, FaultPlan, FaultSite};
+
+/// The standard seeded soak must pass with a meaningful fault volume
+/// spread across the I/O, panic, and stall classes.
+#[test]
+fn seeded_soak_survives_hostile_faults_and_restores_steady_state() {
+    let report = soak(&ChaosConfig::new(0xFA17_11FE)).expect("soak runs");
+    assert!(report.passed(), "chaos invariants violated:\n{}", report.render());
+
+    // Fault volume and class coverage: the acceptance floor is 500 injected
+    // faults, and the run must have exercised short/interrupted I/O, at
+    // least one injected worker panic, and at least one injected stall.
+    assert!(report.faults.total() >= 500, "only {} faults fired", report.faults.total());
+    assert!(report.faults.io_total() > 0, "no I/O faults fired:\n{}", report.render());
+    assert!(
+        report.faults.fired_at(FaultSite::WorkerPanic) > 0,
+        "no injected panics:\n{}",
+        report.render()
+    );
+    assert!(
+        report.faults.fired_at(FaultSite::WorkerStall) > 0,
+        "no injected stalls:\n{}",
+        report.render()
+    );
+
+    // The fleet actually had to heal: overload shedding and retries are
+    // part of the hostile schedule, not a theoretical path.
+    assert!(report.answered_ok > 0, "{}", report.render());
+    assert_eq!(report.mismatches, 0, "delivered replies diverged:\n{}", report.render());
+    assert_eq!(report.submitted, report.completed, "unanswered submissions:\n{}", report.render());
+    assert_eq!(report.queue_depth_after, 0, "queue not drained:\n{}", report.render());
+    assert_eq!(report.workers_alive, report.workers_expected, "{}", report.render());
+}
+
+/// Same seed ⇒ same schedule: the report's hash matches a plan rebuilt
+/// from scratch, and two rebuilds agree; a different seed disagrees.
+#[test]
+fn same_seed_reproduces_the_schedule_hash() {
+    let report = soak(&ChaosConfig::new(42).with_requests(64)).expect("soak runs");
+    let rebuilt = FaultPlan::hostile(42).schedule_hash();
+    assert_eq!(report.schedule_hash, rebuilt, "seed 42 must rebuild its schedule");
+    assert_eq!(FaultPlan::hostile(42).schedule_hash(), rebuilt, "rebuild must be stable");
+    assert_ne!(FaultPlan::hostile(43).schedule_hash(), rebuilt, "different seed, same hash");
+}
+
+/// Arming the deliberately-unhandled `LostReply` class must make the soak
+/// FAIL — this is the proof that the invariant gate detects real loss, not
+/// just that fault-free runs pass.  Mirrors CI's must-fail step.
+#[test]
+fn unhandled_fault_class_is_caught_by_the_invariant_gate() {
+    let report = soak(&ChaosConfig::new(7).with_requests(200).unhandled()).expect("soak runs");
+    assert!(!report.passed(), "armed LostReply faults went undetected:\n{}", report.render());
+    assert!(report.lost > 0 || report.submitted != report.completed, "{}", report.render());
+}
