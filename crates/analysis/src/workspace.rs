@@ -9,7 +9,9 @@ use std::path::{Path, PathBuf};
 /// separated, also on Windows).  `hot-path-alloc` is marker-driven and runs
 /// everywhere; the marker grammar itself is validated everywhere too.
 const PANIC_SURFACE_SCOPE: &[&str] = &["crates/service/src/"];
-const LOCK_DISCIPLINE_SCOPE: &[&str] = &["crates/service/src/"];
+/// `crates/obs/src/` is in scope: the metrics/journal record paths run
+/// inside the service's hot loops, so the same lock rules apply there.
+const LOCK_DISCIPLINE_SCOPE: &[&str] = &["crates/service/src/", "crates/obs/src/"];
 const FLOAT_EQ_SCOPE: &[&str] =
     &["crates/core/src/", "crates/fft/src/", "crates/stencil/src/", "crates/cachesim/src/"];
 /// The one place `unsafe` may live: everywhere *else* gets `unsafe-confined`.
@@ -150,6 +152,9 @@ mod tests {
         assert!(lints_for("crates/service/src/queue.rs").contains(&"panic-surface"));
         assert!(lints_for("crates/service/src/queue.rs").contains(&"lock-discipline"));
         assert!(!lints_for("crates/service/src/queue.rs").contains(&"float-eq"));
+        assert!(lints_for("crates/obs/src/registry.rs").contains(&"lock-discipline"));
+        assert!(lints_for("crates/obs/src/journal.rs").contains(&"hot-path-alloc"));
+        assert!(!lints_for("crates/obs/src/registry.rs").contains(&"panic-surface"));
         assert!(lints_for("crates/core/src/bopm/fast.rs").contains(&"float-eq"));
         assert!(!lints_for("crates/core/src/bopm/fast.rs").contains(&"panic-surface"));
         assert!(lints_for("examples/quickstart.rs") == vec!["hot-path-alloc", "unsafe-confined"]);

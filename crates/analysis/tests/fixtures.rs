@@ -33,6 +33,18 @@ fn hot_path_alloc_fixture_pair() {
 }
 
 #[test]
+fn obs_record_alloc_fixture_pair() {
+    // The zero-alloc observability contract: a metric-record call that
+    // allocates inside a hot-path region is a gate failure, and the
+    // atomics-only twin is clean.
+    let bad = run_fixture("obs_record_alloc_violations.rs", &["hot-path-alloc"]);
+    assert_all_lint(&bad, "hot-path-alloc", 3, "obs_record_alloc_violations");
+    let clean = run_fixture("obs_record_alloc_clean.rs", &["hot-path-alloc"]);
+    assert!(clean.findings.is_empty(), "{:#?}", clean.findings);
+    assert!(clean.unused_allows.is_empty(), "{:#?}", clean.unused_allows);
+}
+
+#[test]
 fn panic_surface_fixture_pair() {
     let bad = run_fixture("panic_surface_violations.rs", &["panic-surface"]);
     assert_all_lint(&bad, "panic-surface", 6, "panic_surface_violations");
@@ -81,6 +93,7 @@ fn fixture_paths_would_route_like_their_home_crates() {
     // router must apply the lints the fixtures exercise.
     assert!(lints_for("crates/service/src/queue.rs").contains(&"panic-surface"));
     assert!(lints_for("crates/service/src/queue.rs").contains(&"lock-discipline"));
+    assert!(lints_for("crates/obs/src/registry.rs").contains(&"lock-discipline"));
     assert!(lints_for("crates/fft/src/convolve.rs").contains(&"float-eq"));
     assert!(lints_for("crates/stencil/src/advance.rs").contains(&"hot-path-alloc"));
     assert!(lints_for("crates/service/src/reactor.rs").contains(&"unsafe-confined"));

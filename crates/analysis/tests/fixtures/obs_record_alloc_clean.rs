@@ -1,0 +1,17 @@
+//! Fixture twin: the same metric-record shape done the zero-alloc way —
+//! fixed-size state mutated in place, nothing allocated per observation.
+//! Expected: no findings.
+
+pub struct Cell {
+    pub count: u64,
+    pub sum: u64,
+}
+
+// amopt-lint: hot-path
+pub fn record(cells: &mut [Cell], bucket: usize, value: u64) -> u64 {
+    if let Some(cell) = cells.get_mut(bucket) {
+        cell.count += 1;
+        cell.sum = cell.sum.saturating_add(value);
+    }
+    value
+}

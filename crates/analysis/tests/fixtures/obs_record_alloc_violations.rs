@@ -1,0 +1,18 @@
+//! Fixture: an allocating metric-record path, modeled on `crates/obs` —
+//! the zero-alloc contract says a `record`/`push` call on the hot path may
+//! touch atomics only.  Expected: 3 `hot-path-alloc` findings.
+
+pub struct Cell {
+    pub count: u64,
+}
+
+// amopt-lint: hot-path
+pub fn record(cells: &mut [Cell], label: &str, value: u64) -> u64 {
+    // Building a per-call label buffer allocates on every observation.
+    let key = label.as_bytes().to_vec();
+    // So does materialising the bucket cursor...
+    let hot: Vec<usize> = cells.iter().enumerate().map(|(i, _)| i).collect();
+    // ...and boxing the observation for a side channel.
+    let boxed = Box::new(value);
+    key.len() as u64 + hot.len() as u64 + *boxed
+}

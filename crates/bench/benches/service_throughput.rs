@@ -31,7 +31,11 @@
 //!   connections flood the rest untagged against a 100 ms coalescing
 //!   default.  The EDF queue must pull the tagged class ahead of the
 //!   backlog (its fair share exceeds its arrival rate), giving it a
-//!   markedly better p99 than the bulk class it overtakes.
+//!   markedly better p99 than the bulk class it overtakes;
+//! * `service_tcp_obs_off` / `service_tcp_obs_on` — the pipelined TCP shape
+//!   with request tracing (trace cards + event journal) disabled vs
+//!   enabled: the obs-on run must stay within 3% of obs-off on options/s
+//!   and p99 (CI gates the pair via `bench_diff --pair`).
 //!
 //! Per-request latency percentiles (p50/p90/p99/max, in microseconds) are
 //! recorded for every service scenario.  The machine-readable summary
@@ -353,6 +357,34 @@ fn main() {
     }
     let tcp_secs = records[2].secs;
 
+    // --- Observability overhead: identical pipelined-TCP shape with the
+    // flightdeck tracing (trace cards + event journal) disabled vs enabled.
+    // Registry counters stay on in both runs — they are the stats surface —
+    // so the pair isolates exactly the per-request tracing cost.  CI gates
+    // the on/off delta at 3% via `bench_diff --pair`.
+    let mut obs_pair = Vec::new();
+    for (name, trace) in [("service_tcp_obs_off", false), ("service_tcp_obs_on", true)] {
+        let server = QuoteServer::bind(
+            "127.0.0.1:0",
+            ServiceConfig { trace, ..service_config(FrontEnd::Reactor) },
+        )
+        .expect("bind loopback");
+        let (secs, lat) = tcp_pipelined(server.local_addr(), &book, &want, TCP_CONNS, TCP_WINDOW);
+        server.shutdown();
+        let lat = percentiles(lat);
+        obs_pair.push((secs, lat));
+        records.push(Record {
+            name,
+            batch: BOOK,
+            threads: TCP_CONNS,
+            secs,
+            latencies_us: Some(lat),
+        });
+    }
+    // options/s ratio on/off = off_secs / on_secs (same request count).
+    let obs_throughput_ratio = obs_pair[0].0 / obs_pair[1].0;
+    let obs_p99_ratio = obs_pair[1].1.p99 / obs_pair[0].1.p99;
+
     // --- Connection scaling: phased fan-out over many open sockets ---
     let mut conns_held = Vec::new();
     for (name, front_end, conns) in [
@@ -503,6 +535,16 @@ fn main() {
          ({deadline_p99_speedup:.2}x better)",
         tagged_lat.p99, bulk_lat.p99
     );
+    println!(
+        "observability overhead (tracing on vs off): throughput {:.3}x, p99 {:.3}x",
+        obs_throughput_ratio, obs_p99_ratio
+    );
+    if obs_throughput_ratio < 0.97 || obs_p99_ratio > 1.03 {
+        eprintln!(
+            "WARNING: tracing overhead above the 3% budget (throughput {obs_throughput_ratio:.3}x, \
+             p99 {obs_p99_ratio:.3}x) — noisy run or a real regression?"
+        );
+    }
     if inproc_speedup < 1.0 {
         eprintln!(
             "WARNING: in-process service below the serial per-request baseline \
@@ -533,6 +575,8 @@ fn main() {
             ("connection_scaling_vs_threaded", conn_scaling),
             ("reactor_p99_vs_threaded", reactor_p99_vs_threaded),
             ("deadline_p99_speedup_vs_bulk", deadline_p99_speedup),
+            ("obs_on_vs_off_throughput", obs_throughput_ratio),
+            ("obs_on_vs_off_p99", obs_p99_ratio),
         ],
     );
 }

@@ -4,6 +4,12 @@
 //!
 //! ```sh
 //! bench-diff <history.jsonl> <fresh.json> [--tolerance 0.30] [--window 3] [--no-append]
+//!
+//! # In-summary pair gate: scenario <probe> must stay within <tol> of
+//! # scenario <base> on throughput and p99 *inside one fresh summary* —
+//! # no history needed, so the gate is immune to runner-speed drift.
+//! # CI holds the observability overhead to 3% this way:
+//! bench-diff --pair service_tcp_obs_off:service_tcp_obs_on:0.03 <fresh.json>
 //! ```
 //!
 //! The history file holds one summary JSON per line (one line per archived
@@ -113,12 +119,83 @@ fn within_tolerance(value: f64, med: f64, tolerance: f64, higher_better: bool) -
     }
 }
 
+/// One `--pair base:probe:tol` directive, parsed.
+#[derive(Debug, Clone, PartialEq)]
+struct Pair {
+    base: String,
+    probe: String,
+    tolerance: f64,
+}
+
+fn parse_pair(spec: &str) -> Option<Pair> {
+    let mut parts = spec.split(':');
+    let base = parts.next()?.to_string();
+    let probe = parts.next()?.to_string();
+    let tolerance: f64 = parts.next()?.parse().ok()?;
+    let positive = tolerance.is_finite() && tolerance > 0.0;
+    if parts.next().is_some() || base.is_empty() || probe.is_empty() || !positive {
+        return None;
+    }
+    Some(Pair { base, probe, tolerance })
+}
+
+/// Gates every `--pair` directive against one fresh summary: the probe
+/// scenario's throughput may not drop more than `tolerance` below the base
+/// scenario's, and (when both carry one) its p99 may not exceed the base's
+/// by more than `tolerance`.  Both records must exist — a missing scenario
+/// is a failure, not a skip, so a renamed bench cannot silently disable the
+/// gate.  Returns the number of failures.
+fn gate_pairs(fresh: &[Record], pairs: &[Pair]) -> usize {
+    let mut failures = 0usize;
+    for pair in pairs {
+        let find = |name: &str| fresh.iter().find(|r| r.name == name);
+        let (Some(base), Some(probe)) = (find(&pair.base), find(&pair.probe)) else {
+            eprintln!(
+                "bench-diff: pair {}:{} — scenario missing from the fresh summary",
+                pair.base, pair.probe
+            );
+            failures += 1;
+            continue;
+        };
+        let tput_ok = within_tolerance(probe.metric, base.metric, pair.tolerance, true);
+        println!(
+            "| pair {} vs {} | throughput | {:.1} vs {:.1} ({:+.1}%) | {} |",
+            pair.probe,
+            pair.base,
+            probe.metric,
+            base.metric,
+            100.0 * (probe.metric / base.metric - 1.0),
+            if tput_ok { "ok" } else { "FAIL" }
+        );
+        if !tput_ok {
+            failures += 1;
+        }
+        if let (Some(bp99), Some(pp99)) = (base.p99_us, probe.p99_us) {
+            let p99_ok = within_tolerance(pp99, bp99, pair.tolerance, false);
+            println!(
+                "| pair {} vs {} | p99_us | {:.1} vs {:.1} ({:+.1}%) | {} |",
+                pair.probe,
+                pair.base,
+                pp99,
+                bp99,
+                100.0 * (pp99 / bp99 - 1.0),
+                if p99_ok { "ok" } else { "FAIL" }
+            );
+            if !p99_ok {
+                failures += 1;
+            }
+        }
+    }
+    failures
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut tolerance = 0.30_f64;
     let mut window = 3usize;
     let mut append = true;
     let mut paths: Vec<&str> = Vec::new();
+    let mut pairs: Vec<Pair> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -127,11 +204,43 @@ fn main() -> ExitCode {
             }
             "--window" => window = it.next().and_then(|v| v.parse().ok()).unwrap_or(window),
             "--no-append" => append = false,
+            "--pair" => match it.next().map(String::as_str).and_then(parse_pair) {
+                Some(pair) => pairs.push(pair),
+                None => {
+                    eprintln!("bench-diff: --pair wants base:probe:tolerance (e.g. a:b:0.03)");
+                    return ExitCode::from(2);
+                }
+            },
             p => paths.push(p),
         }
     }
+    // Pair-only mode: one positional path (the fresh summary), no history.
+    if paths.len() == 1 && !pairs.is_empty() {
+        let fresh_path = paths[0];
+        let fresh_json = match std::fs::read_to_string(fresh_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bench-diff: cannot read fresh summary {fresh_path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let Some(fresh) = parse_records(&fresh_json) else {
+            eprintln!("bench-diff: {fresh_path} does not match the bench summary schema");
+            return ExitCode::from(2);
+        };
+        let failures = gate_pairs(&fresh, &pairs);
+        if failures > 0 {
+            eprintln!("bench-diff: {failures} pair gate(s) failed");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
     let [history_path, fresh_path] = paths[..] else {
-        eprintln!("usage: bench-diff <history.jsonl> <fresh.json> [--tolerance X] [--window N] [--no-append]");
+        eprintln!(
+            "usage: bench-diff <history.jsonl> <fresh.json> [--tolerance X] [--window N] \
+             [--no-append] [--pair base:probe:tol]\n\
+             \u{20}      bench-diff --pair base:probe:tol <fresh.json>"
+        );
         return ExitCode::from(2);
     };
 
@@ -228,6 +337,7 @@ fn main() -> ExitCode {
             gate(&format!("{} (p99_us)", r.name), r.size, r.threads, p99, prior.1, false);
         }
     }
+    failures += gate_pairs(&fresh, &pairs);
 
     // A failing run never enters the history: appending it would let a
     // retried regression vote itself into the median (two retries and the
@@ -314,6 +424,44 @@ mod tests {
     fn median_is_positional() {
         assert_eq!(median(vec![3.0, 1.0, 2.0]), 2.0);
         assert_eq!(median(vec![5.0, 1.0]), 5.0);
+    }
+
+    #[test]
+    fn pair_spec_parses_and_rejects_malformed_input() {
+        assert_eq!(
+            parse_pair("off:on:0.03"),
+            Some(Pair { base: "off".into(), probe: "on".into(), tolerance: 0.03 })
+        );
+        for bad in ["off:on", "off:on:zero", ":on:0.03", "off::0.03", "a:b:0.03:extra", "a:b:-1"] {
+            assert_eq!(parse_pair(bad), None, "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn pair_gate_checks_throughput_and_p99_within_one_summary() {
+        let rec = |name: &str, metric: f64, p99: Option<f64>| Record {
+            name: name.into(),
+            size: 4096,
+            threads: 4,
+            metric,
+            p99_us: p99,
+        };
+        let pair = |tol: f64| vec![Pair { base: "off".into(), probe: "on".into(), tolerance: tol }];
+        // Within 3% on both axes: passes.
+        let fresh = vec![rec("off", 1000.0, Some(900.0)), rec("on", 985.0, Some(920.0))];
+        assert_eq!(gate_pairs(&fresh, &pair(0.03)), 0);
+        // Throughput 5% down: one failure.
+        let fresh = vec![rec("off", 1000.0, Some(900.0)), rec("on", 950.0, Some(900.0))];
+        assert_eq!(gate_pairs(&fresh, &pair(0.03)), 1);
+        // p99 5% up: one failure.
+        let fresh = vec![rec("off", 1000.0, Some(900.0)), rec("on", 1000.0, Some(945.0))];
+        assert_eq!(gate_pairs(&fresh, &pair(0.03)), 1);
+        // Missing scenario is a failure, never a silent skip.
+        let fresh = vec![rec("off", 1000.0, None)];
+        assert_eq!(gate_pairs(&fresh, &pair(0.03)), 1);
+        // Records without p99 gate throughput only.
+        let fresh = vec![rec("off", 1000.0, None), rec("on", 990.0, None)];
+        assert_eq!(gate_pairs(&fresh, &pair(0.03)), 0);
     }
 
     #[test]

@@ -447,6 +447,17 @@ impl BatchPricer {
         stats
     }
 
+    /// Whether the memo currently holds `request`'s key, without touching
+    /// LRU recency or the hit/miss counters — an observability probe, not a
+    /// lookup.  Always `false` when the memo is disabled.
+    pub fn memo_peek(&self, request: &PricingRequest) -> bool {
+        if !self.memo.enabled {
+            return false;
+        }
+        let key = make_key(request);
+        self.memo.lock(self.memo.shard_of(&key)).map.contains_key(&key)
+    }
+
     /// Drops every memoized price (counters are kept).
     pub fn clear_memo(&self) {
         for shard in 0..self.memo.shards.len() {

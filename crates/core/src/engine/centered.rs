@@ -22,7 +22,7 @@
 //! recurses (Fig. 4(a)), green cells left of the window are pure closed
 //! form.  Work `O(h log² h)`, span `O(h)` (Theorem 4.4).
 
-use super::EngineConfig;
+use super::{kernel_scope, EngineConfig};
 use amopt_parallel::join;
 use amopt_stencil::{advance, Segment, StencilKernel};
 
@@ -80,6 +80,7 @@ where
     G: Fn(u64, i64) -> f64 + Sync,
 {
     // amopt-lint: hot-path
+    kernel_scope!(BaseCase);
     let f = row.boundary;
     let hi = row.hi;
     let t_next = row.t + 1;
@@ -195,13 +196,18 @@ where
         let bulk_len = (hi - f) - 2 * h1 as i64;
         let bulk_task = || {
             if bulk_len >= 1 {
+                kernel_scope!(FftPass);
                 advance(&cur.reds, kernel, h1, cfg.backend)
             } else {
                 // amopt-lint: allow(hot-path-alloc) -- empty-support result; `vec![]` never touches the heap
                 Segment::new(f + h1 as i64 + 1, vec![])
             }
         };
-        let sub_task = || advance_green_left(kernel, green, &sub_row, h1, cfg);
+        let sub_task = || {
+            // Inclusive timing: nested window recursions count in full.
+            kernel_scope!(BoundaryWindow);
+            advance_green_left(kernel, green, &sub_row, h1, cfg)
+        };
         let (bulk_out, sub_out) =
             if parallel { join(bulk_task, sub_task) } else { (bulk_task(), sub_task()) };
 

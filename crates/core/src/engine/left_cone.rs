@@ -40,7 +40,7 @@
 //! the span each step; the recursion windows are genuinely truncated rows of
 //! the same type.
 
-use super::EngineConfig;
+use super::{kernel_scope, EngineConfig};
 use amopt_parallel::join;
 use amopt_stencil::{advance_values_with, with_scratch, Segment, StencilKernel};
 
@@ -167,6 +167,7 @@ where
     G: Fn(u64, i64) -> f64 + Sync,
 {
     // amopt-lint: hot-path
+    kernel_scope!(BaseCase);
     let span = kernel.span() as i64;
     let f = row.boundary;
     let hi1 = row.hi - span;
@@ -216,6 +217,7 @@ fn advance_all_red(
     cfg: &EngineConfig,
 ) -> GreenPrefixRow {
     // amopt-lint: hot-path
+    kernel_scope!(FftPass);
     debug_assert!(row.boundary < 0);
     let span = kernel.span() as i64;
     let hi1 = row.hi - span * h as i64;
@@ -253,6 +255,7 @@ fn advance_certified(
     cfg: &EngineConfig,
 ) -> Segment {
     // amopt-lint: hot-path
+    kernel_scope!(FftPass);
     let span = kernel.span() as i64;
     let f = row.boundary;
     let support_end = row.reds.end() - 1; // last stored column; f when empty
@@ -355,7 +358,11 @@ where
         };
         let parallel = remaining >= cfg.sequential_below;
         let bulk_task = || advance_certified(kernel, &cur, h1, hi_new, cfg);
-        let sub_task = || advance_green_prefix(kernel, green, &sub_row, h1, cfg);
+        let sub_task = || {
+            // Inclusive timing: nested window recursions count in full.
+            kernel_scope!(BoundaryWindow);
+            advance_green_prefix(kernel, green, &sub_row, h1, cfg)
+        };
         let (bulk_out, sub_out) =
             if parallel { join(bulk_task, sub_task) } else { (bulk_task(), sub_task()) };
 

@@ -32,6 +32,18 @@ pub mod right_cone;
 
 use amopt_stencil::{Backend, Segment, StencilKernel};
 
+/// Times the enclosing scope as one kernel phase when the crate is built
+/// with the `obs` feature; expands to nothing otherwise, so the default
+/// build pays no cost — not even the `Instant::now` call.
+macro_rules! kernel_scope {
+    ($phase:ident) => {
+        #[cfg(feature = "obs")]
+        let _kernel_scope =
+            amopt_obs::kernel::KernelScope::start(amopt_obs::kernel::KernelPhase::$phase);
+    };
+}
+pub(crate) use kernel_scope;
+
 /// Obstacle (green-region closed form) of the shape all three pricing models
 /// share: `green(t, c) = α·φ(t, c) + β` where the *node function* `φ` is an
 /// eigenfunction of one linear stencil step `L` (`L φ_t = λ·φ_{t+1}`) and the

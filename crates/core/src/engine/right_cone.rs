@@ -36,7 +36,7 @@
 //! decomposition of Fig. 3(b) — for `O(h log² h)` work and `O(h)` span
 //! (Theorem 2.8).
 
-use super::{EngineConfig, ExpObstacle, RedRow};
+use super::{kernel_scope, EngineConfig, ExpObstacle, RedRow};
 use amopt_parallel::join;
 use amopt_stencil::{advance_values_with, with_scratch, Segment, StencilKernel};
 
@@ -63,6 +63,7 @@ fn advance_premium_row(
     cfg: &EngineConfig,
 ) -> Segment {
     // amopt-lint: hot-path
+    kernel_scope!(FftPass);
     debug_assert!(lo >= reds.start, "requested columns below the stored window");
     with_scratch(|s| {
         let staging = &mut s.staging;
@@ -82,6 +83,7 @@ where
     P: Fn(u64, i64) -> f64 + Sync,
 {
     // amopt-lint: hot-path
+    kernel_scope!(BaseCase);
     let a = row.reds.start;
     let weights = kernel.weights();
     let (da, db) = obstacle.drift_coeffs(1);
@@ -201,7 +203,12 @@ where
             apply_drift(&mut out, obstacle, h1, t_out);
             out
         };
-        let sub_task = || advance_red_row(kernel, obstacle, &sub_row, h1, cfg);
+        let sub_task = || {
+            // Inclusive timing: nested window recursions (and the FFT/base
+            // scopes inside them) each count their full extent.
+            kernel_scope!(BoundaryWindow);
+            advance_red_row(kernel, obstacle, &sub_row, h1, cfg)
+        };
         let (bulk_out, sub_out) =
             if parallel { join(bulk_task, sub_task) } else { (bulk_task(), sub_task()) };
 

@@ -1,0 +1,32 @@
+//! The kernel phase timers advance while pricing — compiled only under the
+//! `obs` feature, which is also the only build in which the engine scopes
+//! exist at all.
+#![cfg(feature = "obs")]
+
+use amopt_core::bopm::{fast, BopmModel};
+use amopt_core::{EngineConfig, OptionParams};
+use amopt_obs::kernel::{self, KernelPhase, KERNEL_PHASES};
+
+#[test]
+fn pricing_drives_all_three_phase_timers() {
+    kernel::reset();
+    let model = BopmModel::new(OptionParams::paper_defaults(), 4096).unwrap();
+    let cfg = EngineConfig::default();
+    let price = fast::price_american_call(&model, &cfg);
+    assert!(price.is_finite() && price > 0.0);
+
+    let snap = kernel::snapshot();
+    for phase in KERNEL_PHASES {
+        let s = snap[phase as usize];
+        assert!(s.calls > 0, "phase {} never entered during a 4096-step pricing", phase.name());
+    }
+    // The FFT bulk dominates a deep pricing; sanity-check the timer actually
+    // accumulated wall time rather than just call counts.
+    assert!(snap[KernelPhase::FftPass as usize].nanos > 0);
+
+    let mut text = String::new();
+    kernel::render_into(&mut text);
+    assert!(text.contains("amopt_kernel_fft_pass_calls_total"), "{text}");
+    assert!(text.contains("amopt_kernel_boundary_window_calls_total"), "{text}");
+    assert!(text.contains("amopt_kernel_base_case_calls_total"), "{text}");
+}

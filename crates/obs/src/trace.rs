@@ -1,0 +1,328 @@
+//! Per-request tracing: a card of monotonic stage timestamps stamped
+//! through the whole request lifecycle.
+//!
+//! A [`RequestTrace`] is created when a request enters the system (socket
+//! accept for wire requests, submit entry for in-process ones) and shared
+//! — one `Arc`, atomic fields, no locks — between the front end that owns
+//! the connection and the worker that executes the batch.  Each lifecycle
+//! stage stores its offset from the card's origin in nanoseconds; offsets
+//! are taken from one monotonic [`Instant`], so a stamped sequence is
+//! non-decreasing by construction and the per-stage durations (successive
+//! differences) sum to exactly the last-stamp end-to-end time.
+//!
+//! [`RequestTrace::finish`] is the single delivery point: it stamps
+//! [`Stage::Delivered`], and its exactly-once flag tells the caller to
+//! record stage histograms and journal the completed [`TraceCard`] — so a
+//! card lands in the journal once no matter how many delivery paths race.
+
+use crate::journal::{Event, EventKind, EVENT_PAYLOAD_WORDS};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of stamped lifecycle stages.
+pub const STAGE_COUNT: usize = 7;
+
+/// Lifecycle stages, in stamping order.  Each stage names the *end* of an
+/// interval; the interval's duration is the difference from the previous
+/// stamped stage (or from the origin for [`Stage::Parsed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Wire line decoded into a request (interval: `parse`).
+    Parsed = 0,
+    /// Admitted past caps/brownout and pushed onto the EDF heap
+    /// (interval: `admit`).
+    Enqueued = 1,
+    /// Popped off the heap by a draining worker — the queue/EDF plus
+    /// coalesce wait ends here (interval: `queue_wait`).
+    Dequeued = 2,
+    /// Batch grouped by kind, driver about to run (interval: `batch_form`).
+    ExecStart = 3,
+    /// Memo peeked for this request's key (interval: `memo_probe`).
+    MemoProbed = 4,
+    /// Result computed and the completion slot filled (interval:
+    /// `execute`).
+    Completed = 5,
+    /// Reply delivered — written to the socket buffer or handed to the
+    /// in-process waiter (interval: `reply_write`).
+    Delivered = 6,
+}
+
+/// Every stage, in stamping order.
+pub const STAGES: [Stage; STAGE_COUNT] = [
+    Stage::Parsed,
+    Stage::Enqueued,
+    Stage::Dequeued,
+    Stage::ExecStart,
+    Stage::MemoProbed,
+    Stage::Completed,
+    Stage::Delivered,
+];
+
+impl Stage {
+    /// Name of the interval *ending* at this stage (used for the per-stage
+    /// histograms and breakdown tables).
+    pub fn interval_name(self) -> &'static str {
+        match self {
+            Stage::Parsed => "parse",
+            Stage::Enqueued => "admit",
+            Stage::Dequeued => "queue_wait",
+            Stage::ExecStart => "batch_form",
+            Stage::MemoProbed => "memo_probe",
+            Stage::Completed => "execute",
+            Stage::Delivered => "reply_write",
+        }
+    }
+
+    fn from_index(i: usize) -> Option<Stage> {
+        STAGES.get(i).copied()
+    }
+}
+
+/// Card flag: the request's price memo held the key at probe time.
+pub const FLAG_MEMO_HIT: u64 = 1 << 0;
+/// Card flag: the request carried an explicit budget and missed it.
+pub const FLAG_DEADLINE_MISS: u64 = 1 << 1;
+/// Card flag: the request resolved to an error response.
+pub const FLAG_ERROR: u64 = 1 << 2;
+/// Card flag: the result was never taken — the requester vanished (its
+/// connection died before the reply could be pumped) and the card was
+/// journaled at abandonment instead of delivery.
+pub const FLAG_ABANDONED: u64 = 1 << 3;
+const FLAG_FINISHED: u64 = 1 << 63;
+
+/// The live, shared trace of one in-flight request.  See the module docs.
+#[derive(Debug)]
+pub struct RequestTrace {
+    origin: Instant,
+    id: AtomicU64,
+    /// Request-kind discriminant (0 price, 1 greeks, 2 implied-vol,
+    /// 3 other), packed into the card.
+    kind: AtomicU64,
+    flags: AtomicU64,
+    stamps: [AtomicU64; STAGE_COUNT],
+}
+
+impl RequestTrace {
+    /// A fresh card whose origin is now.
+    pub fn start() -> Arc<RequestTrace> {
+        Arc::new(RequestTrace {
+            origin: Instant::now(),
+            id: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            flags: AtomicU64::new(0),
+            stamps: std::array::from_fn(|_| AtomicU64::new(0)),
+        })
+    }
+
+    /// Tags the card with the request id (wire id or submit sequence).
+    pub fn set_id(&self, id: u64) {
+        self.id.store(id, Ordering::Relaxed);
+    }
+
+    /// Tags the card with the request-kind discriminant.
+    pub fn set_kind(&self, kind: u64) {
+        self.kind.store(kind, Ordering::Relaxed);
+    }
+
+    /// Sets a `FLAG_*` bit.
+    pub fn set_flag(&self, flag: u64) {
+        // amopt-lint: hot-path
+        self.flags.fetch_or(flag, Ordering::Relaxed);
+    }
+
+    /// Stamps `stage` with the elapsed time since the card's origin.  The
+    /// first stamp wins; re-stamping is a no-op, so racing delivery paths
+    /// cannot move a stamp backwards.  A genuine zero-nanosecond offset is
+    /// stored as 1 ns to keep 0 meaning "unstamped".
+    pub fn stamp(&self, stage: Stage) {
+        // amopt-lint: hot-path
+        let nanos = self.elapsed_nanos().max(1);
+        if let Some(slot) = self.stamps.get(stage as usize) {
+            let _ = slot.compare_exchange(0, nanos, Ordering::Relaxed, Ordering::Relaxed);
+        }
+    }
+
+    /// Nanoseconds since the card's origin (saturating; u64 holds ~584
+    /// years).
+    pub fn elapsed_nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Marks the card delivered: stamps [`Stage::Delivered`] and returns
+    /// `true` for exactly one caller — whoever gets `true` owns recording
+    /// the stage histograms and journaling the card.
+    pub fn finish(&self) -> bool {
+        // amopt-lint: hot-path
+        self.stamp(Stage::Delivered);
+        self.flags.fetch_or(FLAG_FINISHED, Ordering::AcqRel) & FLAG_FINISHED == 0
+    }
+
+    /// A plain-data copy of the card.
+    pub fn card(&self) -> TraceCard {
+        TraceCard {
+            id: self.id.load(Ordering::Relaxed),
+            kind: self.kind.load(Ordering::Relaxed),
+            flags: self.flags.load(Ordering::Relaxed) & !FLAG_FINISHED,
+            stamps: std::array::from_fn(|i| self.stamps[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A completed (or in-flight) trace card: plain data, journal-packable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceCard {
+    /// Request id (wire id, or the submit sequence for in-process calls).
+    pub id: u64,
+    /// Request-kind discriminant (0 price, 1 greeks, 2 implied-vol).
+    pub kind: u64,
+    /// `FLAG_*` bits.
+    pub flags: u64,
+    /// Per-stage offsets from the card origin, nanoseconds; 0 = unstamped.
+    pub stamps: [u64; STAGE_COUNT],
+}
+
+impl TraceCard {
+    /// Per-stage durations in nanoseconds: for each *stamped* stage, the
+    /// difference from the previous stamped stage (origin for the first).
+    /// Unstamped stages yield `None`.  The sum of all `Some` durations
+    /// equals the largest stamp — i.e. the stage breakdown reconstructs
+    /// the end-to-end latency exactly.
+    pub fn stage_nanos(&self) -> [Option<u64>; STAGE_COUNT] {
+        let mut out = [None; STAGE_COUNT];
+        let mut prev = 0u64;
+        for (i, &stamp) in self.stamps.iter().enumerate() {
+            if stamp == 0 {
+                continue;
+            }
+            out[i] = Some(stamp.saturating_sub(prev));
+            prev = prev.max(stamp);
+        }
+        out
+    }
+
+    /// End-to-end nanoseconds: the largest stamp (delivery when the card
+    /// finished normally).
+    pub fn end_to_end_nanos(&self) -> u64 {
+        self.stamps.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether the stamped stages are non-decreasing in stamping order.
+    pub fn is_monotone(&self) -> bool {
+        let mut prev = 0u64;
+        for &stamp in &self.stamps {
+            if stamp == 0 {
+                continue;
+            }
+            if stamp < prev {
+                return false;
+            }
+            prev = stamp;
+        }
+        true
+    }
+
+    /// Packs the card into a journal event.
+    pub fn to_event(&self) -> Event {
+        let mut payload = [0u64; EVENT_PAYLOAD_WORDS];
+        payload[0] = self.id;
+        payload[1] = (self.kind << 32) | (self.flags & 0xffff_ffff);
+        payload[2..2 + STAGE_COUNT].copy_from_slice(&self.stamps);
+        Event { kind: EventKind::Trace, payload }
+    }
+
+    /// Unpacks a card from a journal event (`None` for other kinds).
+    pub fn from_event(event: &Event) -> Option<TraceCard> {
+        if event.kind != EventKind::Trace {
+            return None;
+        }
+        let mut stamps = [0u64; STAGE_COUNT];
+        stamps.copy_from_slice(&event.payload[2..2 + STAGE_COUNT]);
+        Some(TraceCard {
+            id: event.payload[0],
+            kind: event.payload[1] >> 32,
+            flags: event.payload[1] & 0xffff_ffff,
+            stamps,
+        })
+    }
+
+    /// `(interval name, duration)` for every stamped stage, in order.
+    pub fn breakdown(&self) -> Vec<(&'static str, u64)> {
+        self.stage_nanos()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, d)| Some((Stage::from_index(i)?.interval_name(), (*d)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_are_monotone_and_durations_reconstruct_end_to_end() {
+        let trace = RequestTrace::start();
+        trace.set_id(42);
+        trace.set_kind(1);
+        for stage in STAGES {
+            trace.stamp(stage);
+        }
+        let card = trace.card();
+        assert!(card.is_monotone());
+        let total: u64 = card.stage_nanos().iter().flatten().sum();
+        assert_eq!(total, card.end_to_end_nanos());
+        assert_eq!(card.id, 42);
+        assert_eq!(card.kind, 1);
+        assert_eq!(card.breakdown().len(), STAGE_COUNT);
+    }
+
+    #[test]
+    fn first_stamp_wins() {
+        let trace = RequestTrace::start();
+        trace.stamp(Stage::Parsed);
+        let first = trace.card().stamps[0];
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        trace.stamp(Stage::Parsed);
+        assert_eq!(trace.card().stamps[0], first);
+    }
+
+    #[test]
+    fn finish_returns_true_exactly_once() {
+        let trace = RequestTrace::start();
+        assert!(trace.finish());
+        assert!(!trace.finish());
+        assert!(trace.card().stamps[Stage::Delivered as usize] > 0);
+        // The finished bit is bookkeeping, not part of the card's flags.
+        assert_eq!(trace.card().flags, 0);
+    }
+
+    #[test]
+    fn cards_round_trip_through_journal_events() {
+        let card = TraceCard {
+            id: 7,
+            kind: 2,
+            flags: FLAG_MEMO_HIT | FLAG_DEADLINE_MISS,
+            stamps: [1, 2, 3, 4, 5, 6, 7],
+        };
+        let back = TraceCard::from_event(&card.to_event()).expect("trace event");
+        assert_eq!(back, card);
+        let fault = Event::new(EventKind::Fault, &[1, 2]);
+        assert_eq!(TraceCard::from_event(&fault), None);
+    }
+
+    #[test]
+    fn unstamped_stages_are_skipped_in_the_breakdown() {
+        let card = TraceCard { id: 0, kind: 0, flags: 0, stamps: [0, 10, 0, 30, 0, 90, 100] };
+        let nanos = card.stage_nanos();
+        assert_eq!(nanos[0], None);
+        assert_eq!(nanos[1], Some(10));
+        assert_eq!(nanos[3], Some(20));
+        assert_eq!(nanos[5], Some(60));
+        assert_eq!(nanos[6], Some(10));
+        let total: u64 = nanos.iter().flatten().sum();
+        assert_eq!(total, card.end_to_end_nanos());
+        assert!(card.is_monotone());
+        assert!(!TraceCard { stamps: [5, 4, 0, 0, 0, 0, 0], ..card }.is_monotone());
+    }
+}

@@ -36,7 +36,7 @@
 use crate::fault::{FaultPlan, FaultSchedule, FaultSite, FaultStats};
 use crate::tcp::{QuoteServer, TcpQuoteClient};
 use crate::wire;
-use crate::ServiceConfig;
+use crate::{Event, ServiceConfig, ServiceStats};
 use amopt_core::batch::surface::VolQuote;
 use amopt_core::batch::{ModelKind, PricingRequest};
 use amopt_core::{OptionParams, OptionType};
@@ -160,6 +160,14 @@ pub struct ChaosReport {
     pub workers_expected: u64,
     /// Workers the watchdog respawned during the run.
     pub worker_restarts: u64,
+    /// Full service-side stats snapshot after the settle wait (the fields
+    /// above are the headline subset; the journal audit needs the rest —
+    /// retries, sheds per class, deadline misses).
+    pub service: ServiceStats,
+    /// Quiesced event-journal snapshot taken after shutdown, oldest first.
+    /// The soak sizes the ring so nothing is evicted: every fault firing,
+    /// shed, retry, restart, and trace card of the run is here.
+    pub journal: Vec<Event>,
     /// Invariant violations (empty ⇔ the soak passed).
     pub violations: Vec<String>,
 }
@@ -265,6 +273,10 @@ fn soak_config(fault: Option<Arc<FaultPlan>>) -> ServiceConfig {
         max_batch: 32,
         max_wait: Duration::from_millis(1),
         fault,
+        // Sized so the event journal cannot evict mid-soak: the report's
+        // journal snapshot must hold *every* fault firing and decision for
+        // the exactly-once audit in tests/chaos.rs.
+        journal_capacity: 1 << 15,
         ..ServiceConfig::default()
     }
 }
@@ -426,6 +438,9 @@ pub fn soak(cfg: &ChaosConfig) -> io::Result<ChaosReport> {
         stats = server.service().stats();
     }
     server.shutdown();
+    // Snapshot the journal only after shutdown: with no concurrent writers
+    // the seqlocked ring skips nothing, so the copy is complete.
+    let journal = server.service().journal().snapshot();
     let faults = plan.stats();
 
     let mut violations = Vec::new();
@@ -488,6 +503,8 @@ pub fn soak(cfg: &ChaosConfig) -> io::Result<ChaosReport> {
         workers_alive: stats.workers_alive,
         workers_expected: CHAOS_WORKERS as u64,
         worker_restarts: stats.worker_restarts,
+        service: stats,
+        journal,
         violations,
     })
 }

@@ -77,6 +77,15 @@ pub struct ServiceConfig {
     /// (`None`, the default, injects nothing and costs nothing on the hot
     /// path beyond one pointer test).
     pub fault: Option<Arc<FaultPlan>>,
+    /// Whether per-request trace cards are stamped and journaled.  On by
+    /// default: a card is one `Arc` allocation at accept plus lock-free
+    /// CAS stamps; the bench overhead gate pins the cost under 3%.
+    pub trace: bool,
+    /// Event-journal ring capacity (completed trace cards, fault firings,
+    /// sheds, retries, worker restarts, deadline misses).  Rounded up to a
+    /// power of two; the ring overwrites oldest-first, so size it for the
+    /// window a post-mortem needs.
+    pub journal_capacity: usize,
 }
 
 /// Brownout degradation tiers: queue-fill fractions past which each
@@ -135,6 +144,8 @@ impl Default for ServiceConfig {
             degradation: DegradationPolicy::default(),
             retry_budget: 128,
             fault: None,
+            trace: true,
+            journal_capacity: 4096,
         }
     }
 }
@@ -149,6 +160,7 @@ impl ServiceConfig {
         self.per_conn_inflight = self.per_conn_inflight.max(1);
         self.memo_shards = self.memo_shards.max(1);
         self.max_connections = self.max_connections.max(1);
+        self.journal_capacity = self.journal_capacity.max(8);
         self
     }
 }

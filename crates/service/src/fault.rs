@@ -34,9 +34,10 @@
 //!
 //! [`WaitFault`]: epoll::WaitFault
 
+use crate::obs::ServiceObs;
 use std::io::{self, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
 /// Number of distinct injection sites.
@@ -209,6 +210,11 @@ pub struct FaultPlan {
     schedule: FaultSchedule,
     consulted: [AtomicU64; SITE_COUNT],
     fired: [AtomicU64; SITE_COUNT],
+    /// Observability hook a service attaches at start: every firing is
+    /// counted and journaled through it.  Empty until (unless) the plan
+    /// serves a [`QuoteService`](crate::QuoteService); a plan driven
+    /// standalone records nothing beyond its own `fired` counters.
+    observer: OnceLock<Arc<ServiceObs>>,
 }
 
 /// SplitMix64: the standard 64-bit finalizer, bijective and well mixed.
@@ -247,7 +253,13 @@ impl FaultPlan {
             schedule,
             consulted: std::array::from_fn(|_| AtomicU64::new(0)),
             fired: std::array::from_fn(|_| AtomicU64::new(0)),
+            observer: OnceLock::new(),
         })
+    }
+
+    /// Attaches the service's observability hook (first caller wins).
+    pub(crate) fn attach_observer(&self, obs: Arc<ServiceObs>) {
+        let _ = self.observer.set(obs);
     }
 
     /// The hostile chaos schedule compiled for `seed`.
@@ -268,9 +280,13 @@ impl FaultPlan {
     /// Consumes one consultation of `site`; returns the firing's
     /// consultation index when it fires (for magnitude draws).
     fn fire_indexed(&self, site: FaultSite) -> Option<u64> {
+        // amopt-lint: hot-path
         let index = cell(&self.consulted, site).fetch_add(1, Ordering::Relaxed);
         if decides(self.seed, site, self.schedule.rate(site), index) {
             cell(&self.fired, site).fetch_add(1, Ordering::Relaxed);
+            if let Some(obs) = self.observer.get() {
+                obs.fault_fired(site, index);
+            }
             Some(index)
         } else {
             None

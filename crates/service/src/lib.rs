@@ -63,6 +63,7 @@
 pub mod chaos;
 mod config;
 pub mod fault;
+mod obs;
 mod queue;
 pub mod reactor;
 pub mod sync;
@@ -72,12 +73,20 @@ pub mod wire;
 
 pub use chaos::{soak, ChaosConfig, ChaosReport};
 pub use config::{DegradationPolicy, FrontEnd, ServiceConfig};
-pub use fault::{FaultPlan, FaultSchedule, FaultSite, FaultStats};
+pub use fault::{FaultPlan, FaultSchedule, FaultSite, FaultStats, FAULT_SITES};
 pub use queue::{Client, QuoteService, RetryPolicy, Ticket};
 pub use tcp::{QuoteServer, TcpQuoteClient};
 pub use types::{
     BatchHistogram, ReactorStats, ServiceError, ServiceRequest, ServiceResponse, ServiceStats,
     ShedByClass,
+};
+
+// Re-exported observability vocabulary, so wire consumers and the chaos
+// tests can decode journal events and trace cards without depending on
+// `amopt-obs` directly.
+pub use amopt_obs::{
+    Event, EventKind, Journal, Stage, TraceCard, FLAG_ABANDONED, FLAG_DEADLINE_MISS, FLAG_ERROR,
+    FLAG_MEMO_HIT,
 };
 
 /// Result alias for service submissions.

@@ -44,13 +44,13 @@
 
 use crate::config::{DegradationPolicy, ServiceConfig};
 use crate::fault::FaultSite;
+use crate::obs::{legacy_batch_hist, ServiceObs, KIND_GREEKS, KIND_IMPLIED_VOL, KIND_PRICE};
 use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
-use crate::types::{
-    BatchHistogram, ServiceError, ServiceRequest, ServiceResponse, ServiceStats, ShedByClass,
-};
+use crate::types::{ServiceError, ServiceRequest, ServiceResponse, ServiceStats, ShedByClass};
 use crate::ServiceResult;
 use amopt_core::batch::surface::{implied_vol_surface, VolQuote};
 use amopt_core::batch::{greeks as batch_greeks, BatchPricer, PricingRequest};
+use amopt_obs::{Journal, RequestTrace, Stage, TraceCard};
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -136,6 +136,8 @@ struct Pending {
     seq: u64,
     /// Fair-share key: which client handle submitted this.
     client_id: u64,
+    /// Flightdeck trace card riding along (absent when tracing is off).
+    trace: Option<Arc<RequestTrace>>,
     _permit: InflightPermit,
 }
 
@@ -173,42 +175,6 @@ struct QueueState {
     shutdown: bool,
 }
 
-#[derive(Debug, Default)]
-struct Counters {
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected_queue_full: AtomicU64,
-    rejected_inflight: AtomicU64,
-    rejected_shutdown: AtomicU64,
-    batches: AtomicU64,
-    /// Requests with a caller-supplied budget whose deadline had already
-    /// passed when their result was delivered.
-    deadline_misses: AtomicU64,
-    /// Heap pops performed while draining batches (over `batches`, this
-    /// gives the mean per-flush pop count — pops exceed batch sizes when
-    /// the fair-share cap sets entries aside).
-    heap_pops: AtomicU64,
-    batch_hist: [AtomicU64; crate::types::BATCH_HIST_BUCKETS],
-    /// Workers that panicked out of the loop and were respawned.
-    worker_restarts: AtomicU64,
-    /// Workers currently alive (incremented before spawn, decremented by
-    /// the watchdog guard as the thread dies).
-    workers_alive: AtomicU64,
-    /// Retries performed by [`Client::call_with_retry`].
-    retries: AtomicU64,
-    /// Retries refused because the budget ran dry.
-    retry_budget_exhausted: AtomicU64,
-    /// Retry-budget token bucket, in *tenths* of a retry: a retry spends
-    /// 10, a clean first-attempt success earns 1 back (capped at the
-    /// configured budget), so retry traffic is bounded at the budget plus
-    /// ~10% of successful throughput.
-    retry_tokens: AtomicU64,
-    /// Brownout sheds per class: price, greeks, implied-vol.
-    shed_price: AtomicU64,
-    shed_greeks: AtomicU64,
-    shed_implied_vol: AtomicU64,
-}
-
 #[derive(Debug)]
 struct Shared {
     cfg: ServiceConfig,
@@ -216,7 +182,16 @@ struct Shared {
     state: Mutex<QueueState>,
     /// Signalled on every enqueue and on shutdown.
     work: Condvar,
-    counters: Counters,
+    /// The Flightdeck spine: every counter, gauge, histogram, trace card,
+    /// and journal event the service emits funnels through here.
+    obs: Arc<ServiceObs>,
+    /// Retry-budget token bucket, in *tenths* of a retry: a retry spends
+    /// 10, a clean first-attempt success earns 1 back (capped at the
+    /// configured budget), so retry traffic is bounded at the budget plus
+    /// ~10% of successful throughput.  Kept as a raw atomic (the spend
+    /// path is a CAS loop, not a plain add) and mirrored to the
+    /// `amopt_retry_tokens` gauge after every state change.
+    retry_tokens: AtomicU64,
     /// Client-handle id allocator (fair-share key).
     next_client: AtomicU64,
     /// Worker thread handles.  Lives in `Shared` (not `QuoteService`) so
@@ -228,19 +203,21 @@ struct Shared {
 impl Shared {
     /// Spends one retry token (10 tenths); `false` when the bucket is dry.
     fn spend_retry_token(&self) -> bool {
-        self.counters
+        let spent = self
             .retry_tokens
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| t.checked_sub(10))
-            .is_ok()
+            .is_ok();
+        self.obs.retry_tokens.set(self.retry_tokens.load(Ordering::Acquire));
+        spent
     }
 
     /// Earns a tenth of a retry token, capped at the configured budget.
     fn earn_retry_tenth(&self) {
         let cap = self.cfg.retry_budget as u64 * 10;
         let _ = self
-            .counters
             .retry_tokens
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |t| (t < cap).then_some(t + 1));
+        self.obs.retry_tokens.set(self.retry_tokens.load(Ordering::Acquire));
     }
 }
 
@@ -256,7 +233,7 @@ pub struct QuoteService {
 /// `workers_alive` is incremented *before* the spawn so a stats read right
 /// after `start`/respawn already counts the worker.
 fn spawn_worker(shared: &Arc<Shared>, index: usize) -> std::io::Result<()> {
-    shared.counters.workers_alive.fetch_add(1, Ordering::Relaxed);
+    shared.obs.workers_alive.add(1);
     let worker_shared = Arc::clone(shared);
     let spawned = std::thread::Builder::new().name(format!("amopt-service-worker-{index}")).spawn(
         move || {
@@ -270,7 +247,7 @@ fn spawn_worker(shared: &Arc<Shared>, index: usize) -> std::io::Result<()> {
             Ok(())
         }
         Err(e) => {
-            shared.counters.workers_alive.fetch_sub(1, Ordering::Relaxed);
+            shared.obs.workers_alive.sub(1);
             Err(e)
         }
     }
@@ -290,7 +267,7 @@ struct WorkerGuard {
 
 impl Drop for WorkerGuard {
     fn drop(&mut self) {
-        self.shared.counters.workers_alive.fetch_sub(1, Ordering::Relaxed);
+        self.shared.obs.workers_alive.sub(1);
         if !std::thread::panicking() {
             return;
         }
@@ -302,7 +279,7 @@ impl Drop for WorkerGuard {
             return;
         }
         if spawn_worker(&self.shared, self.index).is_ok() {
-            self.shared.counters.worker_restarts.fetch_add(1, Ordering::Relaxed);
+            self.shared.obs.worker_restarted(self.index as u64);
         }
     }
 }
@@ -322,17 +299,26 @@ impl QuoteService {
     pub fn start(cfg: ServiceConfig) -> std::io::Result<Self> {
         let cfg = cfg.normalised();
         let pricer = BatchPricer::with_memo_config(cfg.engine, cfg.memo_capacity, cfg.memo_shards);
+        let obs = ServiceObs::new(cfg.trace, cfg.journal_capacity);
+        if let Some(plan) = &cfg.fault {
+            // Wire the fault plan's firing funnel into the journal and the
+            // per-site counters.  `attach_observer` is first-write-wins, so
+            // reusing one plan across services keeps the first journal.
+            plan.attach_observer(Arc::clone(&obs));
+        }
         let shared = Arc::new(Shared {
             cfg,
             pricer,
             state: Mutex::new(QueueState::default()),
             work: Condvar::new(),
-            counters: Counters::default(),
+            obs,
+            retry_tokens: AtomicU64::new(0),
             next_client: AtomicU64::new(0),
             workers: Mutex::new(Vec::new()),
         });
         // Fill the retry-budget token bucket (tenths of a retry).
-        shared.counters.retry_tokens.store(shared.cfg.retry_budget as u64 * 10, Ordering::Relaxed);
+        shared.retry_tokens.store(shared.cfg.retry_budget as u64 * 10, Ordering::Relaxed);
+        shared.obs.retry_tokens.set(shared.cfg.retry_budget as u64 * 10);
         for i in 0..shared.cfg.workers {
             if let Err(e) = spawn_worker(&shared, i) {
                 lock_unpoisoned(&shared.state).shutdown = true;
@@ -365,36 +351,70 @@ impl QuoteService {
 
     /// Point-in-time counters: queue depth, batch-size histogram, memo hit
     /// rate, rejection / deadline-miss / heap-pop counts.
+    ///
+    /// Since the Flightdeck refactor this is a *view* assembled from the
+    /// metrics registry — the same instruments `metrics_text` exposes — so
+    /// the legacy `stats` wire op and the Prometheus exposition can never
+    /// disagree.
     pub fn stats(&self) -> ServiceStats {
-        let c = &self.shared.counters;
+        let o = &self.shared.obs;
         let queue_depth = self.shared.state.lock().map(|s| s.heap.len()).unwrap_or_default();
-        let mut hist = BatchHistogram::default();
-        for (slot, counter) in hist.0.iter_mut().zip(&c.batch_hist) {
-            *slot = counter.load(Ordering::Relaxed);
-        }
         ServiceStats {
             queue_depth,
-            submitted: c.submitted.load(Ordering::Relaxed),
-            completed: c.completed.load(Ordering::Relaxed),
-            rejected_queue_full: c.rejected_queue_full.load(Ordering::Relaxed),
-            rejected_inflight: c.rejected_inflight.load(Ordering::Relaxed),
-            rejected_shutdown: c.rejected_shutdown.load(Ordering::Relaxed),
-            batches: c.batches.load(Ordering::Relaxed),
-            deadline_misses: c.deadline_misses.load(Ordering::Relaxed),
-            heap_pops: c.heap_pops.load(Ordering::Relaxed),
-            batch_sizes: hist,
+            submitted: o.submitted.get(),
+            completed: o.completed.get(),
+            rejected_queue_full: o.rejected_queue_full.get(),
+            rejected_inflight: o.rejected_inflight.get(),
+            rejected_shutdown: o.rejected_shutdown.get(),
+            batches: o.batches.get(),
+            deadline_misses: o.deadline_misses.get(),
+            heap_pops: o.heap_pops.get(),
+            batch_sizes: legacy_batch_hist(&o.batch_size.snapshot()),
             memo: self.shared.pricer.memo_stats(),
-            worker_restarts: c.worker_restarts.load(Ordering::Relaxed),
-            workers_alive: c.workers_alive.load(Ordering::Relaxed),
-            retries: c.retries.load(Ordering::Relaxed),
-            retry_budget_exhausted: c.retry_budget_exhausted.load(Ordering::Relaxed),
+            worker_restarts: o.worker_restarts.get(),
+            workers_alive: o.workers_alive.get(),
+            retries: o.retries.get(),
+            retry_budget_exhausted: o.retry_budget_exhausted.get(),
             shed_by_class: ShedByClass {
-                price: c.shed_price.load(Ordering::Relaxed),
-                greeks: c.shed_greeks.load(Ordering::Relaxed),
-                implied_vol: c.shed_implied_vol.load(Ordering::Relaxed),
+                price: o.shed_price.get(),
+                greeks: o.shed_greeks.get(),
+                implied_vol: o.shed_implied_vol.get(),
             },
-            reactor: Default::default(),
+            reactor: o.reactor_stats(),
         }
+    }
+
+    /// The full Prometheus-style metrics exposition: every registry
+    /// instrument plus the kernel phase timers, with scrape-time gauges
+    /// (memo, journal) refreshed first.
+    pub fn metrics_text(&self) -> String {
+        self.shared
+            .obs
+            .queue_depth
+            .set(self.shared.state.lock().map(|s| s.heap.len()).unwrap_or_default() as u64);
+        self.shared.obs.render(&self.shared.pricer.memo_stats())
+    }
+
+    /// The most recent `n` completed request trace cards, oldest first,
+    /// sampled from the event journal without stopping writers.
+    pub fn recent_traces(&self, n: usize) -> Vec<TraceCard> {
+        self.shared.obs.recent_traces(n)
+    }
+
+    /// The event journal — completed trace cards, fault firings, sheds,
+    /// retries, worker restarts, and deadline misses, in push order.
+    pub fn journal(&self) -> &Arc<Journal> {
+        self.shared.obs.journal()
+    }
+
+    /// Number of instruments registered with the metrics registry.
+    pub fn instrument_count(&self) -> usize {
+        self.shared.obs.instrument_count()
+    }
+
+    /// The observability spine, shared with the front ends.
+    pub(crate) fn obs(&self) -> &Arc<ServiceObs> {
+        &self.shared.obs
     }
 
     /// Stops accepting new requests, drains and answers everything already
@@ -466,6 +486,26 @@ impl Client {
         request: ServiceRequest,
         budget: Option<Duration>,
     ) -> Result<Ticket, ServiceError> {
+        // amopt-lint: hot-path
+        let trace = self.shared.obs.trace_start();
+        if let Some(trace) = &trace {
+            trace.set_id(self.shared.obs.next_trace_id());
+            trace.set_kind(ServiceObs::kind_of(&request));
+            trace.stamp(Stage::Parsed);
+        }
+        self.submit_traced(request, budget, trace)
+    }
+
+    /// The submit funnel behind [`Client::submit_with_deadline`]: the wire
+    /// front ends call this directly with a trace card they started before
+    /// decoding, so the parse interval covers the actual wire decode.
+    pub(crate) fn submit_traced(
+        &self,
+        request: ServiceRequest,
+        budget: Option<Duration>,
+        trace: Option<Arc<RequestTrace>>,
+    ) -> Result<Ticket, ServiceError> {
+        // amopt-lint: hot-path
         let shared = &self.shared;
         // In-flight cap first: it is client-local, so a saturated client
         // cannot even contend on the queue lock.
@@ -475,7 +515,7 @@ impl Client {
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |v| (v < cap).then_some(v + 1))
             .is_err()
         {
-            shared.counters.rejected_inflight.fetch_add(1, Ordering::Relaxed);
+            shared.obs.rejected_inflight.inc();
             return Err(ServiceError::Overloaded { what: "per-connection in-flight cap" });
         }
         let permit = InflightPermit(Arc::clone(&self.inflight));
@@ -497,16 +537,17 @@ impl Client {
                 };
             }
         }
+        let delivery = trace.as_ref().map(|t| (Arc::clone(t), Arc::clone(&shared.obs)));
         {
             let mut state = lock_unpoisoned(&shared.state);
             if state.shutdown {
                 drop(state);
-                shared.counters.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+                shared.obs.rejected_shutdown.inc();
                 return Err(ServiceError::ShuttingDown);
             }
             if state.heap.len() >= shared.cfg.queue_depth {
                 drop(state);
-                shared.counters.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                shared.obs.rejected_queue_full.inc();
                 return Err(ServiceError::Overloaded { what: "submission queue full" });
             }
             // Brownout tiers: under sustained queue pressure, shed untagged
@@ -523,7 +564,8 @@ impl Client {
                         if DegradationPolicy::sheds(policy.shed_implied_vol_at, fill, depth) =>
                     {
                         Some((
-                            &shared.counters.shed_implied_vol,
+                            KIND_IMPLIED_VOL,
+                            &shared.obs.shed_implied_vol,
                             "brownout: implied-vol inversions shed under queue pressure",
                         ))
                     }
@@ -531,7 +573,8 @@ impl Client {
                         if DegradationPolicy::sheds(policy.shed_greeks_at, fill, depth) =>
                     {
                         Some((
-                            &shared.counters.shed_greeks,
+                            KIND_GREEKS,
+                            &shared.obs.shed_greeks,
                             "brownout: greeks ladders shed under queue pressure",
                         ))
                     }
@@ -539,15 +582,17 @@ impl Client {
                         if DegradationPolicy::sheds(policy.shed_price_at, fill, depth) =>
                     {
                         Some((
-                            &shared.counters.shed_price,
+                            KIND_PRICE,
+                            &shared.obs.shed_price,
                             "brownout: untagged quotes shed under queue pressure",
                         ))
                     }
                     _ => None,
                 };
-                if let Some((counter, what)) = shed {
+                if let Some((class, counter, what)) = shed {
                     drop(state);
-                    counter.fetch_add(1, Ordering::Relaxed);
+                    counter.inc();
+                    shared.obs.shed_fired(class);
                     return Err(ServiceError::Overloaded { what });
                 }
             }
@@ -560,15 +605,19 @@ impl Client {
                 explicit_deadline: budget.is_some(),
                 seq,
                 client_id: self.id,
+                trace,
                 _permit: permit,
             });
         }
-        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        if let Some((trace, _)) = &delivery {
+            trace.stamp(Stage::Enqueued);
+        }
+        shared.obs.submitted.inc();
         // notify_all, not notify_one: a new earliest deadline must re-arm
         // the timeout of whichever worker is coalescing, which is not
         // necessarily the one `notify_one` would pick.
         shared.work.notify_all();
-        Ok(Ticket { slot })
+        Ok(Ticket { slot, delivery })
     }
 
     /// Submits a request and blocks for its response.
@@ -601,10 +650,10 @@ impl Client {
                         return Err(ServiceError::Overloaded { what });
                     }
                     if !self.shared.spend_retry_token() {
-                        self.shared.counters.retry_budget_exhausted.fetch_add(1, Ordering::Relaxed);
+                        self.shared.obs.retry_budget_exhausted.inc();
                         return Err(ServiceError::Overloaded { what });
                     }
-                    self.shared.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    self.shared.obs.retry_fired(self.id, attempt as u64);
                     std::thread::sleep(policy.backoff(self.id, attempt));
                 }
                 result => {
@@ -693,20 +742,33 @@ impl RetryPolicy {
 #[derive(Debug)]
 pub struct Ticket {
     slot: Arc<Slot>,
+    /// Delivery pair — the trace card this request carries and the obs
+    /// spine to record it into — so taking the result stamps
+    /// [`Stage::Delivered`] and journals the completed card exactly once.
+    delivery: Option<(Arc<RequestTrace>, Arc<ServiceObs>)>,
 }
 
 impl Ticket {
     /// Blocks until the coalesced batch containing this request has
     /// executed and returns the request's own result.
-    pub fn wait(self) -> ServiceResult {
-        self.slot.wait()
+    pub fn wait(mut self) -> ServiceResult {
+        let result = self.slot.wait();
+        if let Some((trace, obs)) = self.delivery.take() {
+            obs.deliver(&trace, result.is_err());
+        }
+        result
     }
 
     /// Non-blocking poll: the result if the batch has executed, `None`
     /// otherwise.  The reactor uses this to pump in-order replies without
     /// ever parking its event loop.
     pub(crate) fn try_take(&self) -> Option<ServiceResult> {
-        lock_unpoisoned(&self.slot.done).take()
+        // amopt-lint: hot-path
+        let result = lock_unpoisoned(&self.slot.done).take()?;
+        if let Some((trace, obs)) = &self.delivery {
+            obs.deliver(trace, result.is_err());
+        }
+        Some(result)
     }
 
     /// Arms a completion callback, fired exactly once — immediately if the
@@ -727,6 +789,21 @@ impl Ticket {
             if let Some(callback) = callback {
                 callback();
             }
+        }
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        // A ticket dropped with its delivery pair still armed was never
+        // resolved through `wait` — the requester vanished (typically a
+        // connection torn down before the reactor could pump the reply).
+        // Journal the card anyway, flagged abandoned, so the flight
+        // recorder accounts every accepted request exactly once.  After a
+        // `try_take` delivery this finds the card already finished and
+        // does nothing.
+        if let Some((trace, obs)) = self.delivery.take() {
+            obs.abandon(&trace);
         }
     }
 }
@@ -785,7 +862,7 @@ fn worker_loop(shared: &Shared) {
             }
             // Phase 3: drain up to max_batch entries in EDF order with a
             // per-client fair share.
-            drain_edf(&mut state, &shared.cfg, &shared.counters)
+            drain_edf(&mut state, &shared.cfg, &shared.obs)
         };
         execute(shared, batch);
     }
@@ -797,7 +874,7 @@ fn worker_loop(shared: &Shared) {
 /// whatever room the batch has left once the heap is exhausted, so the
 /// flush never runs below capacity while work is queued.  Unused parked
 /// entries go back on the heap.
-fn drain_edf(state: &mut QueueState, cfg: &ServiceConfig, counters: &Counters) -> Vec<Pending> {
+fn drain_edf(state: &mut QueueState, cfg: &ServiceConfig, obs: &ServiceObs) -> Vec<Pending> {
     let mut distinct: Vec<u64> = Vec::new();
     for entry in state.heap.iter() {
         if !distinct.contains(&entry.client_id) {
@@ -828,7 +905,7 @@ fn drain_edf(state: &mut QueueState, cfg: &ServiceConfig, counters: &Counters) -
             parked.push(entry);
         }
     }
-    counters.heap_pops.fetch_add(pops, Ordering::Relaxed);
+    obs.heap_pops.add(pops);
     // Work-conserving backfill, then return the rest to the heap.
     let mut parked = parked.into_iter();
     while batch.len() < cfg.max_batch {
@@ -837,6 +914,15 @@ fn drain_edf(state: &mut QueueState, cfg: &ServiceConfig, counters: &Counters) -
     }
     for entry in parked {
         state.heap.push(entry);
+    }
+    // The drained entries leave the EDF queue here — stamp the end of
+    // their queue/coalesce wait.  (Parked entries back on the heap keep an
+    // unstamped slot; the CAS stamp is first-wins, so a later real drain
+    // still lands.)
+    for entry in &batch {
+        if let Some(trace) = &entry.trace {
+            trace.stamp(Stage::Dequeued);
+        }
     }
     batch
 }
@@ -894,7 +980,12 @@ fn run_shielded<R, T>(
 fn execute(shared: &Shared, batch: Vec<Pending>) {
     // amopt-lint: hot-path
     // amopt-lint: allow-scope(hot-path-alloc) -- per-batch grouping/scatter buffers are O(batch); request payloads are cloned exactly once into the driver slices
-    let c = &shared.counters;
+    let o = &shared.obs;
+    for pending in &batch {
+        if let Some(trace) = &pending.trace {
+            trace.stamp(Stage::ExecStart);
+        }
+    }
     let plan = shared.cfg.fault.as_deref();
     if let Some(plan) = plan {
         if let Some(stall) = plan.stall() {
@@ -911,13 +1002,13 @@ fn execute(shared: &Shared, batch: Vec<Pending>) {
             return;
         }
     }
-    c.batches.fetch_add(1, Ordering::Relaxed);
-    if let Some(bucket) = c.batch_hist.get(BatchHistogram::bucket_of(batch.len())) {
-        bucket.fetch_add(1, Ordering::Relaxed);
-    }
+    o.batches.inc();
+    o.batch_size.record(batch.len() as u64);
 
     // Group by request kind, tracking batch indices alongside the driver
-    // input slices — the request payloads are cloned exactly once.
+    // input slices — the request payloads are cloned exactly once.  Traced
+    // price requests probe the memo on the way past (recency- and
+    // counter-neutral) so their cards can carry the hit flag.
     let mut prices: Vec<usize> = Vec::new();
     let mut price_reqs: Vec<PricingRequest> = Vec::new();
     let mut greeks: Vec<usize> = Vec::new();
@@ -927,6 +1018,12 @@ fn execute(shared: &Shared, batch: Vec<Pending>) {
     for (i, pending) in batch.iter().enumerate() {
         match &pending.request {
             ServiceRequest::Price(req) => {
+                if let Some(trace) = &pending.trace {
+                    if shared.pricer.memo_peek(req) {
+                        trace.set_flag(amopt_obs::FLAG_MEMO_HIT);
+                    }
+                    trace.stamp(Stage::MemoProbed);
+                }
                 prices.push(i);
                 price_reqs.push(req.clone());
             }
@@ -950,7 +1047,7 @@ fn execute(shared: &Shared, batch: Vec<Pending>) {
         // The index vectors partition the batch, so every `i` is in range
         // and completed exactly once; if that bookkeeping ever broke,
         // skipping the entry beats panicking the worker.
-        let Some(Pending { slot, deadline, explicit_deadline, _permit, .. }) =
+        let Some(Pending { slot, deadline, explicit_deadline, trace, _permit, .. }) =
             batch.get_mut(i).and_then(Option::take)
         else {
             return;
@@ -959,12 +1056,20 @@ fn execute(shared: &Shared, batch: Vec<Pending>) {
         // Only caller-supplied budgets count as misses: the `max_wait`
         // default deadline is the *flush trigger*, so delivery lands just
         // past it by construction and a miss there carries no signal.
-        if explicit_deadline && Instant::now() > deadline {
-            c.deadline_misses.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        if explicit_deadline && now > deadline {
+            if let Some(trace) = &trace {
+                trace.set_flag(amopt_obs::FLAG_DEADLINE_MISS);
+            }
+            let lateness = u64::try_from((now - deadline).as_nanos()).unwrap_or(u64::MAX);
+            o.deadline_missed(lateness);
+        }
+        if let Some(trace) = &trace {
+            trace.stamp(Stage::Completed);
         }
         // Count *before* filling: the fill wakes the waiter, and a stats
         // read right after `Ticket::wait` must already see this completion.
-        c.completed.fetch_add(1, Ordering::Relaxed);
+        o.completed.inc();
         slot.fill(result);
     };
 

@@ -40,16 +40,17 @@
 //! `#![forbid(unsafe_code)]` and amopt-lint's `unsafe-confined` pass.
 
 use crate::fault::{FaultPlan, IoFault, SpuriousWakeups};
+use crate::obs::ServiceObs;
 use crate::queue::{Client, QuoteService, Ticket};
 use crate::sync::lock_unpoisoned;
-use crate::types::{BatchHistogram, ReactorStats};
 use crate::wire::{self, LineAssembler, WireRequest};
+use amopt_obs::Stage;
 use epoll::{Epoll, Events, Interest, Waker};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -72,35 +73,10 @@ const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
 /// How long shutdown waits for unflushed replies before closing anyway.
 const EXIT_FLUSH_DEADLINE: Duration = Duration::from_secs(5);
 
-/// Reactor-side counters (atomic so [`ReactorStats`] snapshots are safe
-/// from any thread while the loop runs).
-#[derive(Debug, Default)]
-struct Counters {
-    connections_accepted: AtomicU64,
-    connections_open: AtomicU64,
-    connections_refused: AtomicU64,
-    loop_iterations: AtomicU64,
-    events_per_wake: [AtomicU64; crate::types::BATCH_HIST_BUCKETS],
-}
-
-impl Counters {
-    fn snapshot(&self) -> ReactorStats {
-        let mut hist = BatchHistogram::default();
-        for (slot, counter) in hist.0.iter_mut().zip(&self.events_per_wake) {
-            *slot = counter.load(Ordering::Relaxed);
-        }
-        ReactorStats {
-            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
-            connections_open: self.connections_open.load(Ordering::Relaxed),
-            connections_refused: self.connections_refused.load(Ordering::Relaxed),
-            loop_iterations: self.loop_iterations.load(Ordering::Relaxed),
-            events_per_wake: hist,
-        }
-    }
-}
-
 /// State shared between the reactor thread, completion callbacks, and the
-/// owning [`QuoteServer`](crate::QuoteServer).
+/// owning [`QuoteServer`](crate::QuoteServer).  The reactor's counters
+/// live on the service's [`ServiceObs`] registry, not here, so the wire
+/// `stats` op and the `metrics` exposition read the same instruments.
 #[derive(Debug)]
 struct ReactorShared {
     waker: Waker,
@@ -113,7 +89,6 @@ struct ReactorShared {
     /// the reactor each iteration.  Stale tokens — the connection closed
     /// first, or the slot was reused — make the pump a harmless no-op.
     ready: Mutex<Vec<u64>>,
-    counters: Counters,
 }
 
 /// Handle owned by [`QuoteServer`](crate::QuoteServer): spawn, observe,
@@ -146,7 +121,6 @@ impl ReactorHandle {
             stop_accepting: AtomicBool::new(false),
             exit: AtomicBool::new(false),
             ready: Mutex::new(Vec::new()),
-            counters: Counters::default(),
         });
         let thread_shared = Arc::clone(&shared);
         let thread = std::thread::Builder::new().name("amopt-service-reactor".to_string()).spawn(
@@ -163,11 +137,6 @@ impl ReactorHandle {
             },
         )?;
         Ok(ReactorHandle { shared, thread: Mutex::new(Some(thread)) })
-    }
-
-    /// Point-in-time reactor counters.
-    pub(crate) fn stats(&self) -> ReactorStats {
-        self.shared.counters.snapshot()
     }
 
     /// Stops accepting new connections; established ones keep serving.
@@ -266,13 +235,10 @@ impl Reactor {
                 // exit rather than spin.  (EINTR is retried in the shim.)
                 return;
             }
-            let c = &self.shared.counters;
-            c.loop_iterations.fetch_add(1, Ordering::Relaxed);
+            let o = self.service.obs();
+            o.reactor_loop_iterations.inc();
             if !events.is_empty() {
-                if let Some(bucket) = c.events_per_wake.get(BatchHistogram::bucket_of(events.len()))
-                {
-                    bucket.fetch_add(1, Ordering::Relaxed);
-                }
+                o.reactor_events_per_wake.record(events.len() as u64);
             }
             // A hangup (peer closed either half) is handled on the read
             // path: the next read observes EOF or the error.
@@ -322,7 +288,14 @@ impl Reactor {
             .min()
     }
 
-    /// Accepts until `WouldBlock`, registering each connection read-side.
+    /// Accepts (or refuses) at most one connection per wakeup.  The
+    /// listener is level-triggered, so a non-empty backlog re-fires the
+    /// next `epoll_wait` immediately; routing every accept decision
+    /// through its own wait is what keeps the close-before-accept
+    /// ordering honest.  Draining the whole backlog here instead could
+    /// scoop up a SYN that arrived mid-loop — after FINs freed its
+    /// capacity, but in a wakeup that never reported those FINs — and
+    /// refuse it against a stale open count.
     fn accept_ready(&mut self) {
         loop {
             let Some(listener) = self.listener.as_ref() else { return };
@@ -332,16 +305,15 @@ impl Reactor {
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => return,
             };
-            let c = &self.shared.counters;
             let open = self.conns.len() - self.free.len();
             if open >= self.service.config().max_connections {
                 // Full house: close immediately (the peer sees EOF and
                 // can retry elsewhere) rather than queueing unboundedly.
-                c.connections_refused.fetch_add(1, Ordering::Relaxed);
-                continue;
+                self.service.obs().reactor_refused.inc();
+                return;
             }
             if epoll::set_nonblocking(stream.as_raw_fd()).is_err() {
-                continue;
+                return;
             }
             stream.set_nodelay(true).ok();
             let slot = self.free.pop().unwrap_or(self.conns.len());
@@ -353,7 +325,7 @@ impl Reactor {
                 if slot < self.conns.len() {
                     self.free.push(slot);
                 }
-                continue;
+                return;
             }
             let conn = Conn {
                 stream,
@@ -373,8 +345,10 @@ impl Reactor {
             } else if let Some(entry) = self.conns.get_mut(slot) {
                 *entry = Some(conn);
             }
-            c.connections_accepted.fetch_add(1, Ordering::Relaxed);
-            c.connections_open.fetch_add(1, Ordering::Relaxed);
+            let o = self.service.obs();
+            o.reactor_accepted.inc();
+            o.reactor_open.add(1);
+            return;
         }
     }
 
@@ -408,7 +382,7 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) else { return };
         let _ = self.ep.delete(conn.stream.as_raw_fd());
         self.free.push(slot);
-        self.shared.counters.connections_open.fetch_sub(1, Ordering::Relaxed);
+        self.service.obs().reactor_open.sub(1);
         // `conn.stream` drops here, closing the socket.
     }
 
@@ -609,16 +583,26 @@ fn parse_lines(conn: &mut Conn, service: &QuoteService, shared: &Arc<ReactorShar
         if trimmed.is_empty() {
             continue;
         }
+        // Start the trace card *before* decoding so the parse interval
+        // covers the actual wire decode, then stamp once the line parsed.
+        let trace = service.obs().trace_start();
         let (id, decoded) = wire::decode_request(trimmed);
         let reply = match decoded {
             Err(e) => Reply::Ready(wire::encode_error(&id, "parse", &e)),
-            Ok(WireRequest::Stats) => {
-                let mut stats = service.stats();
-                stats.reactor = shared.counters.snapshot();
-                Reply::Ready(wire::encode_stats(&id, &stats))
+            Ok(WireRequest::Stats) => Reply::Ready(wire::encode_stats(&id, &service.stats())),
+            Ok(WireRequest::Metrics) => {
+                Reply::Ready(wire::encode_metrics(&id, &service.metrics_text()))
+            }
+            Ok(WireRequest::Trace(n)) => {
+                Reply::Ready(wire::encode_trace(&id, &service.recent_traces(n)))
             }
             Ok(WireRequest::Submit(request, deadline)) => {
-                match conn.client.submit_with_deadline(request, deadline) {
+                if let Some(trace) = &trace {
+                    trace.set_id(id.parse().unwrap_or_else(|_| service.obs().next_trace_id()));
+                    trace.set_kind(ServiceObs::kind_of(&request));
+                    trace.stamp(Stage::Parsed);
+                }
+                match conn.client.submit_traced(request, deadline, trace) {
                     Ok(ticket) => {
                         arm_notify(&ticket, shared, conn.token);
                         Reply::Pending { id, ticket }

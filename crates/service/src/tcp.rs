@@ -144,13 +144,16 @@ impl QuoteServer {
     }
 
     /// Scheduler stats merged with front-end (reactor) stats — the same
-    /// view the wire `stats` op serves.
+    /// view the wire `stats` op serves.  Both now read from the one
+    /// metrics registry, so this is just [`QuoteService::stats`].
     pub fn stats(&self) -> ServiceStats {
-        let mut stats = self.service.stats();
-        if let Some(reactor) = &self.reactor {
-            stats.reactor = reactor.stats();
-        }
-        stats
+        self.service.stats()
+    }
+
+    /// The Prometheus-style metrics exposition — the same text the wire
+    /// `metrics` op serves.
+    pub fn metrics_text(&self) -> String {
+        self.service.metrics_text()
     }
 
     /// Stops accepting connections, then drains and stops the service
@@ -311,12 +314,26 @@ fn serve_lines<R, W>(
         if trimmed.is_empty() {
             continue;
         }
+        // Start the trace card before decoding so the parse interval covers
+        // the wire decode (mirrors the reactor front end).
+        let trace = service.obs().trace_start();
         let (id, decoded) = wire::decode_request(trimmed);
         let outgoing = match decoded {
             Err(e) => Outgoing::Ready(wire::encode_error(&id, "parse", &e)),
             Ok(WireRequest::Stats) => Outgoing::Ready(wire::encode_stats(&id, &service.stats())),
+            Ok(WireRequest::Metrics) => {
+                Outgoing::Ready(wire::encode_metrics(&id, &service.metrics_text()))
+            }
+            Ok(WireRequest::Trace(n)) => {
+                Outgoing::Ready(wire::encode_trace(&id, &service.recent_traces(n)))
+            }
             Ok(WireRequest::Submit(request, deadline)) => {
-                match client.submit_with_deadline(request, deadline) {
+                if let Some(trace) = &trace {
+                    trace.set_id(id.parse().unwrap_or_else(|_| service.obs().next_trace_id()));
+                    trace.set_kind(crate::obs::ServiceObs::kind_of(&request));
+                    trace.stamp(amopt_obs::Stage::Parsed);
+                }
+                match client.submit_traced(request, deadline, trace) {
                     Ok(ticket) => Outgoing::Pending { id, ticket },
                     Err(e) => Outgoing::Ready(wire::encode_result(&id, &Err(e))),
                 }

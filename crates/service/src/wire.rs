@@ -49,6 +49,7 @@ use crate::ServiceResult;
 use amopt_core::batch::surface::VolQuote;
 use amopt_core::batch::{ModelKind, PricingRequest, Style};
 use amopt_core::{OptionParams, OptionType};
+use amopt_obs::{TraceCard, FLAG_DEADLINE_MISS, FLAG_ERROR, FLAG_MEMO_HIT};
 use std::fmt::Write as _;
 use std::time::Duration;
 
@@ -483,7 +484,15 @@ pub enum WireRequest {
     Submit(ServiceRequest, Option<Duration>),
     /// Answer immediately with the service counters.
     Stats,
+    /// Answer immediately with the Prometheus-style metrics exposition.
+    Metrics,
+    /// Answer immediately with the most recent `n` completed request
+    /// trace cards (`"n"` field, default [`DEFAULT_TRACE_CARDS`]).
+    Trace(usize),
 }
+
+/// Trace cards returned by a `trace` op that names no `n`.
+pub const DEFAULT_TRACE_CARDS: usize = 16;
 
 /// Decodes one request line.  Returns the echoed `id` (compact JSON,
 /// `null` when absent) alongside the decoded request or a parse error.
@@ -500,6 +509,22 @@ fn decode_request_body(doc: &JsonValue) -> Result<WireRequest, String> {
     let op = doc.get("op").and_then(JsonValue::as_str).ok_or("missing `op`")?;
     if op == "stats" {
         return Ok(WireRequest::Stats);
+    }
+    if op == "metrics" {
+        return Ok(WireRequest::Metrics);
+    }
+    if op == "trace" {
+        let n = match doc.get("n") {
+            None => DEFAULT_TRACE_CARDS,
+            Some(v) => {
+                let x = v.as_f64().ok_or("`n` must be a number")?;
+                if !(x.is_finite() && (1.0..=65536.0).contains(&x) && x.fract() == 0.0) {
+                    return Err(format!("`n` must be a positive integer up to 65536, got {x}"));
+                }
+                x as usize
+            }
+        };
+        return Ok(WireRequest::Trace(n));
     }
     let num = |key: &str| doc.get(key).and_then(JsonValue::as_f64);
     let required = |key: &str| num(key).ok_or_else(|| format!("missing number `{key}`"));
@@ -675,6 +700,50 @@ pub fn encode_stats(id: &str, stats: &ServiceStats) -> String {
         stats.shed_by_class.greeks,
         stats.shed_by_class.implied_vol,
     )
+}
+
+/// Encodes the metrics response line: the Prometheus-style exposition as
+/// one JSON-escaped string field (a scraper unescapes `text` and has the
+/// standard text format).
+pub fn encode_metrics(id: &str, text: &str) -> String {
+    format!("{{\"id\":{id},\"ok\":true,\"text\":{}}}", quote(text))
+}
+
+/// Encodes the trace response line: the most recent completed trace cards,
+/// oldest first, each with its id, kind, flags, stage breakdown (interval
+/// name → nanoseconds, stamped stages only), and end-to-end nanoseconds.
+pub fn encode_trace(id: &str, cards: &[TraceCard]) -> String {
+    let mut out = format!("{{\"id\":{id},\"ok\":true,\"traces\":[");
+    for (i, card) in cards.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let kind = match card.kind {
+            0 => "price",
+            1 => "greeks",
+            2 => "implied_vol",
+            _ => "other",
+        };
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"kind\":{},\"memo_hit\":{},\"deadline_miss\":{},\"error\":{},\
+             \"stages\":{{",
+            card.id,
+            quote(kind),
+            card.flags & FLAG_MEMO_HIT != 0,
+            card.flags & FLAG_DEADLINE_MISS != 0,
+            card.flags & FLAG_ERROR != 0,
+        );
+        for (j, (name, nanos)) in card.breakdown().into_iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{nanos}", quote(name));
+        }
+        let _ = write!(out, "}},\"end_to_end_nanos\":{}}}", card.end_to_end_nanos());
+    }
+    out.push_str("]}");
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -928,5 +997,93 @@ mod tests {
         assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(false)));
         assert_eq!(doc.get("kind").unwrap().as_str(), Some("overloaded"));
         assert_eq!(doc.get("id").unwrap().as_str(), Some("abc"));
+    }
+
+    /// Pins the `stats` reply byte-for-byte: the fields, their order, and
+    /// their formatting are wire compatibility.  Migrating the counters
+    /// onto the obs registry must never be visible to a `stats` consumer —
+    /// if this test needs updating, that migration leaked.
+    #[test]
+    fn stats_wire_format_is_pinned_byte_for_byte() {
+        use crate::types::{BatchHistogram, ReactorStats, ShedByClass};
+        use amopt_core::batch::MemoStats;
+
+        let mut batch_sizes = BatchHistogram::default();
+        batch_sizes.0[0] = 1; // one singleton batch
+        batch_sizes.0[2] = 3; // three batches of size 4..=7
+        let mut events_per_wake = BatchHistogram::default();
+        events_per_wake.0[1] = 9;
+        let stats = ServiceStats {
+            queue_depth: 3,
+            submitted: 100,
+            completed: 96,
+            rejected_queue_full: 2,
+            rejected_inflight: 1,
+            rejected_shutdown: 0,
+            batches: 24,
+            deadline_misses: 5,
+            heap_pops: 30,
+            batch_sizes,
+            memo: MemoStats {
+                hits: 50,
+                misses: 50,
+                evictions: 7,
+                entries: 20,
+                capacity: 100,
+                shards: 8,
+            },
+            worker_restarts: 1,
+            workers_alive: 8,
+            retries: 4,
+            retry_budget_exhausted: 1,
+            shed_by_class: ShedByClass { price: 2, greeks: 1, implied_vol: 0 },
+            reactor: ReactorStats {
+                connections_accepted: 10,
+                connections_open: 2,
+                connections_refused: 1,
+                loop_iterations: 500,
+                events_per_wake,
+            },
+        };
+        assert_eq!(
+            encode_stats("7", &stats),
+            "{\"id\":7,\"ok\":true,\"queue_depth\":3,\"submitted\":100,\"completed\":96,\
+             \"rejected_queue_full\":2,\"rejected_inflight\":1,\"rejected_shutdown\":0,\
+             \"batches\":24,\"deadline_misses\":5,\"heap_pops\":30,\
+             \"batch_size_hist\":[[1,1],[4,3]],\"mean_batch_size\":4,\"memo_hits\":50,\
+             \"memo_misses\":50,\"memo_hit_rate\":0.5,\"memo_entries\":20,\
+             \"reactor_connections_accepted\":10,\"reactor_connections_open\":2,\
+             \"reactor_connections_refused\":1,\"reactor_loop_iterations\":500,\
+             \"reactor_events_per_wake_hist\":[[2,9]],\"worker_restarts\":1,\"workers_alive\":8,\
+             \"retries\":4,\"retry_budget_exhausted\":1,\"shed_price\":2,\"shed_greeks\":1,\
+             \"shed_implied_vol\":0}"
+        );
+    }
+
+    #[test]
+    fn metrics_and_trace_requests_decode() {
+        let (_, decoded) = decode_request(r#"{"id":1,"op":"metrics"}"#);
+        assert_eq!(decoded.unwrap(), WireRequest::Metrics);
+        let (_, decoded) = decode_request(r#"{"id":1,"op":"trace"}"#);
+        assert_eq!(decoded.unwrap(), WireRequest::Trace(DEFAULT_TRACE_CARDS));
+        let (_, decoded) = decode_request(r#"{"id":1,"op":"trace","n":4}"#);
+        assert_eq!(decoded.unwrap(), WireRequest::Trace(4));
+        for bad in [
+            r#"{"op":"trace","n":0}"#,
+            r#"{"op":"trace","n":65537}"#,
+            r#"{"op":"trace","n":2.5}"#,
+            r#"{"op":"trace","n":"all"}"#,
+        ] {
+            let (_, decoded) = decode_request(bad);
+            assert!(decoded.is_err(), "{bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn metrics_reply_round_trips_the_exposition_text() {
+        let text = "# TYPE amopt_x counter\namopt_x 1\n";
+        let doc = parse(&encode_metrics("3", text)).unwrap();
+        assert_eq!(doc.get("ok"), Some(&JsonValue::Bool(true)));
+        assert_eq!(doc.get("text").unwrap().as_str(), Some(text));
     }
 }

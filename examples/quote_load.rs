@@ -294,6 +294,72 @@ fn print_class(label: &str, mut us: Vec<f64>) {
     );
 }
 
+/// Scrapes the server's `metrics` exposition and prints the per-stage
+/// latency table the trace subsystem aggregates — where traced requests
+/// actually spent their time, as the *server* measured it (complementing
+/// the client-side round-trip percentiles above).  Quantiles come from the
+/// log2 histogram buckets, so they are upper-bound estimates.  Quietly does
+/// nothing if the server has already gone away.
+fn print_stage_breakdown(addr: &str) {
+    const STAGES: [&str; 7] =
+        ["parse", "admit", "queue_wait", "batch_form", "memo_probe", "execute", "reply_write"];
+    let Ok(mut client) = TcpQuoteClient::connect(addr) else { return };
+    if client.send("{\"id\":0,\"op\":\"metrics\"}").is_err() {
+        return;
+    }
+    let Ok(reply) = client.recv() else { return };
+    let Some(text) = wire::parse(&reply)
+        .ok()
+        .and_then(|d| d.get("text").and_then(wire::JsonValue::as_str).map(str::to_string))
+    else {
+        return;
+    };
+    println!("  per-stage breakdown (server-side, from traced requests):");
+    println!(
+        "    {:<12} {:>9} {:>10} {:>10} {:>10}",
+        "stage", "count", "mean us", "~p50 us", "~p99 us"
+    );
+    for stage in STAGES {
+        let base = format!("amopt_stage_{stage}_nanos");
+        let scalar = |suffix: &str| -> f64 {
+            let prefix = format!("{base}{suffix} ");
+            text.lines()
+                .find(|l| l.starts_with(&prefix))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0)
+        };
+        let count = scalar("_count");
+        let sum = scalar("_sum");
+        let bucket_prefix = format!("{base}_bucket{{le=\"");
+        let buckets: Vec<(f64, f64)> = text
+            .lines()
+            .filter(|l| l.starts_with(&bucket_prefix))
+            .filter_map(|l| {
+                let le = l.split("le=\"").nth(1)?.split('"').next()?;
+                let le = if le == "+Inf" { f64::INFINITY } else { le.parse().ok()? };
+                Some((le, l.rsplit(' ').next()?.parse().ok()?))
+            })
+            .collect();
+        let quantile = |q: f64| -> f64 {
+            let target = (q * count).ceil().max(1.0);
+            buckets.iter().find(|&&(_, cum)| cum >= target).map(|&(le, _)| le).unwrap_or(f64::NAN)
+        };
+        if count == 0.0 {
+            println!("    {:<12} {:>9} {:>10} {:>10} {:>10}", stage, 0, "-", "-", "-");
+        } else {
+            println!(
+                "    {:<12} {:>9} {:>10.1} {:>10.1} {:>10.1}",
+                stage,
+                count,
+                sum / count / 1e3,
+                quantile(0.5) / 1e3,
+                quantile(0.99) / 1e3
+            );
+        }
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--chaos <seed>` replaces the external server with an embedded
@@ -420,6 +486,7 @@ fn main() {
                 total.latencies_us.iter().filter(|&&(_, t)| !t).map(|&(us, _)| us).collect(),
             );
         }
+        print_stage_breakdown(&addr);
         if let Some(server) = embedded {
             server.shutdown();
         }
@@ -467,6 +534,7 @@ fn main() {
         print_class("deadline", all.iter().filter(|&&(_, t)| t).map(|&(us, _)| us).collect());
         print_class("bulk    ", all.iter().filter(|&&(_, t)| !t).map(|&(us, _)| us).collect());
     }
+    print_stage_breakdown(&addr);
     if failures > 0 {
         std::process::exit(1);
     }

@@ -22,6 +22,13 @@
 //! # *expected* to fail — CI uses it to prove the gate detects real loss:
 //! cargo run --release --example quote_server -- chaos 42
 //! cargo run --release --example quote_server -- chaos 42 200 unhandled
+//!
+//! # Observability: scrape a running server's metrics exposition, tail its
+//! # most recent request trace cards, or run the self-contained obs smoke
+//! # (loopback server + scrape + invariant checks; exit 1 on violation):
+//! cargo run --release --example quote_server -- metrics 127.0.0.1:7878
+//! cargo run --release --example quote_server -- tail 127.0.0.1:7878 32
+//! cargo run --release --example quote_server -- obs-smoke 256
 //! ```
 
 use american_option_pricing::prelude::*;
@@ -226,6 +233,156 @@ fn smoke(n: usize, conns: usize) {
     println!("smoke OK: every wire response bitwise-equal to direct BatchPricer pricing");
 }
 
+/// Sends one wire request line to a running server and returns the parsed
+/// reply document (panics on transport errors or an `ok:false` reply).
+fn wire_call(addr: &str, line: &str) -> wire::JsonValue {
+    let mut client =
+        TcpQuoteClient::connect(addr).unwrap_or_else(|e| panic!("cannot connect to {addr}: {e}"));
+    client.send(line).expect("send request line");
+    let reply = client.recv().expect("read reply line");
+    let doc = wire::parse(&reply).unwrap_or_else(|e| panic!("bad reply JSON ({e}): {reply}"));
+    assert!(
+        matches!(doc.get("ok"), Some(wire::JsonValue::Bool(true))),
+        "server returned an error: {reply}"
+    );
+    doc
+}
+
+/// `metrics <addr>` — scrape a running server's Prometheus-text exposition.
+fn metrics_cmd(addr: &str) {
+    let doc = wire_call(addr, "{\"id\":0,\"op\":\"metrics\"}");
+    print!("{}", doc.get("text").and_then(|t| t.as_str()).expect("metrics reply carries text"));
+}
+
+/// `tail <addr> [n]` — print the most recent trace cards, one line each.
+fn tail_cmd(addr: &str, n: usize) {
+    let doc = wire_call(addr, &format!("{{\"id\":0,\"op\":\"trace\",\"n\":{n}}}"));
+    let Some(wire::JsonValue::Arr(cards)) = doc.get("traces") else {
+        panic!("trace reply carries no traces array");
+    };
+    if cards.is_empty() {
+        println!("no completed traces yet (is tracing enabled and has traffic flowed?)");
+        return;
+    }
+    println!("{:>8}  {:<11} {:>10}  flags  stage breakdown (µs)", "id", "kind", "e2e µs");
+    for card in cards {
+        let id = card.get("id").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+        let kind = card.get("kind").and_then(|v| v.as_str()).unwrap_or("?");
+        let e2e = card.get("end_to_end_nanos").and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let flag = |k: &str, c: char| {
+            if matches!(card.get(k), Some(wire::JsonValue::Bool(true))) {
+                c
+            } else {
+                '-'
+            }
+        };
+        let flags: String = [flag("memo_hit", 'm'), flag("deadline_miss", 'd'), flag("error", 'e')]
+            .into_iter()
+            .collect();
+        let mut stages = String::new();
+        if let Some(wire::JsonValue::Obj(fields)) = card.get("stages") {
+            for (name, nanos) in fields {
+                let us = nanos.as_f64().unwrap_or(0.0) / 1_000.0;
+                if !stages.is_empty() {
+                    stages.push(' ');
+                }
+                stages.push_str(&format!("{name}={us:.1}"));
+            }
+        }
+        println!("{:>8}  {:<11} {:>10.1}  {flags}    {stages}", id as i64, kind, e2e / 1_000.0);
+    }
+}
+
+/// `obs-smoke [n]` — spin up a loopback server, drive `n` quotes, then
+/// scrape the `metrics` and `trace` ops over the wire and verify the
+/// acceptance invariants: ≥ 25 named instruments, the fault/retry/brownout
+/// families present, and every trace card's stage breakdown summing to its
+/// end-to-end latency.  Exits 1 on any violation.
+fn obs_smoke(n: usize) {
+    let server = QuoteServer::bind(
+        "127.0.0.1:0",
+        ServiceConfig {
+            max_batch: 32,
+            max_wait: Duration::from_millis(1),
+            ..ServiceConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().to_string();
+    let book = smoke_book(n, 64);
+    let mut client = TcpQuoteClient::connect(&addr).expect("connect driver");
+    for (i, req) in book.iter().enumerate() {
+        client.send(&wire::encode_pricing_request(i as u64, "price", req)).expect("send");
+    }
+    for _ in 0..book.len() {
+        let reply = client.recv().expect("reply");
+        assert!(reply.contains("\"ok\":true"), "quote failed: {reply}");
+    }
+
+    let mut failures = 0usize;
+
+    // Exposition: ≥ 25 named instruments and the acceptance families.
+    let doc = wire_call(&addr, "{\"id\":0,\"op\":\"metrics\"}");
+    let text = doc.get("text").and_then(|t| t.as_str()).expect("metrics text").to_string();
+    let instruments = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+    println!("obs-smoke: scraped {instruments} instruments from {addr}");
+    if instruments < 25 {
+        eprintln!("FAIL: only {instruments} instruments exposed (acceptance floor is 25)");
+        failures += 1;
+    }
+    for needle in [
+        "amopt_queue_submitted_total",
+        "amopt_queue_batch_size_bucket",
+        "amopt_stage_queue_wait_nanos_count",
+        "amopt_fault_worker_panic_fired_total",
+        "amopt_retries_total",
+        "amopt_shed_price_total",
+        "amopt_memo_hits",
+        "amopt_reactor_loop_iterations_total",
+        "amopt_kernel_fft_pass_calls_total",
+    ] {
+        if !text.contains(needle) {
+            eprintln!("FAIL: exposition is missing {needle}");
+            failures += 1;
+        }
+    }
+
+    // Trace cards: present, and each stage breakdown sums to end-to-end.
+    let doc = wire_call(&addr, "{\"id\":0,\"op\":\"trace\",\"n\":32}");
+    let Some(wire::JsonValue::Arr(cards)) = doc.get("traces") else {
+        panic!("trace reply carries no traces array");
+    };
+    if cards.is_empty() {
+        eprintln!("FAIL: no trace cards after {} quotes", book.len());
+        failures += 1;
+    }
+    for card in cards {
+        let e2e = card.get("end_to_end_nanos").and_then(|v| v.as_f64()).unwrap_or(-1.0);
+        let mut sum = 0.0;
+        if let Some(wire::JsonValue::Obj(fields)) = card.get("stages") {
+            sum = fields.iter().filter_map(|(_, v)| v.as_f64()).sum();
+        }
+        // The stamps are monotonic deltas of one clock, so the sum must
+        // reproduce the end-to-end figure exactly; allow 1µs of slack for
+        // future rounding in the exposition layer.
+        if e2e < 0.0 || (sum - e2e).abs() > 1_000.0 {
+            eprintln!("FAIL: stage sum {sum} ns vs end-to-end {e2e} ns: {card:?}");
+            failures += 1;
+        }
+    }
+
+    server.shutdown();
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!(
+        "obs-smoke OK: {} instruments, {} trace cards, every stage breakdown sums to its \
+         end-to-end latency",
+        instruments,
+        cards.len()
+    );
+}
+
 /// Runs the seeded chaos soak and exits non-zero if any invariant broke.
 fn chaos(seed: u64, requests: Option<usize>, unhandled: bool) {
     use american_option_pricing::service::{soak, ChaosConfig};
@@ -266,10 +423,25 @@ fn main() {
             let unhandled = args.iter().any(|a| a == "unhandled");
             chaos(seed, requests, unhandled);
         }
+        Some("metrics") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7878");
+            metrics_cmd(addr);
+        }
+        Some("tail") => {
+            let addr = args.get(1).map(String::as_str).unwrap_or("127.0.0.1:7878");
+            let n = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(16);
+            tail_cmd(addr, n);
+        }
+        Some("obs-smoke") => {
+            let n = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(128);
+            obs_smoke(n);
+        }
         _ => {
             eprintln!(
                 "usage: quote_server serve [addr] [threaded] | quote_server smoke [n] [conns] \
-                 | quote_server chaos [seed] [requests] [unhandled]"
+                 | quote_server chaos [seed] [requests] [unhandled] \
+                 | quote_server metrics [addr] | quote_server tail [addr] [n] \
+                 | quote_server obs-smoke [n]"
             );
             std::process::exit(2);
         }

@@ -9,7 +9,13 @@
 //! complement alive).  The same seed must reproduce the same fault
 //! schedule, pinned by the schedule hash.
 
-use american_option_pricing::service::{soak, ChaosConfig, FaultPlan, FaultSite};
+use american_option_pricing::core::batch::{ModelKind, PricingRequest};
+use american_option_pricing::core::{OptionParams, OptionType};
+use american_option_pricing::service::{
+    soak, ChaosConfig, ChaosReport, EventKind, FaultPlan, FaultSite, QuoteService, RetryPolicy,
+    ServiceConfig, ServiceRequest, TraceCard, FAULT_SITES, FLAG_ABANDONED, FLAG_ERROR,
+};
+use std::time::Duration;
 
 /// The standard seeded soak must pass with a meaningful fault volume
 /// spread across the I/O, panic, and stall classes.
@@ -62,4 +68,170 @@ fn unhandled_fault_class_is_caught_by_the_invariant_gate() {
     let report = soak(&ChaosConfig::new(7).with_requests(200).unhandled()).expect("soak runs");
     assert!(!report.passed(), "armed LostReply faults went undetected:\n{}", report.render());
     assert!(report.lost > 0 || report.submitted != report.completed, "{}", report.render());
+}
+
+/// The event journal is a faithful flight recorder: every injected fault
+/// appears exactly once with its (site, consultation index), every
+/// shed/restart/deadline decision is journaled exactly as often as its
+/// service counter, and every accepted request left exactly one trace
+/// card — delivered with its reply, or journaled as abandoned when a
+/// faulted connection died before the reactor could pump the reply.
+/// `soak_config` sizes the ring so nothing can evict mid-run.
+#[test]
+fn journal_records_every_fault_and_decision_exactly_once() {
+    let cfg = ChaosConfig { min_faults: 0, ..ChaosConfig::new(0x0B5E_11ED) }.with_requests(192);
+    let report = soak(&cfg).expect("soak runs");
+    assert!(report.passed(), "{}", report.render());
+    assert!(report.faults.total() > 0, "no faults fired — nothing to audit");
+
+    let count_of = |kind: EventKind| -> u64 {
+        report.journal.iter().filter(|e| e.kind == kind).count() as u64
+    };
+
+    // Faults: per site, the journaled firings match the plan's fired
+    // counter exactly — no drops, no duplicates — and every firing carries
+    // a distinct consultation index.
+    let mut fault_events = 0u64;
+    for &site in FAULT_SITES.iter() {
+        let mut indices: Vec<u64> = report
+            .journal
+            .iter()
+            .filter(|e| e.kind == EventKind::Fault && e.payload[0] == site as u64)
+            .map(|e| e.payload[1])
+            .collect();
+        fault_events += indices.len() as u64;
+        assert_eq!(
+            indices.len() as u64,
+            report.faults.fired_at(site),
+            "journal disagrees with the fired counter at {}",
+            site.name(),
+        );
+        let n = indices.len();
+        indices.sort_unstable();
+        indices.dedup();
+        assert_eq!(indices.len(), n, "duplicate journaled firing at {}", site.name());
+    }
+    // ...and no fault event names a site outside the catalogue.
+    assert_eq!(fault_events, count_of(EventKind::Fault));
+    assert_eq!(fault_events, report.faults.total());
+
+    // Decisions: each journal kind tallies exactly with its counter.
+    let stats = &report.service;
+    assert_eq!(count_of(EventKind::Shed), stats.shed_by_class.total());
+    assert_eq!(count_of(EventKind::Retry), stats.retries);
+    assert_eq!(count_of(EventKind::WorkerRestart), stats.worker_restarts);
+    assert_eq!(count_of(EventKind::DeadlineMiss), stats.deadline_misses);
+
+    // Trace cards: one per executed request — whether the reply reached
+    // its client or the connection died first (the ticket's drop journals
+    // the card flagged abandoned).  Every card unpacks, and an abandoned
+    // card always also carries the error flag.
+    assert_eq!(count_of(EventKind::Trace), stats.completed);
+    for event in report.journal.iter().filter(|e| e.kind == EventKind::Trace) {
+        let card = TraceCard::from_event(event).expect("journaled trace event unpacks");
+        if card.flags & FLAG_ABANDONED != 0 {
+            assert!(card.flags & FLAG_ERROR != 0, "abandoned card without error flag: {card:?}");
+        }
+    }
+}
+
+/// Same seed ⇒ same journal, modulo timing: the fault decision sequence is
+/// pure in `(seed, site, index)`, so at every site two same-seed soaks must
+/// journal *identical* firing indices over their common consultation
+/// prefix.  Only how far each run consults a site (and the timestamps) is
+/// timing-dependent; a single disagreement means the journal or the plan
+/// leaked nondeterminism.
+#[test]
+fn same_seed_soaks_journal_identical_fault_firings() {
+    let cfg = ChaosConfig { min_faults: 0, ..ChaosConfig::new(5) }.with_requests(96);
+    let a = soak(&cfg).expect("soak runs");
+    let b = soak(&cfg).expect("soak runs");
+    assert_eq!(a.schedule_hash, b.schedule_hash, "same seed must compile the same schedule");
+
+    let fired = |r: &ChaosReport, site: FaultSite| -> Vec<u64> {
+        let mut v: Vec<u64> = r
+            .journal
+            .iter()
+            .filter(|e| e.kind == EventKind::Fault && e.payload[0] == site as u64)
+            .map(|e| e.payload[1])
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let mut compared = 0usize;
+    for &site in FAULT_SITES.iter() {
+        let (fa, fb) = (fired(&a, site), fired(&b, site));
+        let common = fa.len().min(fb.len());
+        compared += common;
+        assert_eq!(
+            &fa[..common],
+            &fb[..common],
+            "same-seed runs disagree on fault firings at {}",
+            site.name(),
+        );
+    }
+    assert!(compared > 0, "no common fault firings — the comparison was vacuous");
+}
+
+/// The in-process retry budget journals one `Retry` event per performed
+/// retry, keyed `(client id, attempt)` — exactly once each, in step with
+/// the `retries` counter.
+#[test]
+fn retry_decisions_are_journaled_exactly_once_with_their_attempt_index() {
+    let service = QuoteService::start(ServiceConfig {
+        workers: 1,
+        max_batch: 1,
+        max_wait: Duration::from_millis(1),
+        per_conn_inflight: 1,
+        retry_budget: 2,
+        ..ServiceConfig::default()
+    })
+    .expect("start service");
+    let client = service.client();
+
+    // Plug the handle's single in-flight slot with a heavy quote: every
+    // further call on it sheds Overloaded until the plug completes, so
+    // call_with_retry burns its whole budget (2 retries) deterministically.
+    let heavy = PricingRequest::american(
+        ModelKind::Bopm,
+        OptionType::Put,
+        OptionParams::paper_defaults(),
+        4000,
+    );
+    let plug = client
+        .submit_with_deadline(ServiceRequest::Price(heavy), Some(Duration::ZERO))
+        .expect("plug submit");
+    let cheap = PricingRequest::american(
+        ModelKind::Bopm,
+        OptionType::Call,
+        OptionParams::paper_defaults(),
+        32,
+    );
+    let policy = RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_micros(100),
+        max_backoff: Duration::from_millis(1),
+    };
+    let got = client.call_with_retry(ServiceRequest::Price(cheap), &policy);
+    assert!(got.is_err(), "the plugged slot must shed the retrying call: {got:?}");
+    assert!(plug.wait().is_ok());
+
+    let stats = service.stats();
+    assert_eq!(stats.retries, 2, "budget 2 must allow exactly two retries");
+    let retries: Vec<(u64, u64)> = service
+        .journal()
+        .snapshot()
+        .iter()
+        .filter(|e| e.kind == EventKind::Retry)
+        .map(|e| (e.payload[0], e.payload[1]))
+        .collect();
+    assert_eq!(retries.len() as u64, stats.retries, "one journal event per performed retry");
+    let mut attempts: Vec<u64> = retries.iter().map(|&(_, a)| a).collect();
+    attempts.sort_unstable();
+    assert_eq!(attempts, vec![1, 2], "attempt indices journaled exactly once each");
+    assert!(
+        retries.iter().all(|&(id, _)| id == retries[0].0),
+        "all retries came from the one retrying client handle"
+    );
+    service.shutdown();
 }
